@@ -1,0 +1,31 @@
+//! Figure 10: daily average percentage of free memory resources per node
+//! within a single data center.
+
+use sapsim_analysis::heatmap::{build_heatmap, HeatmapQuantity, HeatmapScope};
+use sapsim_analysis::report;
+use sapsim_telemetry::MetricId;
+
+fn main() {
+    let run = report::experiment_run();
+    let dc = run.cloud.topology().dcs()[0].id;
+    let hm = build_heatmap(
+        &run,
+        HeatmapScope::NodesOfDc(dc),
+        HeatmapQuantity::FreePercentOf(MetricId::HostMemUsagePct),
+        "Figure 10: daily avg % free memory per node, one data center",
+        |_| 1.0,
+    );
+    println!("{}", hm.render_ascii());
+    let means: Vec<f64> = hm.column_means().into_iter().flatten().collect();
+    let nearly_full = means.iter().filter(|&&f| f < 20.0).count();
+    let roomy = means.iter().filter(|&&f| f > 60.0).count();
+    println!(
+        "{} of {} nodes below 20% free memory (almost fully utilized), {} above 60% free \
+         (paper: roughly comparable groups of full and idle nodes)",
+        nearly_full,
+        means.len(),
+        roomy
+    );
+    let path = report::write_artifact("fig10_memory_heatmap.csv", &hm.to_csv()).expect("write csv");
+    println!("wrote {}", path.display());
+}

@@ -1,0 +1,40 @@
+//! Figures 11 and 12: daily average percentage of free network TX/RX
+//! bandwidth per node within a single data center. Every node has a
+//! 200 Gbps NIC; the paper's observation is that load is far below line
+//! rate, making network a non-constraint for scheduling.
+
+use sapsim_analysis::heatmap::{build_heatmap, HeatmapQuantity, HeatmapScope};
+use sapsim_analysis::report;
+use sapsim_telemetry::MetricId;
+
+const LINE_RATE_KBPS: f64 = 200_000_000.0; // 200 Gbps
+
+fn main() {
+    let run = report::experiment_run();
+    let dc = run.cloud.topology().dcs()[0].id;
+    for (fig, metric, name) in [
+        (11, MetricId::HostNetTxKbps, "TX"),
+        (12, MetricId::HostNetRxKbps, "RX"),
+    ] {
+        let hm = build_heatmap(
+            &run,
+            HeatmapScope::NodesOfDc(dc),
+            HeatmapQuantity::FreeFractionOf(metric),
+            format!("Figure {fig}: daily avg % free network {name} bandwidth per node"),
+            |_| LINE_RATE_KBPS,
+        );
+        println!("{}", hm.render_ascii());
+        if let Some((min, _)) = hm.mean_spread() {
+            println!(
+                "least free {name} bandwidth on any node: {min:.2}% free \
+                 (paper: load notably below the 200 Gbps line rate)\n"
+            );
+        }
+        let path = report::write_artifact(
+            &format!("fig{fig}_net_{}_heatmap.csv", name.to_lowercase()),
+            &hm.to_csv(),
+        )
+        .expect("write csv");
+        println!("wrote {}", path.display());
+    }
+}

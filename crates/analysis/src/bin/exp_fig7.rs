@@ -1,0 +1,39 @@
+//! Figure 7: daily average percentage of free CPU resources per node
+//! within one building block — the intra-cluster imbalance view
+//! ("a maximum CPU utilization on intra-building block hosts of up to
+//! 99%", paper abstract).
+
+use sapsim_analysis::heatmap::{build_heatmap, HeatmapQuantity, HeatmapScope};
+use sapsim_analysis::report;
+use sapsim_telemetry::MetricId;
+use sapsim_topology::BbPurpose;
+
+fn main() {
+    let run = report::experiment_run();
+    // Pick the busiest general-purpose block (most allocated CPU) so the
+    // intra-block contrast is visible, like the paper's selected block.
+    let topo = run.cloud.topology();
+    let bb = topo
+        .bbs()
+        .iter()
+        .filter(|b| b.purpose == BbPurpose::GeneralPurpose)
+        .max_by_key(|b| run.cloud.bb_allocated(b.id).cpu_cores)
+        .expect("a general-purpose block exists")
+        .id;
+    let hm = build_heatmap(
+        &run,
+        HeatmapScope::NodesOfBb(bb),
+        HeatmapQuantity::FreePercentOf(MetricId::HostCpuUtilPct),
+        format!("Figure 7: daily avg % free CPU per node within {}", topo.bb(bb).name),
+        |_| 1.0,
+    );
+    println!("{}", hm.render_ascii());
+    if let Some((min, max)) = hm.mean_spread() {
+        println!(
+            "intra-block spread of mean free CPU: {:.1}% .. {:.1}%",
+            min, max
+        );
+    }
+    let path = report::write_artifact("fig7_bb_nodes_heatmap.csv", &hm.to_csv()).expect("write csv");
+    println!("wrote {}", path.display());
+}

@@ -1,0 +1,20 @@
+//! Table 1: average VM classification by number of vCPUs.
+
+use sapsim_analysis::classify::{render_table1, table1_by_vcpu};
+use sapsim_analysis::report;
+
+fn main() {
+    let run = report::experiment_run();
+    let rows = table1_by_vcpu(&run);
+    println!("{}", render_table1(&rows));
+    println!(
+        "paper reference at full scale: Small 28,446 / Medium 14,340 / Large 1,831 / XL 738 \
+         (this run is at scale {:.2}; shares should match)",
+        run.config.scale
+    );
+    let total: f64 = rows.iter().map(|&(_, n)| n).sum();
+    for (c, n) in rows {
+        println!("  {:<12} share {:.1}%", c.label(), n / total * 100.0);
+    }
+    println!("paper shares: Small 62.7% / Medium 31.6% / Large 4.0% / XL 1.6%");
+}

@@ -1,0 +1,20 @@
+//! Table 2: average VM classification by memory resources.
+
+use sapsim_analysis::classify::{render_table2, table2_by_ram};
+use sapsim_analysis::report;
+
+fn main() {
+    let run = report::experiment_run();
+    let rows = table2_by_ram(&run);
+    println!("{}", render_table2(&rows));
+    println!(
+        "paper reference at full scale: Small 991 / Medium 41,395 / Large 787 / XL 2,184 \
+         (this run is at scale {:.2}; shares should match)",
+        run.config.scale
+    );
+    let total: f64 = rows.iter().map(|&(_, n)| n).sum();
+    for (c, n) in rows {
+        println!("  {:<12} share {:.1}%", c.label(), n / total * 100.0);
+    }
+    println!("paper shares: Small 2.2% / Medium 91.2% / Large 1.7% / XL 4.8%");
+}

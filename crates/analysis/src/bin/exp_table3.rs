@@ -1,0 +1,16 @@
+//! Table 3: comparison of prior datasets with the SAP Cloud
+//! Infrastructure dataset.
+
+use sapsim_analysis::report;
+use sapsim_analysis::tables::render_table3;
+
+fn main() {
+    let text = render_table3();
+    println!("{text}");
+    println!(
+        "The SAP dataset is the only publicly available dataset that provides VM workloads, \
+         memory allocations up to 12 TB per VM, and 30s-300s sampling on nodes and VMs."
+    );
+    let path = report::write_artifact("table3_comparison.txt", &text).expect("write");
+    println!("wrote {}", path.display());
+}

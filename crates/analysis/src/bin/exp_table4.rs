@@ -1,0 +1,12 @@
+//! Table 4: metric details for vROps and OpenStack Compute, regenerated
+//! from the telemetry registry (the same catalog the simulator records).
+
+use sapsim_analysis::report;
+use sapsim_analysis::tables::render_table4;
+
+fn main() {
+    let text = render_table4();
+    println!("{text}");
+    let path = report::write_artifact("table4_metrics.txt", &text).expect("write");
+    println!("wrote {}", path.display());
+}

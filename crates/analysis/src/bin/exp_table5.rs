@@ -1,0 +1,12 @@
+//! Table 5 (Appendix D): hypervisor and VM distribution across SAP data
+//! centers, regenerated from the topology presets.
+
+use sapsim_analysis::report;
+use sapsim_analysis::tables::render_table5;
+
+fn main() {
+    let text = render_table5();
+    println!("{text}");
+    let path = report::write_artifact("table5_datacenters.txt", &text).expect("write");
+    println!("wrote {}", path.display());
+}

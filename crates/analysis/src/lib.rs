@@ -1,0 +1,38 @@
+//! # sapsim-analysis — figure and table regeneration
+//!
+//! Consumes a [`RunResult`](sapsim_core::RunResult) (or a trace imported
+//! via `sapsim-trace`) and reproduces every artifact of the paper's
+//! evaluation:
+//!
+//! | Paper artifact | Module | Binary |
+//! |---|---|---|
+//! | Fig. 5–7 free-CPU heatmaps | [`heatmap`] | `exp_fig5`, `exp_fig6`, `exp_fig7` |
+//! | Fig. 8 top-10 CPU ready time | [`ready_time`] | `exp_fig8` |
+//! | Fig. 9 contention aggregates | [`contention`] | `exp_fig9` |
+//! | Fig. 10 free-memory heatmap | [`heatmap`] | `exp_fig10` |
+//! | Fig. 11/12 network heatmaps | [`heatmap`] | `exp_fig11_12` |
+//! | Fig. 13 free-storage heatmap | [`heatmap`], [`storage`] | `exp_fig13` |
+//! | Fig. 14 utilization CDFs | [`cdf`] | `exp_fig14` |
+//! | Fig. 15 lifetime per flavor | [`lifetime`] | `exp_fig15` |
+//! | Tables 1/2 VM classification | [`classify`] | `exp_table1`, `exp_table2` |
+//! | Table 3 dataset comparison | [`tables`] | `exp_table3` |
+//! | Table 4 metric catalog | [`tables`] | `exp_table4` |
+//! | Table 5 DC overview | [`tables`] | `exp_table5` |
+//! | Ablations A1–A3 | [`ablation`] | `exp_ablation`, `exp_overcommit`, `exp_rebalance` |
+//!
+//! Rendering is plain text (ASCII heatmap shading + aligned tables) plus
+//! CSV emitters for external plotting.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ablation;
+pub mod cdf;
+pub mod classify;
+pub mod contention;
+pub mod heatmap;
+pub mod lifetime;
+pub mod ready_time;
+pub mod report;
+pub mod storage;
+pub mod tables;

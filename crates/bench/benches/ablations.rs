@@ -1,0 +1,99 @@
+//! Ablation benchmarks (A1–A3): wall-clock cost of the scheduling-policy,
+//! overcommit, and rebalancing comparisons at a fixed micro scale. Each
+//! iteration is a complete one-day simulation, so these quantify how
+//! expensive "one ablation cell" is.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sapsim_core::{PlacementGranularity, SimConfig, SimDriver};
+use sapsim_scheduler::PolicyKind;
+use std::hint::black_box;
+
+fn micro(policy: PolicyKind, granularity: PlacementGranularity, overcommit: f64) -> SimConfig {
+    SimConfig {
+        scale: 0.02,
+        days: 1,
+        seed: 81,
+        warmup_days: 0,
+        policy,
+        granularity,
+        gp_cpu_overcommit: overcommit,
+        ..SimConfig::default()
+    }
+}
+
+fn a1_policies(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_policies");
+    g.sample_size(10);
+    for policy in PolicyKind::ALL {
+        g.bench_with_input(
+            BenchmarkId::new("bb_granularity", policy.name()),
+            &policy,
+            |b, &policy| {
+                b.iter(|| {
+                    let cfg = micro(policy, PlacementGranularity::BuildingBlock, 4.0);
+                    black_box(SimDriver::new(cfg).expect("valid").run().stats)
+                })
+            },
+        );
+    }
+    g.bench_function("node_granularity/paper-default", |b| {
+        b.iter(|| {
+            let cfg = micro(
+                PolicyKind::PaperDefault,
+                PlacementGranularity::Node,
+                4.0,
+            );
+            black_box(SimDriver::new(cfg).expect("valid").run().stats)
+        })
+    });
+    g.finish();
+}
+
+fn a2_overcommit(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_overcommit");
+    g.sample_size(10);
+    for ratio in [1.0f64, 4.0, 8.0] {
+        g.bench_with_input(
+            BenchmarkId::new("sweep", format!("{ratio:.0}x")),
+            &ratio,
+            |b, &ratio| {
+                b.iter(|| {
+                    let cfg = micro(
+                        PolicyKind::PaperDefault,
+                        PlacementGranularity::BuildingBlock,
+                        ratio,
+                    );
+                    black_box(SimDriver::new(cfg).expect("valid").run().stats)
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+fn a3_rebalancers(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_rebalance");
+    g.sample_size(10);
+    for (drs, cross, label) in [
+        (false, false, "none"),
+        (true, false, "drs_only"),
+        (true, true, "drs_plus_cross_bb"),
+    ] {
+        g.bench_function(format!("rebalance/{label}"), |b| {
+            b.iter(|| {
+                let mut cfg = micro(
+                    PolicyKind::PaperDefault,
+                    PlacementGranularity::BuildingBlock,
+                    4.0,
+                );
+                cfg.drs_enabled = drs;
+                cfg.cross_bb_enabled = cross;
+                black_box(SimDriver::new(cfg).expect("valid").run().stats)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, a1_policies, a2_overcommit, a3_rebalancers);
+criterion_main!(benches);

@@ -1,0 +1,115 @@
+//! One benchmark per paper figure/table: the cost of regenerating each
+//! artifact from a recorded run. The simulation itself is built once,
+//! outside the measurement loops (see `benches/simulator.rs` for the cost
+//! of producing it).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sapsim_analysis::cdf::{utilization_cdf, VmResource};
+use sapsim_analysis::classify::{table1_by_vcpu, table2_by_ram};
+use sapsim_analysis::contention::contention_aggregate;
+use sapsim_analysis::heatmap::{build_heatmap, HeatmapQuantity, HeatmapScope};
+use sapsim_analysis::lifetime::lifetime_per_flavor;
+use sapsim_analysis::ready_time::top_ready_nodes;
+use sapsim_analysis::storage::storage_distribution;
+use sapsim_analysis::tables::{render_table3, render_table4, render_table5};
+use sapsim_bench::bench_run;
+use sapsim_telemetry::MetricId;
+use std::hint::black_box;
+
+fn figures(c: &mut Criterion) {
+    let run = bench_run();
+    let dc = run.cloud.topology().dcs()[0].id;
+    let bb = run.cloud.topology().bbs()[0].id;
+
+    let mut g = c.benchmark_group("figures");
+    g.bench_function("fig05_cpu_heatmap_dc", |b| {
+        b.iter(|| {
+            build_heatmap(
+                black_box(&run),
+                HeatmapScope::NodesOfDc(dc),
+                HeatmapQuantity::FreePercentOf(MetricId::HostCpuUtilPct),
+                "fig5",
+                |_| 1.0,
+            )
+        })
+    });
+    g.bench_function("fig06_cpu_heatmap_bbs", |b| {
+        b.iter(|| {
+            build_heatmap(
+                black_box(&run),
+                HeatmapScope::BbsOfDc(dc),
+                HeatmapQuantity::FreePercentOf(MetricId::HostCpuUtilPct),
+                "fig6",
+                |_| 1.0,
+            )
+        })
+    });
+    g.bench_function("fig07_cpu_heatmap_one_bb", |b| {
+        b.iter(|| {
+            build_heatmap(
+                black_box(&run),
+                HeatmapScope::NodesOfBb(bb),
+                HeatmapQuantity::FreePercentOf(MetricId::HostCpuUtilPct),
+                "fig7",
+                |_| 1.0,
+            )
+        })
+    });
+    g.bench_function("fig08_top10_ready_time", |b| {
+        b.iter(|| top_ready_nodes(black_box(&run), 10))
+    });
+    g.bench_function("fig09_contention_aggregate", |b| {
+        b.iter(|| contention_aggregate(black_box(&run)))
+    });
+    g.bench_function("fig10_memory_heatmap", |b| {
+        b.iter(|| {
+            build_heatmap(
+                black_box(&run),
+                HeatmapScope::NodesOfDc(dc),
+                HeatmapQuantity::FreePercentOf(MetricId::HostMemUsagePct),
+                "fig10",
+                |_| 1.0,
+            )
+        })
+    });
+    g.bench_function("fig11_12_network_heatmaps", |b| {
+        b.iter(|| {
+            for metric in [MetricId::HostNetTxKbps, MetricId::HostNetRxKbps] {
+                black_box(build_heatmap(
+                    &run,
+                    HeatmapScope::NodesOfDc(dc),
+                    HeatmapQuantity::FreeFractionOf(metric),
+                    "fig11/12",
+                    |_| 200_000_000.0,
+                ));
+            }
+        })
+    });
+    g.bench_function("fig13_storage_distribution", |b| {
+        b.iter(|| storage_distribution(black_box(&run)))
+    });
+    g.bench_function("fig14_utilization_cdfs", |b| {
+        b.iter(|| {
+            (
+                utilization_cdf(black_box(&run), VmResource::Cpu),
+                utilization_cdf(black_box(&run), VmResource::Memory),
+            )
+        })
+    });
+    g.bench_function("fig15_lifetime_per_flavor", |b| {
+        b.iter(|| lifetime_per_flavor(black_box(&run), 30))
+    });
+    g.bench_function("table1_vcpu_classification", |b| {
+        b.iter(|| table1_by_vcpu(black_box(&run)))
+    });
+    g.bench_function("table2_ram_classification", |b| {
+        b.iter(|| table2_by_ram(black_box(&run)))
+    });
+    g.bench_function("table3_render", |b| b.iter(render_table3));
+    g.bench_function("table4_render", |b| b.iter(render_table4));
+    g.bench_function("table5_render", |b| b.iter(render_table5));
+    g.finish();
+}
+
+criterion_group!(benches, figures);
+criterion_main!(benches);

@@ -1,0 +1,126 @@
+//! Scheduler micro-benchmarks: the filter/weigher pipeline, the
+//! bin-packing baselines, and the DRS planner — the hot paths of a
+//! production placement service.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::Rng;
+use sapsim_scheduler::{
+    pack_all, BinPacker, HostLoad, HostView, PackingStrategy, PlacementPolicy, PlacementRequest,
+    PolicyKind, Rebalancer, VmLoad,
+};
+use sapsim_sim::SimRng;
+use sapsim_topology::{AzId, BbId, BbPurpose, NodeId, ResourceKind, Resources};
+use std::hint::black_box;
+
+fn host_views(n: usize, seed: u64) -> Vec<HostView> {
+    let mut rng = SimRng::seed_from(seed);
+    (0..n)
+        .map(|i| {
+            let cap = Resources::with_memory_gib(192, 768, 6144);
+            let used_frac: f64 = rng.gen_range(0.0..0.95);
+            HostView {
+                bb: BbId::from_raw(i as u32),
+                node: None,
+                purpose: BbPurpose::GeneralPurpose,
+                az: AzId::from_raw((i % 2) as u32),
+                capacity: cap,
+                allocated: cap.scale(used_frac),
+                enabled: true,
+                contention_pct: rng.gen_range(0.0..30.0),
+                mean_remaining_lifetime_days: rng.gen_range(0.0..500.0),
+            }
+        })
+        .collect()
+}
+
+fn pipeline(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pipeline");
+    let request = PlacementRequest::new(
+        1,
+        Resources::with_memory_gib(4, 32, 100),
+        BbPurpose::GeneralPurpose,
+    );
+    for n in [64usize, 256, 1024, 4096] {
+        let views = host_views(n, 7);
+        g.bench_with_input(BenchmarkId::new("rank_spread", n), &views, |b, views| {
+            let mut policy = PlacementPolicy::new(PolicyKind::Spread);
+            b.iter(|| policy.rank(black_box(&request), black_box(views)).unwrap())
+        });
+        g.bench_with_input(
+            BenchmarkId::new("rank_contention_aware", n),
+            &views,
+            |b, views| {
+                let mut policy = PlacementPolicy::new(PolicyKind::ContentionAware);
+                b.iter(|| policy.rank(black_box(&request), black_box(views)).unwrap())
+            },
+        );
+    }
+    g.finish();
+}
+
+fn packing(c: &mut Criterion) {
+    let mut g = c.benchmark_group("packing");
+    let mut rng = SimRng::seed_from(3);
+    let items: Vec<Resources> = (0..2000)
+        .map(|_| {
+            Resources::with_memory_gib(
+                rng.gen_range(1..16),
+                rng.gen_range(4..256),
+                rng.gen_range(10..500),
+            )
+        })
+        .collect();
+    let bin = Resources::with_memory_gib(192, 768, 6144);
+    for strategy in [
+        PackingStrategy::FirstFit,
+        PackingStrategy::BestFit,
+        PackingStrategy::FirstFitDecreasing,
+    ] {
+        g.bench_function(format!("pack_all_2000_{strategy:?}"), |b| {
+            b.iter(|| {
+                pack_all(
+                    black_box(&items),
+                    bin,
+                    strategy,
+                    ResourceKind::Memory,
+                )
+            })
+        });
+    }
+    let views = host_views(1024, 9);
+    let packer = BinPacker::new(PackingStrategy::BestFit, ResourceKind::Memory);
+    let req = Resources::with_memory_gib(4, 32, 100);
+    g.bench_function("binpacker_choose_1024_hosts", |b| {
+        b.iter(|| packer.choose(black_box(&req), black_box(&views)))
+    });
+    g.finish();
+}
+
+fn drs(c: &mut Criterion) {
+    let mut g = c.benchmark_group("drs");
+    let mut rng = SimRng::seed_from(5);
+    // A 64-node cluster with ~40 VMs per node, imbalanced.
+    let loads: Vec<HostLoad<NodeId>> = (0..64)
+        .map(|i| HostLoad {
+            id: NodeId::from_raw(i as u32),
+            cpu_capacity: 48.0,
+            mem_capacity_mib: 768.0 * 1024.0,
+            vms: (0..40)
+                .map(|j| VmLoad {
+                    vm_uid: (i * 100 + j) as u64,
+                    cpu_demand: rng.gen_range(0.0..2.0) * if i < 8 { 3.0 } else { 1.0 },
+                    mem_used_mib: rng.gen_range(1024.0..16384.0),
+                    movable: j % 10 != 0,
+                })
+                .collect(),
+        })
+        .collect();
+    g.bench_function("plan_64_nodes_2560_vms", |b| {
+        let planner = Rebalancer::default();
+        b.iter(|| planner.plan(black_box(&loads)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, pipeline, packing, drs);
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! Whole-simulator benchmarks: the cost of producing one observed day at
+//! increasing fleet scales — the number a user planning a full-region
+//! 30-day reproduction cares about.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sapsim_core::{SimConfig, SimDriver};
+use std::hint::black_box;
+
+fn one_day_runs(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simulator");
+    g.sample_size(10);
+    for scale in [0.02f64, 0.05, 0.10] {
+        g.bench_with_input(
+            BenchmarkId::new("one_day", format!("scale_{scale}")),
+            &scale,
+            |b, &scale| {
+                b.iter(|| {
+                    let cfg = SimConfig {
+                        scale,
+                        days: 1,
+                        seed: 1,
+                        warmup_days: 0,
+                        ..SimConfig::default()
+                    };
+                    black_box(SimDriver::new(cfg).expect("valid").run())
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+fn event_engine(c: &mut Criterion) {
+    use sapsim_sim::{SimDuration, SimTime, Simulation};
+    let mut g = c.benchmark_group("engine");
+    g.bench_function("schedule_and_drain_100k", |b| {
+        b.iter(|| {
+            let mut sim: Simulation<u32> = Simulation::new();
+            for i in 0..100_000u32 {
+                sim.schedule_at(SimTime::from_millis((i as u64 * 7919) % 1_000_000), i);
+            }
+            let mut n = 0u32;
+            while let Some(e) = sim.next_event() {
+                n = n.wrapping_add(e.payload);
+            }
+            black_box(n)
+        })
+    });
+    g.bench_function("self_rescheduling_ticker_1m_events", |b| {
+        b.iter(|| {
+            let mut sim: Simulation<()> = Simulation::new();
+            sim.schedule_at(SimTime::ZERO, ());
+            let horizon = SimTime::from_secs(1_000_000);
+            let mut n = 0u64;
+            while let Some(_e) = sim.next_event_until(horizon) {
+                n += 1;
+                sim.schedule_after(SimDuration::from_secs(1), ());
+            }
+            black_box(n)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, one_day_runs, event_engine);
+criterion_main!(benches);

@@ -1,0 +1,100 @@
+//! Telemetry substrate benchmarks: recording throughput and the
+//! aggregation primitives behind the analyses, plus dataset export/import.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use rand::Rng;
+use sapsim_bench::bench_run;
+use sapsim_sim::{SimRng, SimTime};
+use sapsim_telemetry::{summary, DailyRollup, EntityRef, MetricId, TsdbStore};
+use sapsim_trace::{TraceReader, TraceWriter};
+use std::hint::black_box;
+use std::io::BufReader;
+
+fn recording(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tsdb");
+    const N: u64 = 100_000;
+    g.throughput(Throughput::Elements(N));
+    g.bench_function("record_raw_100k", |b| {
+        b.iter(|| {
+            let mut db = TsdbStore::new(30);
+            for i in 0..N {
+                db.record(
+                    MetricId::HostCpuUtilPct,
+                    EntityRef::Node((i % 256) as u32),
+                    SimTime::from_secs((i / 256) * 300),
+                    i as f64,
+                );
+            }
+            black_box(db.raw_sample_count())
+        })
+    });
+    g.bench_function("record_rolled_100k", |b| {
+        b.iter(|| {
+            let mut db = TsdbStore::new(30);
+            for i in 0..N {
+                db.record_rolled(
+                    MetricId::HostCpuUtilPct,
+                    EntityRef::Node((i % 256) as u32),
+                    SimTime::from_secs((i / 256) * 300),
+                    i as f64,
+                );
+            }
+            black_box(db.rolled_series_count())
+        })
+    });
+    g.bench_function("rollup_push_1m", |b| {
+        b.iter(|| {
+            let mut r = DailyRollup::new(30);
+            for i in 0..1_000_000u64 {
+                r.push(SimTime::from_secs(i % (30 * 86_400)), i as f64);
+            }
+            black_box(r.overall_mean())
+        })
+    });
+    g.finish();
+}
+
+fn aggregation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("summary");
+    let mut rng = SimRng::seed_from(1);
+    let values: Vec<f64> = (0..100_000).map(|_| rng.gen_range(0.0..100.0)).collect();
+    g.bench_function("quantile_p95_100k", |b| {
+        b.iter(|| summary::quantile(black_box(&values), 0.95))
+    });
+    g.bench_function("empirical_cdf_100k", |b| {
+        b.iter(|| summary::empirical_cdf(black_box(&values)))
+    });
+    g.finish();
+}
+
+fn dataset_io(c: &mut Criterion) {
+    let run = bench_run();
+    let mut csv = Vec::new();
+    TraceWriter::plain()
+        .write_store(&run.store, &mut csv)
+        .expect("write");
+    let mut g = c.benchmark_group("dataset");
+    g.sample_size(10);
+    g.throughput(Throughput::Bytes(csv.len() as u64));
+    g.bench_function("export_csv", |b| {
+        b.iter(|| {
+            let mut out = Vec::with_capacity(csv.len());
+            TraceWriter::anonymized(1)
+                .write_store(black_box(&run.store), &mut out)
+                .expect("write");
+            black_box(out.len())
+        })
+    });
+    g.bench_function("import_csv", |b| {
+        b.iter(|| {
+            let (store, _) = TraceReader::new()
+                .read_into_store(&mut BufReader::new(black_box(&csv[..])), 3)
+                .expect("read");
+            black_box(store.raw_sample_count())
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, recording, aggregation, dataset_io);
+criterion_main!(benches);

@@ -1,0 +1,16 @@
+//! Shared fixtures for the sapsim benchmark suite.
+
+use sapsim_core::{RunResult, SimConfig, SimDriver};
+
+/// The standard benchmark run: 5 % of the region, 3 observed days, no
+/// warm-up (benchmarks measure analysis/scheduling cost, not calibration).
+pub fn bench_run() -> RunResult {
+    let cfg = SimConfig {
+        scale: 0.05,
+        days: 3,
+        seed: 42,
+        warmup_days: 0,
+        ..SimConfig::default()
+    };
+    SimDriver::new(cfg).expect("valid").run()
+}

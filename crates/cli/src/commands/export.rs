@@ -1,0 +1,49 @@
+//! `sapsim export` — run a simulation and write the dataset CSV.
+
+use super::{sim_config_from, SIM_BOOL_FLAGS, SIM_VALUE_OPTIONS};
+use crate::args::Parsed;
+use sapsim_core::SimDriver;
+use sapsim_trace::TraceWriter;
+use std::fs::File;
+use std::io::{BufWriter, Write};
+
+/// Execute the subcommand.
+pub fn run(argv: &[String], out: &mut dyn Write) -> Result<(), String> {
+    let parsed = Parsed::parse(argv, SIM_VALUE_OPTIONS, SIM_BOOL_FLAGS)
+        .map_err(|e| e.to_string())?;
+    let [path] = parsed.positionals() else {
+        return Err("export requires exactly one output file argument".into());
+    };
+    let cfg = sim_config_from(&parsed)?;
+
+    writeln!(
+        out,
+        "simulating {} days at scale {:.2} (seed {}) ...",
+        cfg.days, cfg.scale, cfg.seed
+    )
+    .map_err(|e| e.to_string())?;
+    let result = SimDriver::new(cfg)?.run();
+
+    let mut writer = match parsed.get("anonymize") {
+        Some(salt_raw) => {
+            let salt: u64 = salt_raw
+                .parse()
+                .map_err(|_| format!("invalid salt `{salt_raw}` for --anonymize"))?;
+            TraceWriter::anonymized(salt)
+        }
+        None => TraceWriter::plain(),
+    };
+    let file = File::create(path).map_err(|e| format!("cannot create {path}: {e}"))?;
+    let mut sink = BufWriter::new(file);
+    let summary = writer
+        .write_store(&result.store, &mut sink)
+        .map_err(|e| e.to_string())?;
+    sink.flush().map_err(|e| e.to_string())?;
+    writeln!(
+        out,
+        "wrote {} rows across {} series to {path}",
+        summary.rows, summary.series
+    )
+    .map_err(|e| e.to_string())?;
+    Ok(())
+}

@@ -1,0 +1,52 @@
+//! `sapsim import` — load a dataset CSV and summarize it. Works on both
+//! simulator exports and (shape-wise) the published Zenodo dataset.
+
+use crate::args::Parsed;
+use sapsim_telemetry::{summary, MetricId};
+use sapsim_trace::TraceReader;
+use std::fs::File;
+use std::io::{BufReader, Write};
+
+/// Execute the subcommand.
+pub fn run(argv: &[String], out: &mut dyn Write) -> Result<(), String> {
+    let parsed = Parsed::parse(argv, &["days"], &[]).map_err(|e| e.to_string())?;
+    let [path] = parsed.positionals() else {
+        return Err("import requires exactly one input file argument".into());
+    };
+    let days: usize = parsed.get_parsed("days", 30usize).map_err(|e| e.to_string())?;
+
+    let file = File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
+    let (store, loaded) = TraceReader::new()
+        .read_into_store(&mut BufReader::new(file), days)
+        .map_err(|e| e.to_string())?;
+    let w = |e: std::io::Error| e.to_string();
+    writeln!(
+        out,
+        "loaded {} rows ({} skipped) into {} series",
+        loaded.rows,
+        loaded.skipped,
+        store.raw_series_count()
+    )
+    .map_err(w)?;
+
+    writeln!(out, "\nper-metric coverage:").map_err(w)?;
+    for metric in MetricId::ALL {
+        let series = store.series_of(metric);
+        if series.is_empty() {
+            continue;
+        }
+        let means: Vec<f64> = series.iter().filter_map(|(_, s)| s.mean()).collect();
+        let samples: usize = series.iter().map(|(_, s)| s.len()).sum();
+        writeln!(
+            out,
+            "  {:<52} {:>6} series {:>10} samples  mean {:>12.3}  p95 {:>12.3}",
+            metric.name(),
+            series.len(),
+            samples,
+            summary::mean(&means).unwrap_or(0.0),
+            summary::quantile(&means, 0.95).unwrap_or(0.0),
+        )
+        .map_err(w)?;
+    }
+    Ok(())
+}

@@ -1,0 +1,113 @@
+//! The `sapsim` subcommands.
+
+pub mod export;
+pub mod import;
+pub mod simulate;
+pub mod tables;
+
+use crate::args::Parsed;
+use sapsim_core::{PlacementGranularity, SimConfig};
+use sapsim_scheduler::PolicyKind;
+
+/// Options shared by `simulate` and `export`.
+pub const SIM_VALUE_OPTIONS: &[&str] = &[
+    "scale",
+    "days",
+    "seed",
+    "policy",
+    "granularity",
+    "overcommit",
+    "anonymize",
+];
+/// Boolean flags shared by `simulate` and `export`.
+pub const SIM_BOOL_FLAGS: &[&str] = &["no-drs", "cross-bb", "no-warmup"];
+
+/// Build a [`SimConfig`] from parsed CLI arguments.
+pub fn sim_config_from(parsed: &Parsed) -> Result<SimConfig, String> {
+    let mut cfg = SimConfig {
+        scale: parsed.get_parsed("scale", 0.05).map_err(|e| e.to_string())?,
+        days: parsed.get_parsed("days", 5u64).map_err(|e| e.to_string())?,
+        seed: parsed.get_parsed("seed", 0u64).map_err(|e| e.to_string())?,
+        gp_cpu_overcommit: parsed
+            .get_parsed("overcommit", 4.0)
+            .map_err(|e| e.to_string())?,
+        ..SimConfig::default()
+    };
+    cfg.policy = match parsed.get("policy").unwrap_or("paper-default") {
+        "spread" => PolicyKind::Spread,
+        "pack-memory" => PolicyKind::PackMemory,
+        "paper-default" => PolicyKind::PaperDefault,
+        "contention-aware" => PolicyKind::ContentionAware,
+        "lifetime-aware" => PolicyKind::LifetimeAware,
+        other => return Err(format!("unknown policy `{other}`")),
+    };
+    cfg.granularity = match parsed.get("granularity").unwrap_or("bb") {
+        "bb" => PlacementGranularity::BuildingBlock,
+        "node" => PlacementGranularity::Node,
+        other => return Err(format!("unknown granularity `{other}` (use bb|node)")),
+    };
+    if parsed.flag("no-drs") {
+        cfg.drs_enabled = false;
+    }
+    if parsed.flag("cross-bb") {
+        cfg.cross_bb_enabled = true;
+    }
+    if parsed.flag("no-warmup") {
+        cfg.warmup_days = 0;
+    }
+    cfg.validate()?;
+    Ok(cfg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(parts: &[&str]) -> Parsed {
+        let argv: Vec<String> = parts.iter().map(|s| s.to_string()).collect();
+        Parsed::parse(&argv, SIM_VALUE_OPTIONS, SIM_BOOL_FLAGS).unwrap()
+    }
+
+    #[test]
+    fn defaults_build_a_valid_config() {
+        let cfg = sim_config_from(&parse(&[])).unwrap();
+        assert_eq!(cfg.scale, 0.05);
+        assert_eq!(cfg.days, 5);
+        assert!(cfg.drs_enabled);
+        assert!(!cfg.cross_bb_enabled);
+    }
+
+    #[test]
+    fn options_map_through() {
+        let cfg = sim_config_from(&parse(&[
+            "--scale",
+            "0.1",
+            "--days",
+            "3",
+            "--policy",
+            "contention-aware",
+            "--granularity",
+            "node",
+            "--no-drs",
+            "--cross-bb",
+            "--no-warmup",
+            "--overcommit",
+            "2.5",
+        ]))
+        .unwrap();
+        assert_eq!(cfg.scale, 0.1);
+        assert_eq!(cfg.days, 3);
+        assert_eq!(cfg.policy, PolicyKind::ContentionAware);
+        assert_eq!(cfg.granularity, PlacementGranularity::Node);
+        assert!(!cfg.drs_enabled);
+        assert!(cfg.cross_bb_enabled);
+        assert_eq!(cfg.warmup_days, 0);
+        assert_eq!(cfg.gp_cpu_overcommit, 2.5);
+    }
+
+    #[test]
+    fn bad_policy_and_scale_are_rejected() {
+        assert!(sim_config_from(&parse(&["--policy", "nope"])).is_err());
+        assert!(sim_config_from(&parse(&["--scale", "7.0"])).is_err());
+    }
+}

@@ -1,0 +1,92 @@
+//! `sapsim simulate` — run and summarize.
+
+use super::{sim_config_from, SIM_BOOL_FLAGS, SIM_VALUE_OPTIONS};
+use crate::args::Parsed;
+use sapsim_analysis::cdf::{utilization_cdf, VmResource};
+use sapsim_analysis::contention::contention_aggregate;
+use sapsim_core::SimDriver;
+use std::io::Write;
+
+/// Execute the subcommand.
+pub fn run(argv: &[String], out: &mut dyn Write) -> Result<(), String> {
+    let parsed = Parsed::parse(argv, SIM_VALUE_OPTIONS, SIM_BOOL_FLAGS)
+        .map_err(|e| e.to_string())?;
+    if !parsed.positionals().is_empty() {
+        return Err("simulate takes no positional arguments".into());
+    }
+    let cfg = sim_config_from(&parsed)?;
+    let w = |e: std::io::Error| e.to_string();
+
+    writeln!(
+        out,
+        "simulating {} days at scale {:.2} (policy {}, seed {}) ...",
+        cfg.days,
+        cfg.scale,
+        cfg.policy.name(),
+        cfg.seed
+    )
+    .map_err(w)?;
+    let result = SimDriver::new(cfg)?.run();
+
+    let topo = result.cloud.topology();
+    writeln!(out, "\ninfrastructure:").map_err(w)?;
+    writeln!(
+        out,
+        "  {} hypervisors in {} building blocks across {} DCs",
+        topo.nodes().len(),
+        topo.bbs().len(),
+        topo.dcs().len()
+    )
+    .map_err(w)?;
+
+    let s = &result.stats;
+    writeln!(out, "\nscheduling:").map_err(w)?;
+    writeln!(
+        out,
+        "  placements: {} attempted, {:.1}% placed ({} fragmented, {} no-candidate)",
+        s.placements_attempted,
+        s.placement_success_rate() * 100.0,
+        s.failed_fragmented,
+        s.failed_no_candidate
+    )
+    .map_err(w)?;
+    writeln!(
+        out,
+        "  retries: {} | DRS migrations: {} | cross-BB migrations: {}",
+        s.placement_retries, s.drs_migrations, s.cross_bb_migrations
+    )
+    .map_err(w)?;
+    writeln!(
+        out,
+        "  resizes: {} ({} in place, {} migrated, {} failed)",
+        s.resizes_attempted, s.resizes_in_place, s.resizes_migrated, s.resizes_failed
+    )
+    .map_err(w)?;
+    writeln!(
+        out,
+        "  maintenance: {} windows ({} aborted), {} evacuations",
+        s.maintenance_windows, s.maintenance_aborted, s.evacuations
+    )
+    .map_err(w)?;
+    writeln!(
+        out,
+        "  population: peak {} VMs, {} at window end, {} departures",
+        s.peak_vm_count, s.final_vm_count, s.departures
+    )
+    .map_err(w)?;
+
+    writeln!(out, "\nthe paper's headline findings on this run:").map_err(w)?;
+    writeln!(out, "  {}", utilization_cdf(&result, VmResource::Cpu).summary_line()).map_err(w)?;
+    writeln!(out, "  {}", utilization_cdf(&result, VmResource::Memory).summary_line())
+        .map_err(w)?;
+    let agg = contention_aggregate(&result);
+    writeln!(
+        out,
+        "  contention: peak daily mean {:.2}%, peak p95 {:.2}%, max sample {:.1}%",
+        agg.peak_mean(),
+        agg.peak_p95(),
+        agg.peak_max()
+    )
+    .map_err(w)?;
+    Ok(())
+}

@@ -1,0 +1,90 @@
+//! # sapsim-cli — the `sapsim` command
+//!
+//! A small, dependency-free command-line front end over the workspace:
+//!
+//! ```text
+//! sapsim simulate [OPTIONS]        run a simulation and print a summary
+//! sapsim export   [OPTIONS] FILE   run a simulation and export the dataset CSV
+//! sapsim import   FILE [OPTIONS]   load a dataset CSV and print summary stats
+//! sapsim tables                    print the static paper tables (3, 4, 5)
+//! sapsim help                      this text
+//! ```
+//!
+//! Argument parsing is hand-rolled (the workspace's only CLI is this thin
+//! wrapper; a parser dependency would outweigh it).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod args;
+pub mod commands;
+
+pub use args::{ArgError, Parsed};
+
+/// Top-level usage text.
+pub const USAGE: &str = "\
+sapsim — reproduction of the SAP Cloud Infrastructure dataset study (IMC '25)
+
+USAGE:
+    sapsim <COMMAND> [OPTIONS]
+
+COMMANDS:
+    simulate    run a simulation and print the headline findings
+    export      run a simulation and write the telemetry as dataset CSV
+    import      load a dataset CSV (simulated or real) and summarize it
+    tables      print the paper's static tables (3, 4, 5)
+    help        show this message
+
+SIMULATION OPTIONS (simulate, export):
+    --scale <F>          fleet/workload scale, 0 < F <= 1   [default: 0.05]
+    --days <N>           observed days                      [default: 5]
+    --seed <N>           RNG seed                           [default: 0]
+    --policy <NAME>      spread | pack-memory | paper-default |
+                         contention-aware | lifetime-aware  [default: paper-default]
+    --granularity <G>    bb | node                          [default: bb]
+    --no-drs             disable the DRS-style rebalancer
+    --cross-bb           enable the cross-building-block rebalancer
+    --overcommit <F>     general-purpose vCPU:pCPU ratio    [default: 4.0]
+    --no-warmup          skip the 7-day pre-observation ramp
+
+EXPORT OPTIONS:
+    --anonymize <SALT>   consistently hash entity names (like the
+                         published dataset)
+
+IMPORT OPTIONS:
+    --days <N>           rollup window of the loaded store  [default: 30]
+";
+
+/// Entry point shared by the binary and the tests: returns the process
+/// exit code.
+pub fn run(argv: &[String]) -> i32 {
+    let mut out = std::io::stdout();
+    match run_to(argv, &mut out) {
+        Ok(()) => 0,
+        Err(msg) => {
+            eprintln!("sapsim: error: {msg}");
+            eprintln!("run `sapsim help` for usage");
+            2
+        }
+    }
+}
+
+/// Like [`run`], but writing to an arbitrary sink (testable).
+pub fn run_to(argv: &[String], out: &mut dyn std::io::Write) -> Result<(), String> {
+    let Some(command) = argv.first() else {
+        writeln!(out, "{USAGE}").map_err(|e| e.to_string())?;
+        return Ok(());
+    };
+    let rest = &argv[1..];
+    match command.as_str() {
+        "simulate" => commands::simulate::run(rest, out),
+        "export" => commands::export::run(rest, out),
+        "import" => commands::import::run(rest, out),
+        "tables" => commands::tables::run(rest, out),
+        "help" | "--help" | "-h" => {
+            writeln!(out, "{USAGE}").map_err(|e| e.to_string())?;
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`")),
+    }
+}

@@ -1,0 +1,6 @@
+//! The `sapsim` binary.
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    std::process::exit(sapsim_cli::run(&argv));
+}

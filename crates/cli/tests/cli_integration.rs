@@ -1,0 +1,97 @@
+//! CLI integration: drive every subcommand through the library entry
+//! point, including an export → import round trip through a temp file.
+
+use sapsim_cli::run_to;
+
+fn run_capture(parts: &[&str]) -> Result<String, String> {
+    let argv: Vec<String> = parts.iter().map(|s| s.to_string()).collect();
+    let mut out = Vec::new();
+    run_to(&argv, &mut out).map(|()| String::from_utf8(out).expect("utf8"))
+}
+
+#[test]
+fn help_prints_usage() {
+    let text = run_capture(&["help"]).unwrap();
+    assert!(text.contains("USAGE"));
+    assert!(text.contains("simulate"));
+    // No command at all also prints usage.
+    let text = run_capture(&[]).unwrap();
+    assert!(text.contains("USAGE"));
+}
+
+#[test]
+fn unknown_command_errors() {
+    let err = run_capture(&["frobnicate"]).unwrap_err();
+    assert!(err.contains("frobnicate"));
+}
+
+#[test]
+fn simulate_prints_headline_findings() {
+    let text = run_capture(&[
+        "simulate",
+        "--scale",
+        "0.02",
+        "--days",
+        "1",
+        "--no-warmup",
+        "--seed",
+        "3",
+    ])
+    .unwrap();
+    assert!(text.contains("hypervisors"), "{text}");
+    assert!(text.contains("placements:"));
+    assert!(text.contains("cpu:"));
+    assert!(text.contains("memory:"));
+    assert!(text.contains("contention:"));
+}
+
+#[test]
+fn simulate_rejects_bad_arguments() {
+    assert!(run_capture(&["simulate", "--scale", "9"]).is_err());
+    assert!(run_capture(&["simulate", "--policy", "nope"]).is_err());
+    assert!(run_capture(&["simulate", "stray-positional"]).is_err());
+    assert!(run_capture(&["simulate", "--bogus"]).is_err());
+}
+
+#[test]
+fn export_then_import_roundtrip() {
+    let dir = std::env::temp_dir();
+    let path = dir.join(format!("sapsim-cli-test-{}.csv", std::process::id()));
+    let path_str = path.to_str().expect("utf8 path");
+
+    let text = run_capture(&[
+        "export",
+        "--scale",
+        "0.02",
+        "--days",
+        "1",
+        "--no-warmup",
+        "--anonymize",
+        "42",
+        path_str,
+    ])
+    .unwrap();
+    assert!(text.contains("wrote"), "{text}");
+
+    let text = run_capture(&["import", path_str, "--days", "1"]).unwrap();
+    assert!(text.contains("loaded"));
+    assert!(text.contains("vrops_hostsystem_cpu_contention_percentage"));
+    assert!(text.contains("openstack_compute_instances_total"));
+
+    std::fs::remove_file(&path).expect("cleanup");
+}
+
+#[test]
+fn tables_prints_all_three() {
+    let text = run_capture(&["tables"]).unwrap();
+    assert!(text.contains("Table 3"));
+    assert!(text.contains("SAP (this work)"));
+    assert!(text.contains("vrops_hostsystem_cpu_ready_milliseconds"));
+    assert!(text.contains("1072"), "table 5 data present");
+}
+
+#[test]
+fn import_missing_file_errors() {
+    let err = run_capture(&["import", "/nonexistent/definitely-not-here.csv"]).unwrap_err();
+    assert!(err.contains("cannot open"));
+}

@@ -1,0 +1,778 @@
+//! The mutable world state: which VM runs where, and what is allocated.
+
+use crate::config::PlacementGranularity;
+use crate::hypervisor;
+use sapsim_scheduler::HostView;
+use sapsim_sim::{SimRng, SimTime, MILLIS_PER_DAY};
+use sapsim_topology::{BbId, NodeId, NodeState, Resources, Topology};
+use sapsim_workload::{UsageState, VmId, VmSpec, WorkloadClass};
+use std::collections::{HashMap, HashSet};
+
+/// Runtime state of one placed VM.
+#[derive(Debug, Clone)]
+pub struct PlacedVm {
+    /// Index into the driver's spec list.
+    pub spec_index: usize,
+    /// The VM's id.
+    pub id: VmId,
+    /// Current host node.
+    pub node: NodeId,
+    /// Currently allocated (requested) resources — the flavor template,
+    /// updated by resizes.
+    pub resources: Resources,
+    /// Evolving demand-model noise.
+    pub usage_state: UsageState,
+    /// Per-VM random stream for the demand model.
+    pub rng: SimRng,
+    /// Demand at the last scrape, core-equivalents.
+    pub last_cpu_demand_cores: f64,
+    /// Consumed memory at the last scrape, MiB.
+    pub last_mem_used_mib: f64,
+    /// Scheduled departure instant.
+    pub departure: SimTime,
+    /// Whether the rebalancers may migrate this VM. HANA VMs are pinned:
+    /// "migrating VMs that exhibit high CPU or memory operations should be
+    /// avoided" (paper Section 3.2).
+    pub movable: bool,
+}
+
+/// Result of a placement attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlacementOutcome {
+    /// Placed on this node after `retries` rejected cluster candidates.
+    Placed {
+        /// Destination node.
+        node: NodeId,
+        /// Ranked candidates that were tried and failed before this one —
+        /// Nova's greedy retry behaviour. Nonzero retries at
+        /// building-block granularity indicate intra-cluster
+        /// fragmentation: the block had aggregate room but no single node
+        /// fit.
+        retries: u32,
+    },
+    /// The pipeline produced no candidate at all.
+    NoCandidate,
+    /// Candidates existed but none could host the VM on any node
+    /// (fragmentation exhausted the retry list).
+    Fragmented,
+}
+
+/// The cloud: topology plus allocation and residency bookkeeping.
+///
+/// All mutation goes through [`place`](Cloud::place),
+/// [`remove`](Cloud::remove), and [`migrate`](Cloud::migrate), which keep
+/// the per-node and per-block accounting consistent (checked by
+/// [`verify_accounting`](Cloud::verify_accounting) in tests).
+#[derive(Debug)]
+pub struct Cloud {
+    topo: Topology,
+    /// Cached per-node schedulable capacity (overcommit applied).
+    node_virtual_cap: Vec<Resources>,
+    /// Requested resources allocated per node.
+    node_alloc: Vec<Resources>,
+    /// Resident VM ids per node.
+    node_vms: Vec<Vec<VmId>>,
+    /// Most recent sampled contention per node (percent).
+    node_contention: Vec<f64>,
+    /// Sum of residual-lifetime *departure instants* (in ms) of resident
+    /// VMs per node; mean remaining lifetime at `now` is
+    /// `sum / count − now`.
+    node_departure_sum_ms: Vec<f64>,
+    /// Cached per-block total virtual capacity.
+    bb_virtual_cap: Vec<Resources>,
+    /// Aggregated allocation per block.
+    bb_alloc: Vec<Resources>,
+    /// All placed VMs.
+    vms: HashMap<VmId, PlacedVm>,
+    /// Building blocks held back from placement as failover/expansion
+    /// reserve (paper Section 5.1: "capacities are intentionally reserved
+    /// in case of emergency failover, redundancy, and scalability
+    /// demands"). Their nodes stay active and monitored — they are the
+    /// persistently light columns of the heatmaps — but the scheduler
+    /// never offers them.
+    reserved_bbs: HashSet<BbId>,
+}
+
+impl Cloud {
+    /// Wrap a topology into an empty cloud.
+    pub fn new(topo: Topology) -> Self {
+        let node_virtual_cap: Vec<Resources> = topo
+            .nodes()
+            .iter()
+            .map(|n| topo.node_virtual_capacity(n.id))
+            .collect();
+        let bb_virtual_cap: Vec<Resources> = topo
+            .bbs()
+            .iter()
+            .map(|bb| bb.total_virtual_capacity())
+            .collect();
+        let n = topo.nodes().len();
+        let b = topo.bbs().len();
+        Cloud {
+            topo,
+            node_virtual_cap,
+            node_alloc: vec![Resources::ZERO; n],
+            node_vms: vec![Vec::new(); n],
+            node_contention: vec![0.0; n],
+            node_departure_sum_ms: vec![0.0; n],
+            bb_virtual_cap,
+            bb_alloc: vec![Resources::ZERO; b],
+            vms: HashMap::new(),
+            reserved_bbs: HashSet::new(),
+        }
+    }
+
+    /// Mark a building block as capacity reserve: it stays in telemetry
+    /// but is never offered to the placement pipeline.
+    pub fn set_bb_reserved(&mut self, bb: BbId, reserved: bool) {
+        if reserved {
+            self.reserved_bbs.insert(bb);
+        } else {
+            self.reserved_bbs.remove(&bb);
+        }
+    }
+
+    /// Whether a building block is held in reserve.
+    pub fn is_bb_reserved(&self, bb: BbId) -> bool {
+        self.reserved_bbs.contains(&bb)
+    }
+
+    /// Change a node's operational state (maintenance transitions).
+    pub fn set_node_state(&mut self, node: NodeId, state: NodeState) {
+        self.topo.node_mut(node).state = state;
+    }
+
+    /// Evacuate every VM off `node` to other nodes of the same building
+    /// block (live-migration before maintenance). Returns
+    /// `Ok(migrations)` when the node is empty afterwards, or
+    /// `Err(stuck_vm)` naming the first VM that could not be moved —
+    /// pinned, or no sibling has room — in which case some VMs may
+    /// already have moved (like a real half-completed evacuation).
+    pub fn evacuate_node(&mut self, node: NodeId) -> Result<u64, VmId> {
+        let bb = self.topo.node(node).bb;
+        let residents: Vec<VmId> = self.node_vms[node.index()].clone();
+        let mut moved = 0u64;
+        for vm_id in residents {
+            let vm = self.vms.get(&vm_id).expect("resident");
+            if !vm.movable {
+                return Err(vm_id);
+            }
+            let resources = vm.resources;
+            let Some(target) = self.choose_node_within_bb(bb, &resources) else {
+                return Err(vm_id);
+            };
+            if !self.migrate(vm_id, target) {
+                return Err(vm_id);
+            }
+            moved += 1;
+        }
+        Ok(moved)
+    }
+
+    /// The underlying topology.
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// Number of currently placed VMs.
+    pub fn vm_count(&self) -> usize {
+        self.vms.len()
+    }
+
+    /// Access a placed VM.
+    pub fn vm(&self, id: VmId) -> Option<&PlacedVm> {
+        self.vms.get(&id)
+    }
+
+    /// Mutable access to a placed VM (the driver updates demand state
+    /// during scrapes).
+    pub fn vm_mut(&mut self, id: VmId) -> Option<&mut PlacedVm> {
+        self.vms.get_mut(&id)
+    }
+
+    /// Ids of VMs resident on a node.
+    pub fn vms_on_node(&self, node: NodeId) -> &[VmId] {
+        &self.node_vms[node.index()]
+    }
+
+    /// Requested resources allocated on a node.
+    pub fn node_allocated(&self, node: NodeId) -> Resources {
+        self.node_alloc[node.index()]
+    }
+
+    /// Schedulable capacity of a node.
+    pub fn node_capacity(&self, node: NodeId) -> Resources {
+        self.node_virtual_cap[node.index()]
+    }
+
+    /// Requested resources allocated on a building block.
+    pub fn bb_allocated(&self, bb: BbId) -> Resources {
+        self.bb_alloc[bb.index()]
+    }
+
+    /// Update the cached contention hint for a node (called by the driver
+    /// after each scrape).
+    pub fn set_node_contention(&mut self, node: NodeId, pct: f64) {
+        self.node_contention[node.index()] = pct;
+    }
+
+    /// Most recent contention of a node (percent).
+    pub fn node_contention(&self, node: NodeId) -> f64 {
+        self.node_contention[node.index()]
+    }
+
+    /// Mean remaining lifetime (days) of the VMs on `node` at `now`.
+    pub fn node_mean_remaining_lifetime_days(&self, node: NodeId, now: SimTime) -> f64 {
+        let count = self.node_vms[node.index()].len();
+        if count == 0 {
+            return 0.0;
+        }
+        let mean_departure_ms = self.node_departure_sum_ms[node.index()] / count as f64;
+        ((mean_departure_ms - now.as_millis() as f64) / MILLIS_PER_DAY as f64).max(0.0)
+    }
+
+    /// Build the candidate views for the initial-placement scheduler at
+    /// the requested granularity. Views are ordered by arena index, so
+    /// returned candidate indices map directly to `BbId`/`NodeId` raws.
+    pub fn host_views(&self, granularity: PlacementGranularity, now: SimTime) -> Vec<HostView> {
+        match granularity {
+            PlacementGranularity::BuildingBlock => self
+                .topo
+                .bbs()
+                .iter()
+                .map(|bb| {
+                    let nodes = &bb.nodes;
+                    let (mut cont_sum, mut life_sum, mut life_n) = (0.0, 0.0, 0usize);
+                    let mut enabled = false;
+                    for &n in nodes {
+                        cont_sum += self.node_contention[n.index()];
+                        let c = self.node_vms[n.index()].len();
+                        if c > 0 {
+                            life_sum += self.node_departure_sum_ms[n.index()];
+                            life_n += c;
+                        }
+                        enabled |= self.topo.node(n).state == NodeState::Active;
+                    }
+                    let enabled = enabled && !self.reserved_bbs.contains(&bb.id);
+                    let mean_life_days = if life_n > 0 {
+                        ((life_sum / life_n as f64 - now.as_millis() as f64)
+                            / MILLIS_PER_DAY as f64)
+                            .max(0.0)
+                    } else {
+                        0.0
+                    };
+                    HostView {
+                        bb: bb.id,
+                        node: None,
+                        purpose: bb.purpose,
+                        az: self.topo.bb_az(bb.id),
+                        capacity: self.bb_virtual_cap[bb.id.index()],
+                        allocated: self.bb_alloc[bb.id.index()],
+                        enabled,
+                        contention_pct: cont_sum / nodes.len().max(1) as f64,
+                        mean_remaining_lifetime_days: mean_life_days,
+                    }
+                })
+                .collect(),
+            PlacementGranularity::Node => self
+                .topo
+                .nodes()
+                .iter()
+                .map(|n| {
+                    let bb = self.topo.bb(n.bb);
+                    HostView {
+                        bb: bb.id,
+                        node: Some(n.id),
+                        purpose: bb.purpose,
+                        az: self.topo.bb_az(bb.id),
+                        capacity: self.node_virtual_cap[n.id.index()],
+                        allocated: self.node_alloc[n.id.index()],
+                        enabled: n.state == NodeState::Active
+                            && !self.reserved_bbs.contains(&bb.id),
+                        contention_pct: self.node_contention[n.id.index()],
+                        mean_remaining_lifetime_days: self
+                            .node_mean_remaining_lifetime_days(n.id, now),
+                    }
+                })
+                .collect(),
+        }
+    }
+
+    /// Pick a node for `resources` inside `bb` the way VMware's initial
+    /// placement does: the active node with the lowest CPU allocation
+    /// ratio that fits. Returns `None` when the block is fragmented
+    /// (aggregate room but no single node fits) or full.
+    pub fn choose_node_within_bb(&self, bb: BbId, resources: &Resources) -> Option<NodeId> {
+        let mut best: Option<(NodeId, f64)> = None;
+        for &nid in &self.topo.bb(bb).nodes {
+            if self.topo.node(nid).state != NodeState::Active {
+                continue;
+            }
+            let free = self.node_virtual_cap[nid.index()]
+                .saturating_sub(&self.node_alloc[nid.index()]);
+            if !free.fits(resources) {
+                continue;
+            }
+            let cap = self.node_virtual_cap[nid.index()];
+            let ratio = if cap.cpu_cores > 0 {
+                self.node_alloc[nid.index()].cpu_cores as f64 / cap.cpu_cores as f64
+            } else {
+                0.0
+            };
+            if best.is_none_or(|(_, r)| ratio < r) {
+                best = Some((nid, ratio));
+            }
+        }
+        best.map(|(n, _)| n)
+    }
+
+    /// Commit a VM onto a node. The caller must have verified fit (the
+    /// scheduler's filters / `choose_node_within_bb` do); this method
+    /// enforces it again and panics on violation, because silently
+    /// overcommitting *requested* resources would corrupt every
+    /// downstream measurement.
+    pub fn place(&mut self, spec_index: usize, spec: &VmSpec, node: NodeId, rng: SimRng) {
+        let free =
+            self.node_virtual_cap[node.index()].saturating_sub(&self.node_alloc[node.index()]);
+        assert!(
+            free.fits(&spec.resources),
+            "placement on {node} violates capacity: free={free}, request={}",
+            spec.resources
+        );
+        let departure = spec.departure();
+        self.node_alloc[node.index()] += spec.resources;
+        self.node_vms[node.index()].push(spec.id);
+        self.node_departure_sum_ms[node.index()] += departure.as_millis() as f64;
+        let bb = self.topo.node(node).bb;
+        self.bb_alloc[bb.index()] += spec.resources;
+        self.vms.insert(
+            spec.id,
+            PlacedVm {
+                spec_index,
+                id: spec.id,
+                node,
+                resources: spec.resources,
+                usage_state: UsageState::new(),
+                rng,
+                last_cpu_demand_cores: 0.0,
+                last_mem_used_mib: 0.0,
+                departure,
+                movable: spec.class != WorkloadClass::Hana,
+            },
+        );
+    }
+
+    /// Remove a VM (deletion at end of lifetime). Returns its final state,
+    /// or `None` if the id is unknown (e.g. the VM was never placed).
+    pub fn remove(&mut self, id: VmId) -> Option<PlacedVm> {
+        let vm = self.vms.remove(&id)?;
+        let node = vm.node;
+        self.node_alloc[node.index()] -= vm.resources;
+        self.node_vms[node.index()].retain(|&v| v != id);
+        self.node_departure_sum_ms[node.index()] -= vm.departure.as_millis() as f64;
+        let bb = self.topo.node(node).bb;
+        self.bb_alloc[bb.index()] -= vm.resources;
+        Some(vm)
+    }
+
+    /// Migrate a VM to another node. Fails (returns `false`, state
+    /// unchanged) if the destination lacks room for the VM's *requested*
+    /// resources.
+    pub fn migrate(&mut self, id: VmId, to: NodeId) -> bool {
+        let Some(vm) = self.vms.get(&id) else {
+            return false;
+        };
+        let from = vm.node;
+        if from == to {
+            return false;
+        }
+        let resources = vm.resources;
+        let free = self.node_virtual_cap[to.index()].saturating_sub(&self.node_alloc[to.index()]);
+        if !free.fits(&resources) {
+            return false;
+        }
+        let departure_ms = vm.departure.as_millis() as f64;
+        self.node_alloc[from.index()] -= resources;
+        self.node_vms[from.index()].retain(|&v| v != id);
+        self.node_departure_sum_ms[from.index()] -= departure_ms;
+        let from_bb = self.topo.node(from).bb;
+        self.bb_alloc[from_bb.index()] -= resources;
+
+        self.node_alloc[to.index()] += resources;
+        self.node_vms[to.index()].push(id);
+        self.node_departure_sum_ms[to.index()] += departure_ms;
+        let to_bb = self.topo.node(to).bb;
+        self.bb_alloc[to_bb.index()] += resources;
+
+        self.vms.get_mut(&id).expect("checked above").node = to;
+        true
+    }
+
+    /// Resize a VM in place: swap its requested resources for `new` on its
+    /// current node. Fails (state unchanged) if the node cannot hold the
+    /// new size; the caller then falls back to resize-with-migration via
+    /// the placement pipeline, like Nova's resize re-schedule.
+    pub fn resize_in_place(&mut self, id: VmId, new: Resources) -> bool {
+        let Some(vm) = self.vms.get(&id) else {
+            return false;
+        };
+        let node = vm.node;
+        let old = vm.resources;
+        let after = self.node_alloc[node.index()].saturating_sub(&old) + new;
+        if !self.node_virtual_cap[node.index()].fits(&after) {
+            return false;
+        }
+        self.node_alloc[node.index()] = after;
+        let bb = self.topo.node(node).bb;
+        self.bb_alloc[bb.index()] = self.bb_alloc[bb.index()].saturating_sub(&old) + new;
+        self.vms.get_mut(&id).expect("checked above").resources = new;
+        true
+    }
+
+    /// Resize-with-migration: move the VM to `to` with its *new* size in
+    /// one atomic step (Nova's resize re-schedule). Fails unchanged if the
+    /// destination cannot hold the new size.
+    pub fn resize_to_node(&mut self, id: VmId, new: Resources, to: NodeId) -> bool {
+        let Some(vm) = self.vms.get(&id) else {
+            return false;
+        };
+        let from = vm.node;
+        let old = vm.resources;
+        if from == to {
+            return self.resize_in_place(id, new);
+        }
+        let free = self.node_virtual_cap[to.index()].saturating_sub(&self.node_alloc[to.index()]);
+        if !free.fits(&new) {
+            return false;
+        }
+        let departure_ms = vm.departure.as_millis() as f64;
+        self.node_alloc[from.index()] -= old;
+        self.node_vms[from.index()].retain(|&v| v != id);
+        self.node_departure_sum_ms[from.index()] -= departure_ms;
+        let from_bb = self.topo.node(from).bb;
+        self.bb_alloc[from_bb.index()] -= old;
+
+        self.node_alloc[to.index()] += new;
+        self.node_vms[to.index()].push(id);
+        self.node_departure_sum_ms[to.index()] += departure_ms;
+        let to_bb = self.topo.node(to).bb;
+        self.bb_alloc[to_bb.index()] += new;
+
+        let vm = self.vms.get_mut(&id).expect("checked above");
+        vm.node = to;
+        vm.resources = new;
+        true
+    }
+
+    /// Estimate the used disk on a node right now: resident VMs' fill
+    /// fraction of their allocated disk.
+    pub fn node_disk_used_gib(&self, node: NodeId, now: SimTime, specs: &[VmSpec]) -> f64 {
+        self.node_vms[node.index()]
+            .iter()
+            .map(|vmid| {
+                let vm = &self.vms[vmid];
+                let spec = &specs[vm.spec_index];
+                let age_days = spec.age_at(now).as_days_f64();
+                hypervisor::vm_disk_fill_fraction(age_days) * spec.resources.disk_gib as f64
+            })
+            .sum()
+    }
+
+    /// Cross-check every accounting invariant; used by tests and debug
+    /// assertions. Expensive — O(VMs).
+    pub fn verify_accounting(&self, specs: &[VmSpec]) -> Result<(), String> {
+        let mut node_sum = vec![Resources::ZERO; self.topo.nodes().len()];
+        let mut bb_sum = vec![Resources::ZERO; self.topo.bbs().len()];
+        for vm in self.vms.values() {
+            debug_assert!(vm.spec_index < specs.len());
+            node_sum[vm.node.index()] += vm.resources;
+            bb_sum[self.topo.node(vm.node).bb.index()] += vm.resources;
+            if !self.node_vms[vm.node.index()].contains(&vm.id) {
+                return Err(format!("{} missing from residency list of {}", vm.id, vm.node));
+            }
+        }
+        for (i, expect) in node_sum.iter().enumerate() {
+            if self.node_alloc[i] != *expect {
+                return Err(format!(
+                    "node {i} allocation drift: tracked={}, actual={expect}",
+                    self.node_alloc[i]
+                ));
+            }
+            if !self.node_virtual_cap[i].fits(expect) {
+                return Err(format!("node {i} over-allocated: {expect}"));
+            }
+        }
+        for (i, expect) in bb_sum.iter().enumerate() {
+            if self.bb_alloc[i] != *expect {
+                return Err(format!(
+                    "bb {i} allocation drift: tracked={}, actual={expect}",
+                    self.bb_alloc[i]
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sapsim_sim::SimDuration;
+    use sapsim_topology::{BbPurpose, HardwareProfile, OvercommitPolicy};
+    use sapsim_workload::{Archetype, UsageModel};
+
+    fn tiny_cloud() -> (Cloud, Vec<VmSpec>) {
+        let mut topo = Topology::new();
+        let r = topo.add_region("r");
+        let az = topo.add_az(r, "az-a");
+        let dc = topo.add_dc(az, "A");
+        topo.add_bb(
+            dc,
+            "a-bb0",
+            BbPurpose::GeneralPurpose,
+            HardwareProfile::general_purpose(),
+            OvercommitPolicy::general_purpose(),
+            3,
+        );
+        (Cloud::new(topo), Vec::new())
+    }
+
+    fn spec(id: u64, cpu: u32, mem_gib: u64, lifetime_days: u64) -> VmSpec {
+        let mut rng = SimRng::seed_from(id);
+        VmSpec {
+            id: VmId(id),
+            flavor_index: 0,
+            flavor_name: "t".into(),
+            resources: Resources::with_memory_gib(cpu, mem_gib, 10),
+            archetype: Archetype::GenericService,
+            class: WorkloadClass::GeneralPurpose,
+            usage: UsageModel::draw(Archetype::GenericService, &mut rng),
+            arrival: SimTime::ZERO,
+            age_at_arrival: SimDuration::ZERO,
+            lifetime: SimDuration::from_days(lifetime_days),
+            resize: None,
+        }
+    }
+
+    #[test]
+    fn place_updates_all_accounting() {
+        let (mut cloud, mut specs) = tiny_cloud();
+        let s = spec(0, 4, 32, 10);
+        let node = cloud.topology().bbs()[0].nodes[0];
+        specs.push(s.clone());
+        cloud.place(0, &s, node, SimRng::seed_from(1));
+        assert_eq!(cloud.vm_count(), 1);
+        assert_eq!(cloud.node_allocated(node).cpu_cores, 4);
+        assert_eq!(cloud.bb_allocated(BbId::from_raw(0)).cpu_cores, 4);
+        assert_eq!(cloud.vms_on_node(node), &[VmId(0)]);
+        cloud.verify_accounting(&specs).unwrap();
+    }
+
+    #[test]
+    fn remove_releases_everything() {
+        let (mut cloud, mut specs) = tiny_cloud();
+        let s = spec(0, 4, 32, 10);
+        let node = cloud.topology().bbs()[0].nodes[0];
+        specs.push(s.clone());
+        cloud.place(0, &s, node, SimRng::seed_from(1));
+        let vm = cloud.remove(VmId(0)).unwrap();
+        assert_eq!(vm.node, node);
+        assert_eq!(cloud.vm_count(), 0);
+        assert!(cloud.node_allocated(node).is_zero());
+        assert!(cloud.bb_allocated(BbId::from_raw(0)).is_zero());
+        cloud.verify_accounting(&specs).unwrap();
+        assert!(cloud.remove(VmId(0)).is_none());
+    }
+
+    #[test]
+    fn migrate_moves_allocation() {
+        let (mut cloud, mut specs) = tiny_cloud();
+        let s = spec(0, 4, 32, 10);
+        let from = cloud.topology().bbs()[0].nodes[0];
+        let to = cloud.topology().bbs()[0].nodes[1];
+        specs.push(s.clone());
+        cloud.place(0, &s, from, SimRng::seed_from(1));
+        assert!(cloud.migrate(VmId(0), to));
+        assert!(cloud.node_allocated(from).is_zero());
+        assert_eq!(cloud.node_allocated(to).cpu_cores, 4);
+        assert_eq!(cloud.vm(VmId(0)).unwrap().node, to);
+        cloud.verify_accounting(&specs).unwrap();
+        // Self-migration and unknown ids are no-ops.
+        assert!(!cloud.migrate(VmId(0), to));
+        assert!(!cloud.migrate(VmId(9), from));
+    }
+
+    #[test]
+    fn migrate_rejects_full_destination() {
+        let (mut cloud, mut specs) = tiny_cloud();
+        // Fill node 1's memory entirely (768 GiB, no overcommit on memory).
+        let filler = spec(1, 1, 768, 10);
+        let n0 = cloud.topology().bbs()[0].nodes[0];
+        let n1 = cloud.topology().bbs()[0].nodes[1];
+        specs.push(spec(0, 4, 32, 10));
+        specs.push(filler.clone());
+        cloud.place(1, &filler, n1, SimRng::seed_from(2));
+        cloud.place(0, &specs[0], n0, SimRng::seed_from(1));
+        assert!(!cloud.migrate(VmId(0), n1));
+        assert_eq!(cloud.vm(VmId(0)).unwrap().node, n0);
+        cloud.verify_accounting(&specs).unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "violates capacity")]
+    fn overcommitting_requested_resources_panics() {
+        let (mut cloud, _) = tiny_cloud();
+        let huge = spec(0, 10_000, 32, 10);
+        let node = cloud.topology().bbs()[0].nodes[0];
+        cloud.place(0, &huge, node, SimRng::seed_from(1));
+    }
+
+    #[test]
+    fn choose_node_prefers_least_loaded() {
+        let (mut cloud, _) = tiny_cloud();
+        let bb = BbId::from_raw(0);
+        let s0 = spec(0, 100, 32, 10);
+        let n = cloud.choose_node_within_bb(bb, &s0.resources).unwrap();
+        cloud.place(0, &s0, n, SimRng::seed_from(1));
+        // Next choice avoids the loaded node.
+        let n2 = cloud
+            .choose_node_within_bb(bb, &Resources::with_memory_gib(4, 8, 1))
+            .unwrap();
+        assert_ne!(n, n2);
+    }
+
+    #[test]
+    fn choose_node_detects_fragmentation() {
+        let (mut cloud, _) = tiny_cloud();
+        let bb = BbId::from_raw(0);
+        // Fill each node's memory to 700 GiB of 768: aggregate free memory
+        // is 3×68 GiB = 204 GiB, but no node can host a 100 GiB VM.
+        for (i, &node) in cloud.topology().bbs()[0].nodes.clone().iter().enumerate() {
+            let filler = spec(i as u64, 1, 700, 10);
+            cloud.place(i, &filler, node, SimRng::seed_from(i as u64));
+        }
+        let req = Resources::with_memory_gib(1, 100, 1);
+        assert_eq!(cloud.choose_node_within_bb(bb, &req), None);
+    }
+
+    #[test]
+    fn maintenance_nodes_are_skipped() {
+        let (mut cloud, _) = tiny_cloud();
+        let bb = BbId::from_raw(0);
+        let nodes = cloud.topology().bbs()[0].nodes.clone();
+        // Mark all but one node as in maintenance.
+        for &n in &nodes[..2] {
+            // Cloud doesn't expose node_mut; mutate through the topology
+            // accessor used by the driver for maintenance events.
+            cloud.topo.node_mut(n).state = NodeState::Maintenance;
+        }
+        let chosen = cloud
+            .choose_node_within_bb(bb, &Resources::with_memory_gib(1, 1, 1))
+            .unwrap();
+        assert_eq!(chosen, nodes[2]);
+    }
+
+    #[test]
+    fn bb_views_aggregate_cluster_state() {
+        let (mut cloud, _) = tiny_cloud();
+        let s = spec(0, 4, 32, 20);
+        let node = cloud.topology().bbs()[0].nodes[0];
+        cloud.place(0, &s, node, SimRng::seed_from(1));
+        cloud.set_node_contention(node, 30.0);
+        let views = cloud.host_views(PlacementGranularity::BuildingBlock, SimTime::ZERO);
+        assert_eq!(views.len(), 1);
+        let v = &views[0];
+        assert_eq!(v.node, None);
+        assert_eq!(v.allocated.cpu_cores, 4);
+        assert_eq!(v.capacity.cpu_cores, 192 * 3);
+        assert!((v.contention_pct - 10.0).abs() < 1e-9, "mean of 30,0,0");
+        assert!((v.mean_remaining_lifetime_days - 20.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn node_views_expose_individual_nodes() {
+        let (cloud, _) = tiny_cloud();
+        let views = cloud.host_views(PlacementGranularity::Node, SimTime::ZERO);
+        assert_eq!(views.len(), 3);
+        assert!(views.iter().all(|v| v.node.is_some()));
+        assert!(views.iter().all(|v| v.capacity.cpu_cores == 192));
+    }
+
+    #[test]
+    fn mean_remaining_lifetime_decays_with_time() {
+        let (mut cloud, _) = tiny_cloud();
+        let s = spec(0, 4, 32, 20);
+        let node = cloud.topology().bbs()[0].nodes[0];
+        cloud.place(0, &s, node, SimRng::seed_from(1));
+        let at0 = cloud.node_mean_remaining_lifetime_days(node, SimTime::ZERO);
+        let at10 = cloud.node_mean_remaining_lifetime_days(node, SimTime::from_days(10));
+        assert!((at0 - 20.0).abs() < 0.01);
+        assert!((at10 - 10.0).abs() < 0.01);
+        assert_eq!(
+            cloud.node_mean_remaining_lifetime_days(cloud.topology().bbs()[0].nodes[1], SimTime::ZERO),
+            0.0
+        );
+    }
+
+    #[test]
+    fn disk_usage_tracks_vm_ages() {
+        let (mut cloud, mut specs) = tiny_cloud();
+        let s = spec(0, 4, 32, 400);
+        let node = cloud.topology().bbs()[0].nodes[0];
+        specs.push(s.clone());
+        cloud.place(0, &s, node, SimRng::seed_from(1));
+        let early = cloud.node_disk_used_gib(node, SimTime::ZERO, &specs);
+        let late = cloud.node_disk_used_gib(node, SimTime::from_days(300), &specs);
+        assert!(late > early);
+        assert!(early >= 0.20 * 10.0 - 1e-9);
+    }
+
+    #[test]
+    fn resize_in_place_updates_accounting() {
+        let (mut cloud, mut specs) = tiny_cloud();
+        let s = spec(0, 4, 32, 10);
+        let node = cloud.topology().bbs()[0].nodes[0];
+        specs.push(s.clone());
+        cloud.place(0, &s, node, SimRng::seed_from(1));
+        let new = Resources::with_memory_gib(8, 64, 10);
+        assert!(cloud.resize_in_place(VmId(0), new));
+        assert_eq!(cloud.node_allocated(node).cpu_cores, 8);
+        assert_eq!(cloud.bb_allocated(BbId::from_raw(0)).memory_mib, 64 * 1024);
+        assert_eq!(cloud.vm(VmId(0)).unwrap().resources, new);
+        cloud.verify_accounting(&specs).unwrap();
+    }
+
+    #[test]
+    fn resize_in_place_fails_without_room() {
+        let (mut cloud, mut specs) = tiny_cloud();
+        // Fill the node's memory to 700 of 768 GiB, then try to grow a
+        // 32 GiB VM to 100 GiB.
+        let filler = spec(1, 1, 668, 10);
+        let s = spec(0, 4, 32, 10);
+        let node = cloud.topology().bbs()[0].nodes[0];
+        specs.push(s.clone());
+        specs.push(filler.clone());
+        cloud.place(1, &filler, node, SimRng::seed_from(2));
+        cloud.place(0, &s, node, SimRng::seed_from(1));
+        let new = Resources::with_memory_gib(4, 101, 10);
+        assert!(!cloud.resize_in_place(VmId(0), new));
+        assert_eq!(
+            cloud.vm(VmId(0)).unwrap().resources,
+            s.resources,
+            "failed resize leaves state unchanged"
+        );
+        cloud.verify_accounting(&specs).unwrap();
+    }
+
+    #[test]
+    fn shrinking_resize_always_succeeds() {
+        let (mut cloud, mut specs) = tiny_cloud();
+        let s = spec(0, 8, 64, 10);
+        let node = cloud.topology().bbs()[0].nodes[0];
+        specs.push(s.clone());
+        cloud.place(0, &s, node, SimRng::seed_from(1));
+        assert!(cloud.resize_in_place(VmId(0), Resources::with_memory_gib(2, 16, 10)));
+        assert_eq!(cloud.node_allocated(node).cpu_cores, 2);
+        cloud.verify_accounting(&specs).unwrap();
+    }
+}

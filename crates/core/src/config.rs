@@ -1,0 +1,239 @@
+//! Simulation configuration.
+
+use sapsim_scheduler::{DrsConfig, PolicyKind};
+use sapsim_sim::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// At which granularity the initial-placement scheduler sees candidates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PlacementGranularity {
+    /// The production architecture: Nova places onto building blocks
+    /// (vSphere clusters); node assignment is a second, independent step.
+    /// "This abstraction can lead to fragmentation and imbalanced resource
+    /// distribution situations within a vSphere cluster" (paper
+    /// Section 3.1).
+    BuildingBlock,
+    /// The holistic extension (paper Section 7): one scheduler assigns VMs
+    /// directly to individual hypervisors.
+    Node,
+}
+
+/// Full configuration of one simulation run. A run is a pure function of
+/// this value — two runs with equal configs produce identical results.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// Root RNG seed.
+    pub seed: u64,
+    /// Observation window in days (the paper's is 30).
+    pub days: u64,
+    /// Workload and topology scale (1.0 = the full 1,823-node /
+    /// ~45k-VM region; 0.1 = a laptop-friendly tenth).
+    pub scale: f64,
+    /// Initial-placement policy.
+    pub policy: PolicyKind,
+    /// Candidate granularity for initial placement.
+    pub granularity: PlacementGranularity,
+    /// Whether the DRS-style intra-BB rebalancer runs.
+    pub drs_enabled: bool,
+    /// DRS tuning.
+    pub drs: DrsConfig,
+    /// How often DRS evaluates each building block.
+    pub drs_interval: SimDuration,
+    /// Whether the cross-BB rebalancer runs (off in the paper's production
+    /// setup — enabling it is ablation A3).
+    pub cross_bb_enabled: bool,
+    /// How often the cross-BB rebalancer evaluates each data center.
+    pub cross_bb_interval: SimDuration,
+    /// Telemetry scrape interval for vROps-style metrics (paper: 300 s).
+    pub scrape_interval: SimDuration,
+    /// Telemetry interval for the Nova-DB gauges (paper: 30 s). Kept
+    /// separate because the dataset's two exporters sample differently.
+    pub os_gauge_interval: SimDuration,
+    /// Record full-resolution (raw) host contention and ready-time series
+    /// in addition to daily rollups. Needed by the Figure 8/9 analyses;
+    /// costs memory proportional to nodes × samples.
+    pub record_raw_host_series: bool,
+    /// CPU overcommit ratio applied to general-purpose building blocks
+    /// (the A2 ablation sweeps this).
+    pub gp_cpu_overcommit: f64,
+    /// Generate churn (creations/deletions) in addition to the initial
+    /// population.
+    pub churn: bool,
+    /// Fraction of general-purpose building blocks held back as failover
+    /// and expansion reserve (paper Section 5.1 explains the widespread
+    /// idle capacity this produces in the heatmaps).
+    pub reserve_bb_fraction: f64,
+    /// Probability that a general-purpose VM carries one mid-life resize
+    /// (paper Section 4 lists resize among the recorded events).
+    pub resize_probability: f64,
+    /// Expected number of planned-maintenance windows per node per 30
+    /// days. Nodes under maintenance are evacuated and stop reporting
+    /// telemetry — the white cells of the paper's heatmaps ("compute
+    /// hosts might have ... experienced operational changes e.g., planned
+    /// maintenance", Section 5).
+    pub maintenance_rate_per_month: f64,
+    /// Length of one maintenance window.
+    pub maintenance_duration: SimDuration,
+    /// Pre-observation warm-up in days: the initial population ramps in
+    /// over this span with telemetry running, so placement policies that
+    /// consume utilization history (contention-aware, lifetime-aware)
+    /// have signal by the time the observation window starts. Must be a
+    /// multiple of 7 so the weekday calendar of the observation window
+    /// stays anchored on the paper's Wednesday epoch. Telemetry and VM
+    /// statistics cover only the observation window.
+    pub warmup_days: u64,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            seed: 0,
+            days: 30,
+            scale: 0.1,
+            policy: PolicyKind::PaperDefault,
+            granularity: PlacementGranularity::BuildingBlock,
+            drs_enabled: true,
+            drs: DrsConfig::default(),
+            drs_interval: SimDuration::from_mins(15),
+            cross_bb_enabled: false,
+            cross_bb_interval: SimDuration::from_hours(6),
+            scrape_interval: SimDuration::from_secs(300),
+            os_gauge_interval: SimDuration::from_secs(30),
+            record_raw_host_series: true,
+            gp_cpu_overcommit: 4.0,
+            churn: true,
+            reserve_bb_fraction: 0.08,
+            resize_probability: 0.02,
+            maintenance_rate_per_month: 0.10,
+            maintenance_duration: SimDuration::from_hours(18),
+            warmup_days: 7,
+        }
+    }
+}
+
+impl SimConfig {
+    /// A small, fast configuration for tests: 2 % scale, 3 days, no
+    /// warm-up.
+    pub fn smoke_test() -> Self {
+        SimConfig {
+            scale: 0.02,
+            days: 3,
+            warmup_days: 0,
+            ..SimConfig::default()
+        }
+    }
+
+    /// The paper's full-scale study configuration: 100 % scale, 30 days,
+    /// production policy, DRS on, no cross-BB rebalancing.
+    pub fn paper_full() -> Self {
+        SimConfig {
+            scale: 1.0,
+            ..SimConfig::default()
+        }
+    }
+
+    /// Validate invariants; called by the driver before running.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.days == 0 {
+            return Err("days must be at least 1".into());
+        }
+        if !(self.scale > 0.0 && self.scale <= 1.0) {
+            return Err(format!("scale must be in (0, 1], got {}", self.scale));
+        }
+        if self.scrape_interval.is_zero() || self.os_gauge_interval.is_zero() {
+            return Err("scrape intervals must be positive".into());
+        }
+        if self.gp_cpu_overcommit <= 0.0 {
+            return Err("gp_cpu_overcommit must be positive".into());
+        }
+        if self.drs_enabled && self.drs_interval.is_zero() {
+            return Err("drs_interval must be positive when DRS is enabled".into());
+        }
+        if !(0.0..=1.0).contains(&self.resize_probability) {
+            return Err(format!(
+                "resize_probability must be in [0, 1], got {}",
+                self.resize_probability
+            ));
+        }
+        if self.maintenance_rate_per_month < 0.0 {
+            return Err("maintenance_rate_per_month must be non-negative".into());
+        }
+        if !self.warmup_days.is_multiple_of(7) {
+            return Err(format!(
+                "warmup_days must be a multiple of 7 to keep the weekday \
+                 calendar anchored, got {}",
+                self.warmup_days
+            ));
+        }
+        if !(0.0..0.9).contains(&self.reserve_bb_fraction) {
+            return Err(format!(
+                "reserve_bb_fraction must be in [0, 0.9), got {}",
+                self.reserve_bb_fraction
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper_sampling() {
+        let c = SimConfig::default();
+        assert_eq!(c.days, 30);
+        assert_eq!(c.scrape_interval.as_secs(), 300);
+        assert_eq!(c.os_gauge_interval.as_secs(), 30);
+        assert!(c.drs_enabled);
+        assert!(!c.cross_bb_enabled, "production has no cross-BB rebalancer");
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn paper_full_is_full_scale() {
+        let c = SimConfig::paper_full();
+        assert_eq!(c.scale, 1.0);
+        assert_eq!(c.policy, PolicyKind::PaperDefault);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn validation_rejects_nonsense() {
+        let broken = [
+            SimConfig { days: 0, ..SimConfig::default() },
+            SimConfig { scale: 0.0, ..SimConfig::default() },
+            SimConfig { scale: 1.5, ..SimConfig::default() },
+            SimConfig { scrape_interval: SimDuration::ZERO, ..SimConfig::default() },
+            SimConfig { gp_cpu_overcommit: 0.0, ..SimConfig::default() },
+            SimConfig { reserve_bb_fraction: 0.95, ..SimConfig::default() },
+            SimConfig { resize_probability: 1.5, ..SimConfig::default() },
+            SimConfig { maintenance_rate_per_month: -1.0, ..SimConfig::default() },
+        ];
+        for (i, c) in broken.iter().enumerate() {
+            assert!(c.validate().is_err(), "config {i} should be rejected");
+        }
+    }
+
+    #[test]
+    fn warmup_must_align_to_weeks() {
+        let bad = SimConfig {
+            warmup_days: 3,
+            ..SimConfig::default()
+        };
+        assert!(bad.validate().is_err());
+        let ok = SimConfig {
+            warmup_days: 14,
+            ..SimConfig::default()
+        };
+        assert!(ok.validate().is_ok());
+    }
+
+    #[test]
+    fn smoke_test_config_is_tiny() {
+        let c = SimConfig::smoke_test();
+        assert!(c.scale <= 0.05);
+        assert!(c.days <= 5);
+        assert!(c.validate().is_ok());
+    }
+}

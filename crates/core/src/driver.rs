@@ -1,0 +1,927 @@
+//! The simulation driver: builds the world, runs the event loop, records
+//! telemetry, and produces a [`RunResult`].
+
+use crate::cloud::{Cloud, PlacementOutcome};
+use crate::config::{PlacementGranularity, SimConfig};
+use crate::hypervisor::{self, NodeDemand};
+use crate::result::{DriverStats, RunResult, VmUsageSummary};
+use sapsim_scheduler::{
+    HostLoad, PlacementPolicy, PlacementRequest, Rebalancer, VmLoad,
+};
+use sapsim_sim::{SimRng, SimTime, Simulation};
+use sapsim_telemetry::{EntityRef, MetricId, RunningStat, TsdbStore};
+use sapsim_topology::{
+    paper_region_custom, BbId, BbPurpose, DcId, NodeId, PresetScale, TopologyBuilder,
+};
+use sapsim_workload::{
+    paper_flavor_catalog, GeneratorConfig, VmId, VmSpec, WorkloadClass, WorkloadGenerator,
+};
+use rand::Rng;
+
+/// Events of the cloud simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Event {
+    /// A VM (by spec index) arrives and must be placed.
+    VmArrival(usize),
+    /// A VM reaches the end of its lifetime.
+    VmDeparture(VmId),
+    /// A VM's planned flavor change (paper Section 4 lists resize among
+    /// the recorded scheduling-relevant events).
+    VmResize(VmId),
+    /// Periodic vROps-style telemetry scrape (drives the demand models).
+    Scrape,
+    /// Periodic Nova-DB gauge recording.
+    OsGauge,
+    /// DRS evaluation round over every building block.
+    DrsRound,
+    /// Cross-BB rebalancing round over every data center.
+    CrossBbRound,
+    /// A node enters planned maintenance (evacuate + silence telemetry).
+    MaintenanceStart(NodeId),
+    /// A node leaves maintenance.
+    MaintenanceEnd(NodeId),
+}
+
+/// Runs one complete simulation from a [`SimConfig`].
+///
+/// ```
+/// use sapsim_core::{SimConfig, SimDriver};
+///
+/// let mut config = SimConfig::smoke_test();
+/// config.days = 1;
+/// let result = SimDriver::new(config).expect("valid config").run();
+/// assert!(result.stats.placed > 0);
+/// ```
+#[derive(Debug)]
+pub struct SimDriver {
+    config: SimConfig,
+}
+
+impl SimDriver {
+    /// Validate the configuration and build a driver.
+    pub fn new(config: SimConfig) -> Result<Self, String> {
+        config.validate()?;
+        Ok(SimDriver { config })
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &SimConfig {
+        &self.config
+    }
+
+    /// Execute the run to completion.
+    pub fn run(&self) -> RunResult {
+        let cfg = &self.config;
+        let root_rng = SimRng::seed_from(cfg.seed);
+
+        // --- World construction -------------------------------------
+        let mut builder = TopologyBuilder::new();
+        builder.gp_cpu_overcommit = cfg.gp_cpu_overcommit;
+        let scale = if cfg.scale >= 1.0 {
+            PresetScale::Full
+        } else {
+            PresetScale::Ratio(cfg.scale)
+        };
+        let (topo, dc_a, dc_b) = paper_region_custom(scale, cfg.seed, &builder);
+        let az_a = topo.dc(dc_a).az;
+        let az_b = topo.dc(dc_b).az;
+        let dc_share_a = Self::dc_purpose_shares(&topo, dc_a, dc_b);
+        let mut cloud = Cloud::new(topo);
+
+        // Hold back a fraction of general-purpose blocks per DC as
+        // failover/expansion reserve (deterministic selection).
+        if cfg.reserve_bb_fraction > 0.0 {
+            let mut reserve_rng = root_rng.split("reserve");
+            for dc in [dc_a, dc_b] {
+                let gp_bbs: Vec<BbId> = cloud
+                    .topology()
+                    .dc(dc)
+                    .bbs
+                    .iter()
+                    .copied()
+                    .filter(|&bb| {
+                        cloud.topology().bb(bb).purpose == BbPurpose::GeneralPurpose
+                    })
+                    .collect();
+                // Round, but always hold at least one block back when the
+                // DC has enough general-purpose blocks to spare one.
+                let mut count =
+                    (gp_bbs.len() as f64 * cfg.reserve_bb_fraction).round() as usize;
+                if count == 0 && gp_bbs.len() >= 4 {
+                    count = 1;
+                }
+                let mut picks = gp_bbs;
+                // Deterministic partial shuffle: pick `count` blocks.
+                for i in 0..count.min(picks.len()) {
+                    let j = i + (reserve_rng.gen_range(0..(picks.len() - i) as u64)) as usize;
+                    picks.swap(i, j);
+                    cloud.set_bb_reserved(picks[i], true);
+                }
+            }
+        }
+
+        let generator = WorkloadGenerator::new(
+            paper_flavor_catalog(),
+            GeneratorConfig {
+                scale: cfg.scale,
+                horizon_days: cfg.days,
+                churn: cfg.churn,
+                rampup_days: cfg.warmup_days,
+                resize_probability: cfg.resize_probability,
+                seed: cfg.seed,
+            },
+        );
+        let specs = generator.generate();
+
+        // --- Simulation state ----------------------------------------
+        let mut sim: Simulation<Event> = Simulation::new();
+        let warmup = SimTime::from_days(cfg.warmup_days);
+        let horizon = SimTime::from_days(cfg.warmup_days + cfg.days);
+        let mut policy = PlacementPolicy::new(cfg.policy);
+        let mut store = TsdbStore::new(cfg.days as usize);
+        let mut stats = DriverStats::default();
+        let mut vm_stats: Vec<VmUsageSummary> = specs
+            .iter()
+            .enumerate()
+            .map(|(i, s)| VmUsageSummary {
+                id: s.id,
+                spec_index: i,
+                placed: false,
+                cpu_ratio: RunningStat::new(),
+                mem_ratio: RunningStat::new(),
+            })
+            .collect();
+        // Per-VM AZ assignment: keep each DC's population proportional to
+        // its capacity share for the VM's class, like the per-DC VM counts
+        // of Table 5. Drawn from a dedicated stream so placement policy
+        // changes never reshuffle it.
+        let mut az_rng = root_rng.split("az-assign");
+        let vm_az: Vec<_> = specs
+            .iter()
+            .map(|s| {
+                let share_a = match s.class {
+                    WorkloadClass::Hana => dc_share_a.1,
+                    WorkloadClass::CiFarm => dc_share_a.2,
+                    WorkloadClass::GeneralPurpose => dc_share_a.0,
+                };
+                if az_rng.gen_bool(share_a) {
+                    az_a
+                } else {
+                    az_b
+                }
+            })
+            .collect();
+        let vm_rng_root = root_rng.split("vm-demand");
+
+        for (i, s) in specs.iter().enumerate() {
+            sim.schedule_at(s.arrival, Event::VmArrival(i));
+        }
+        sim.schedule_at(SimTime::ZERO, Event::Scrape);
+        sim.schedule_at(SimTime::ZERO, Event::OsGauge);
+        if cfg.drs_enabled {
+            sim.schedule_at(SimTime::ZERO + cfg.drs_interval, Event::DrsRound);
+        }
+        if cfg.cross_bb_enabled {
+            sim.schedule_at(SimTime::ZERO + cfg.cross_bb_interval, Event::CrossBbRound);
+        }
+
+        let drs = Rebalancer::new(cfg.drs);
+        let cross = Rebalancer::new(cfg.drs);
+
+        // Planned maintenance: each node independently draws whether it
+        // has a window inside the observation period, uniformly placed.
+        if cfg.maintenance_rate_per_month > 0.0 {
+            let mut mrng = root_rng.split("maintenance");
+            let prob =
+                (cfg.maintenance_rate_per_month * cfg.days as f64 / 30.0).clamp(0.0, 1.0);
+            let obs_span_ms = (horizon - warmup).as_millis() as f64;
+            for node in cloud.topology().nodes() {
+                if !mrng.gen_bool(prob) {
+                    continue;
+                }
+                let frac: f64 = mrng.gen_range(0.05..0.85);
+                let start = warmup
+                    + sapsim_sim::SimDuration::from_millis((obs_span_ms * frac) as u64);
+                sim.schedule_at(start, Event::MaintenanceStart(node.id));
+            }
+        }
+        // Tiny scaled-down deployments may lack a dedicated CI farm; CI
+        // executors then run in the general pool, as they would before an
+        // operator carves one out.
+        let ci_farm_exists = cloud
+            .topology()
+            .bbs()
+            .iter()
+            .any(|bb| bb.purpose == BbPurpose::CiFarm);
+
+        // --- Event loop ----------------------------------------------
+        while let Some(ev) = sim.next_event_until(horizon) {
+            let now = ev.time;
+            match ev.payload {
+                Event::VmArrival(spec_index) => {
+                    let spec = &specs[spec_index];
+                    stats.placements_attempted += 1;
+                    let outcome = Self::place_vm(
+                        &mut cloud,
+                        &mut policy,
+                        cfg,
+                        spec_index,
+                        spec,
+                        vm_az[spec_index],
+                        now,
+                        &vm_rng_root,
+                        ci_farm_exists,
+                    );
+                    match outcome {
+                        PlacementOutcome::Placed { retries, .. } => {
+                            stats.placed += 1;
+                            stats.placement_retries += retries as u64;
+                            vm_stats[spec_index].placed = true;
+                            if spec.departure() <= horizon {
+                                sim.schedule_at(spec.departure(), Event::VmDeparture(spec.id));
+                            }
+                            if let Some(t) = spec.resize_time() {
+                                if t > now && t <= horizon {
+                                    sim.schedule_at(t, Event::VmResize(spec.id));
+                                }
+                            }
+                            stats.peak_vm_count = stats.peak_vm_count.max(cloud.vm_count());
+                        }
+                        PlacementOutcome::NoCandidate => stats.failed_no_candidate += 1,
+                        PlacementOutcome::Fragmented => stats.failed_fragmented += 1,
+                    }
+                }
+                Event::VmDeparture(id) => {
+                    if cloud.remove(id).is_some() {
+                        stats.departures += 1;
+                    }
+                }
+                Event::VmResize(id) => {
+                    Self::handle_resize(
+                        &mut cloud,
+                        &mut policy,
+                        cfg,
+                        &specs,
+                        id,
+                        &vm_az,
+                        now,
+                        &mut stats,
+                    );
+                }
+                Event::Scrape => {
+                    stats.scrapes += 1;
+                    Self::scrape(&mut cloud, &specs, &mut vm_stats, &mut store, cfg, now, warmup);
+                    sim.schedule_after(cfg.scrape_interval, Event::Scrape);
+                }
+                Event::OsGauge => {
+                    if now >= warmup {
+                        let obs = SimTime::from_millis(now.as_millis() - warmup.as_millis());
+                        Self::record_os_gauges(&cloud, &mut store, obs);
+                    }
+                    sim.schedule_after(cfg.os_gauge_interval, Event::OsGauge);
+                }
+                Event::DrsRound => {
+                    stats.drs_migrations += Self::drs_round(&mut cloud, &drs);
+                    sim.schedule_after(cfg.drs_interval, Event::DrsRound);
+                }
+                Event::CrossBbRound => {
+                    stats.cross_bb_migrations += Self::cross_bb_round(&mut cloud, &cross);
+                    sim.schedule_after(cfg.cross_bb_interval, Event::CrossBbRound);
+                }
+                Event::MaintenanceStart(node) => {
+                    // Silence the node first so the evacuation targets
+                    // exclude it, then move everything off. A stuck VM
+                    // (pinned, or no sibling capacity) aborts the window
+                    // and the node returns to service.
+                    cloud.set_node_state(node, sapsim_topology::NodeState::Maintenance);
+                    match cloud.evacuate_node(node) {
+                        Ok(moved) => {
+                            stats.maintenance_windows += 1;
+                            stats.evacuations += moved;
+                            sim.schedule_after(
+                                cfg.maintenance_duration,
+                                Event::MaintenanceEnd(node),
+                            );
+                        }
+                        Err(_stuck) => {
+                            stats.maintenance_aborted += 1;
+                            cloud.set_node_state(node, sapsim_topology::NodeState::Active);
+                        }
+                    }
+                }
+                Event::MaintenanceEnd(node) => {
+                    cloud.set_node_state(node, sapsim_topology::NodeState::Active);
+                }
+            }
+        }
+
+        stats.final_vm_count = cloud.vm_count();
+        debug_assert!(cloud.verify_accounting(&specs).is_ok());
+
+        // Rebase every spec onto observation time (warm-up becomes
+        // pre-window age), so downstream analyses see the same [0, days)
+        // window the telemetry was recorded against.
+        let mut specs = specs;
+        if cfg.warmup_days > 0 {
+            for spec in &mut specs {
+                if spec.arrival >= warmup {
+                    spec.arrival =
+                        SimTime::from_millis(spec.arrival.as_millis() - warmup.as_millis());
+                } else {
+                    spec.age_at_arrival += warmup - spec.arrival;
+                    spec.arrival = SimTime::ZERO;
+                }
+            }
+        }
+
+        RunResult {
+            config: *cfg,
+            store,
+            vm_stats,
+            specs,
+            stats,
+            cloud,
+        }
+    }
+
+    /// `(gp, hana, ci)` shares: the fraction of each purpose class's node
+    /// capacity that lives in DC A. A class entirely absent from one DC
+    /// gets share 0 or 1, steering all of its VMs to the DC that can host
+    /// them.
+    fn dc_purpose_shares(
+        topo: &sapsim_topology::Topology,
+        dc_a: DcId,
+        dc_b: DcId,
+    ) -> (f64, f64, f64) {
+        let count = |dc: DcId, purpose: BbPurpose| -> f64 {
+            topo.dc(dc)
+                .bbs
+                .iter()
+                .filter(|&&bb| topo.bb(bb).purpose == purpose)
+                .map(|&bb| topo.bb(bb).nodes.len() as f64)
+                .sum()
+        };
+        let share = |purpose: BbPurpose| -> f64 {
+            let a = count(dc_a, purpose);
+            let b = count(dc_b, purpose);
+            if a + b == 0.0 {
+                0.5
+            } else {
+                a / (a + b)
+            }
+        };
+        (
+            share(BbPurpose::GeneralPurpose),
+            share(BbPurpose::Hana),
+            share(BbPurpose::CiFarm),
+        )
+    }
+
+    /// Handle a planned resize: in place if the node has room, otherwise
+    /// re-schedule region-wide with the new size (Nova's resize path); if
+    /// no capacity exists anywhere the VM keeps its old flavor.
+    #[allow(clippy::too_many_arguments)]
+    fn handle_resize(
+        cloud: &mut Cloud,
+        policy: &mut PlacementPolicy,
+        cfg: &SimConfig,
+        specs: &[VmSpec],
+        id: VmId,
+        vm_az: &[sapsim_topology::AzId],
+        now: SimTime,
+        stats: &mut DriverStats,
+    ) {
+        let Some(vm) = cloud.vm(id) else {
+            return; // Never placed (placement failed at arrival).
+        };
+        let spec_index = vm.spec_index;
+        let spec = &specs[spec_index];
+        let Some(resize) = spec.resize else { return };
+        let new = resize.resources;
+        stats.resizes_attempted += 1;
+        if cloud.resize_in_place(id, new) {
+            stats.resizes_in_place += 1;
+            return;
+        }
+        let request = PlacementRequest::new(id.raw(), new, spec.class.required_bb_purpose())
+            .in_az(vm_az[spec_index]);
+        let views = cloud.host_views(cfg.granularity, now);
+        if let Ok(ranked) = policy.rank(&request, &views) {
+            for candidate in ranked {
+                let node = match cfg.granularity {
+                    PlacementGranularity::BuildingBlock => {
+                        match cloud
+                            .choose_node_within_bb(BbId::from_raw(candidate as u32), &new)
+                        {
+                            Some(n) => n,
+                            None => continue,
+                        }
+                    }
+                    PlacementGranularity::Node => NodeId::from_raw(candidate as u32),
+                };
+                if cloud.resize_to_node(id, new, node) {
+                    stats.resizes_migrated += 1;
+                    return;
+                }
+            }
+        }
+        stats.resizes_failed += 1;
+    }
+
+    /// Place one VM via the policy pipeline with Nova-style greedy retries.
+    #[allow(clippy::too_many_arguments)]
+    fn place_vm(
+        cloud: &mut Cloud,
+        policy: &mut PlacementPolicy,
+        cfg: &SimConfig,
+        spec_index: usize,
+        spec: &VmSpec,
+        az: sapsim_topology::AzId,
+        now: SimTime,
+        vm_rng_root: &SimRng,
+        ci_farm_exists: bool,
+    ) -> PlacementOutcome {
+        let mut purpose = spec.class.required_bb_purpose();
+        if purpose == BbPurpose::CiFarm && !ci_farm_exists {
+            purpose = BbPurpose::GeneralPurpose;
+        }
+        let mut request = PlacementRequest::new(spec.id.raw(), spec.resources, purpose).in_az(az);
+        // The lifetime-aware extension assumes the operator can predict
+        // lifetime (e.g. from the flavor's history); we grant it the true
+        // residual lifetime, an upper bound on what prediction can achieve.
+        request = request
+            .with_lifetime_hint((spec.lifetime - spec.age_at_arrival).as_days_f64());
+
+        let views = cloud.host_views(cfg.granularity, now);
+        let ranked = match policy.rank(&request, &views) {
+            Ok(r) => r,
+            Err(_) => return PlacementOutcome::NoCandidate,
+        };
+
+        let mut retries = 0u32;
+        for candidate in ranked {
+            let node = match cfg.granularity {
+                PlacementGranularity::BuildingBlock => {
+                    let bb = BbId::from_raw(candidate as u32);
+                    match cloud.choose_node_within_bb(bb, &spec.resources) {
+                        Some(n) => n,
+                        None => {
+                            // Aggregate room but no node fits: the
+                            // fragmentation failure mode of cluster-level
+                            // scheduling. Retry the next candidate.
+                            retries += 1;
+                            continue;
+                        }
+                    }
+                }
+                PlacementGranularity::Node => NodeId::from_raw(candidate as u32),
+            };
+            let rng = vm_rng_root.split_index(spec.id.raw());
+            cloud.place(spec_index, spec, node, rng);
+            return PlacementOutcome::Placed { node, retries };
+        }
+        PlacementOutcome::Fragmented
+    }
+
+    /// One telemetry round: advance every VM's demand model, aggregate
+    /// per-node physical load, evaluate the hypervisor model, and record.
+    /// During warm-up (`now < warmup`) the demand models and contention
+    /// hints advance but nothing is recorded.
+    #[allow(clippy::too_many_arguments)]
+    fn scrape(
+        cloud: &mut Cloud,
+        specs: &[VmSpec],
+        vm_stats: &mut [VmUsageSummary],
+        store: &mut TsdbStore,
+        cfg: &SimConfig,
+        now: SimTime,
+        warmup: SimTime,
+    ) {
+        let observing = now >= warmup;
+        let obs_time = if observing {
+            SimTime::from_millis(now.as_millis() - warmup.as_millis())
+        } else {
+            SimTime::ZERO
+        };
+        let interval = cfg.scrape_interval;
+        let node_count = cloud.topology().nodes().len();
+        let mut demands: Vec<NodeDemand> = vec![NodeDemand::default(); node_count];
+
+        // Iterate nodes (deterministic order), sampling each resident VM.
+        // (An iterator over `demands` can't be used: the body also borrows
+        // `cloud` mutably.)
+        #[allow(clippy::needless_range_loop)]
+        for node_idx in 0..node_count {
+            let node = NodeId::from_raw(node_idx as u32);
+            let resident: Vec<VmId> = cloud.vms_on_node(node).to_vec();
+            for vm_id in resident {
+                let vm = cloud.vm_mut(vm_id).expect("resident VM exists");
+                let spec_index = vm.spec_index;
+                let spec = &specs[spec_index];
+                let age = spec.age_at(now);
+                let mut rng = vm.rng.clone();
+                let mut state = vm.usage_state;
+                let (cpu_ratio, mem_ratio) =
+                    spec.usage.sample(&mut state, now, interval, age, &mut rng);
+                vm.rng = rng;
+                vm.usage_state = state;
+                // Demand scales with the *current* request (resizes apply).
+                let current = vm.resources;
+                let cpu_cores = cpu_ratio * current.cpu_cores as f64;
+                let mem_mib = mem_ratio * current.memory_mib as f64;
+                vm.last_cpu_demand_cores = cpu_cores;
+                vm.last_mem_used_mib = mem_mib;
+                let d = &mut demands[node_idx];
+                d.cpu_demand_cores += cpu_cores;
+                d.mem_used_mib += mem_mib;
+                d.disk_used_gib += hypervisor::vm_disk_fill_fraction(age.as_days_f64())
+                    * spec.resources.disk_gib as f64;
+                if observing {
+                    let stats = &mut vm_stats[spec_index];
+                    stats.cpu_ratio.push(cpu_ratio);
+                    stats.mem_ratio.push(mem_ratio);
+                }
+            }
+        }
+
+        // Evaluate and record the node model.
+        #[allow(clippy::needless_range_loop)]
+        for node_idx in 0..node_count {
+            let node = NodeId::from_raw(node_idx as u32);
+            let physical = cloud.topology().node_physical_capacity(node);
+            let sample = hypervisor::sample_node(&physical, &demands[node_idx], interval.as_millis());
+            cloud.set_node_contention(node, sample.cpu_contention_pct);
+            if !observing {
+                continue;
+            }
+            if cloud.topology().node(node).state != sapsim_topology::NodeState::Active {
+                // Under maintenance: the exporter loses the host — the
+                // white (missing) cells of the paper's heatmaps.
+                continue;
+            }
+            let e = EntityRef::Node(node_idx as u32);
+            store.record_rolled(MetricId::HostCpuUtilPct, e, obs_time, sample.cpu_util_pct);
+            store.record_rolled(MetricId::HostMemUsagePct, e, obs_time, sample.mem_usage_pct);
+            store.record_rolled(MetricId::HostNetTxKbps, e, obs_time, sample.net_tx_kbps);
+            store.record_rolled(MetricId::HostNetRxKbps, e, obs_time, sample.net_rx_kbps);
+            store.record_rolled(MetricId::HostDiskUsageGb, e, obs_time, sample.disk_usage_gb);
+            store.record_rolled(MetricId::HostCpuContentionPct, e, obs_time, sample.cpu_contention_pct);
+            store.record_rolled(MetricId::HostCpuReadyMs, e, obs_time, sample.cpu_ready_ms);
+            if cfg.record_raw_host_series {
+                store.record(MetricId::HostCpuContentionPct, e, obs_time, sample.cpu_contention_pct);
+                store.record(MetricId::HostCpuReadyMs, e, obs_time, sample.cpu_ready_ms);
+            }
+        }
+    }
+
+    /// Record the Nova-database gauges. In the paper's deployment Nova's
+    /// "compute host" is the vSphere cluster, so these gauges are per
+    /// building block, plus the region-wide instance counter.
+    fn record_os_gauges(cloud: &Cloud, store: &mut TsdbStore, now: SimTime) {
+        for bb in cloud.topology().bbs() {
+            let e = EntityRef::Bb(bb.id.index() as u32);
+            let cap = bb.total_virtual_capacity();
+            let alloc = cloud.bb_allocated(bb.id);
+            store.record_rolled(MetricId::OsVcpus, e, now, cap.cpu_cores as f64);
+            store.record_rolled(MetricId::OsVcpusUsed, e, now, alloc.cpu_cores as f64);
+            store.record_rolled(MetricId::OsMemoryMb, e, now, cap.memory_mib as f64);
+            store.record_rolled(MetricId::OsMemoryMbUsed, e, now, alloc.memory_mib as f64);
+        }
+        store.record(
+            MetricId::OsInstancesTotal,
+            EntityRef::Region,
+            now,
+            cloud.vm_count() as f64,
+        );
+    }
+
+    /// One DRS round: plan and apply migrations inside each building block.
+    fn drs_round(cloud: &mut Cloud, drs: &Rebalancer) -> u64 {
+        let mut applied = 0u64;
+        let bb_count = cloud.topology().bbs().len();
+        for bb_idx in 0..bb_count {
+            let bb = BbId::from_raw(bb_idx as u32);
+            let loads: Vec<HostLoad<NodeId>> = cloud.topology().bb(bb)
+                .nodes
+                .iter()
+                .map(|&nid| {
+                    let physical = cloud.topology().node_physical_capacity(nid);
+                    HostLoad {
+                        id: nid,
+                        cpu_capacity: physical.cpu_cores as f64,
+                        mem_capacity_mib: physical.memory_mib as f64,
+                        vms: cloud
+                            .vms_on_node(nid)
+                            .iter()
+                            .map(|&vmid| {
+                                let vm = cloud.vm(vmid).expect("resident");
+                                VmLoad {
+                                    vm_uid: vmid.raw(),
+                                    cpu_demand: vm.last_cpu_demand_cores,
+                                    mem_used_mib: vm.last_mem_used_mib,
+                                    movable: vm.movable,
+                                }
+                            })
+                            .collect(),
+                    }
+                })
+                .collect();
+            if loads.len() < 2 {
+                continue;
+            }
+            let plan = drs.plan(&loads);
+            for m in plan.migrations {
+                if cloud.migrate(VmId(m.vm_uid), m.to) {
+                    applied += 1;
+                }
+            }
+        }
+        applied
+    }
+
+    /// One cross-BB round per data center: rebalance general-purpose load
+    /// across that DC's general-purpose blocks. A migration plan names a
+    /// destination block; the actual node is chosen like any initial
+    /// placement.
+    fn cross_bb_round(cloud: &mut Cloud, rebalancer: &Rebalancer) -> u64 {
+        let mut applied = 0u64;
+        let dcs: Vec<DcId> = cloud.topology().dcs().iter().map(|d| d.id).collect();
+        for dc in dcs {
+            let bbs: Vec<BbId> = cloud.topology().dc(dc)
+                .bbs
+                .iter()
+                .copied()
+                .filter(|&bb| cloud.topology().bb(bb).purpose == BbPurpose::GeneralPurpose)
+                .collect();
+            if bbs.len() < 2 {
+                continue;
+            }
+            let loads: Vec<HostLoad<BbId>> = bbs
+                .iter()
+                .map(|&bb| {
+                    let block = cloud.topology().bb(bb);
+                    let phys = &block.profile.physical;
+                    let n = block.nodes.len() as f64;
+                    HostLoad {
+                        id: bb,
+                        cpu_capacity: phys.cpu_cores as f64 * n,
+                        mem_capacity_mib: phys.memory_mib as f64 * n,
+                        vms: block
+                            .nodes
+                            .iter()
+                            .flat_map(|&nid| cloud.vms_on_node(nid).to_vec())
+                            .map(|vmid| {
+                                let vm = cloud.vm(vmid).expect("resident");
+                                VmLoad {
+                                    vm_uid: vmid.raw(),
+                                    cpu_demand: vm.last_cpu_demand_cores,
+                                    mem_used_mib: vm.last_mem_used_mib,
+                                    movable: vm.movable,
+                                }
+                            })
+                            .collect(),
+                    }
+                })
+                .collect();
+            let plan = rebalancer.plan(&loads);
+            for m in plan.migrations {
+                let vm_id = VmId(m.vm_uid);
+                let resources = cloud.vm(vm_id).expect("planned VM exists").resources;
+                if let Some(node) = cloud.choose_node_within_bb(m.to, &resources) {
+                    if cloud.migrate(vm_id, node) {
+                        applied += 1;
+                    }
+                }
+            }
+        }
+        applied
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sapsim_scheduler::PolicyKind;
+
+    fn smoke(seed: u64) -> RunResult {
+        let mut cfg = SimConfig::smoke_test();
+        cfg.seed = seed;
+        SimDriver::new(cfg).unwrap().run()
+    }
+
+    #[test]
+    fn smoke_run_places_most_vms() {
+        let r = smoke(1);
+        assert!(r.stats.placements_attempted > 500);
+        assert!(
+            r.stats.placement_success_rate() > 0.95,
+            "success rate = {:.3} (failures: {} no-candidate, {} fragmented)",
+            r.stats.placement_success_rate(),
+            r.stats.failed_no_candidate,
+            r.stats.failed_fragmented,
+        );
+        assert!(r.stats.final_vm_count > 0);
+        assert!(r.stats.scrapes >= 3 * 288 - 1);
+        r.cloud.verify_accounting(&r.specs).unwrap();
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let a = smoke(42);
+        let b = smoke(42);
+        assert_eq!(a.stats, b.stats);
+        assert_eq!(a.specs.len(), b.specs.len());
+        // Telemetry identical: spot-check a rollup.
+        let ra = a.store.rollups_of(MetricId::HostCpuUtilPct);
+        let rb = b.store.rollups_of(MetricId::HostCpuUtilPct);
+        assert_eq!(ra.len(), rb.len());
+        for ((ea, va), (eb, vb)) in ra.iter().zip(rb.iter()) {
+            assert_eq!(ea, eb);
+            assert_eq!(va.daily_means(), vb.daily_means());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = smoke(1);
+        let b = smoke(2);
+        assert_ne!(a.stats, b.stats);
+    }
+
+    #[test]
+    fn telemetry_covers_every_node_and_block() {
+        let r = smoke(3);
+        let nodes = r.cloud.topology().nodes().len();
+        assert_eq!(r.store.rollups_of(MetricId::HostCpuUtilPct).len(), nodes);
+        assert_eq!(r.store.rollups_of(MetricId::HostMemUsagePct).len(), nodes);
+        let bbs = r.cloud.topology().bbs().len();
+        assert_eq!(r.store.rollups_of(MetricId::OsVcpusUsed).len(), bbs);
+        let region = r
+            .store
+            .series(MetricId::OsInstancesTotal, EntityRef::Region)
+            .expect("region instance counter");
+        assert!(region.len() > 1000, "30 s cadence over 3 days");
+    }
+
+    #[test]
+    fn vm_stats_accumulate_for_placed_vms() {
+        let r = smoke(4);
+        let sampled = r
+            .vm_stats
+            .iter()
+            .filter(|v| v.placed && v.cpu_ratio.count > 0)
+            .count();
+        assert!(sampled > 500, "sampled = {sampled}");
+        for v in r.vm_stats.iter().filter(|v| v.cpu_ratio.count > 0) {
+            assert!(v.cpu_ratio.mean().unwrap() >= 0.0);
+            assert!(v.cpu_ratio.mean().unwrap() <= 1.0);
+            assert!(v.mem_ratio.mean().unwrap() <= 1.0);
+        }
+    }
+
+    #[test]
+    fn drs_migrates_when_enabled_only() {
+        let mut cfg = SimConfig::smoke_test();
+        cfg.seed = 5;
+        let with = SimDriver::new(cfg).unwrap().run();
+        cfg.drs_enabled = false;
+        let without = SimDriver::new(cfg).unwrap().run();
+        assert_eq!(without.stats.drs_migrations, 0);
+        // The same workload with DRS on does migrate at least occasionally.
+        assert!(with.stats.drs_migrations >= without.stats.drs_migrations);
+    }
+
+    #[test]
+    fn cross_bb_rebalancer_runs_when_enabled() {
+        let mut cfg = SimConfig::smoke_test();
+        cfg.seed = 6;
+        cfg.cross_bb_enabled = true;
+        let r = SimDriver::new(cfg).unwrap().run();
+        // It ran; whether it migrated depends on imbalance, so just check
+        // accounting stayed intact.
+        r.cloud.verify_accounting(&r.specs).unwrap();
+    }
+
+    #[test]
+    fn node_granularity_places_without_fragmentation_retries() {
+        let mut cfg = SimConfig::smoke_test();
+        cfg.seed = 7;
+        cfg.granularity = PlacementGranularity::Node;
+        let r = SimDriver::new(cfg).unwrap().run();
+        assert_eq!(
+            r.stats.placement_retries, 0,
+            "node-level candidates are exact; no fragmentation retries"
+        );
+        assert!(r.stats.placement_success_rate() > 0.95);
+    }
+
+    #[test]
+    fn hana_vms_land_on_hana_blocks() {
+        let r = smoke(8);
+        let ci_farm_exists = r
+            .cloud
+            .topology()
+            .bbs()
+            .iter()
+            .any(|bb| bb.purpose == BbPurpose::CiFarm);
+        for vm_stat in r.vm_stats.iter().filter(|v| v.placed) {
+            let spec = &r.specs[vm_stat.spec_index];
+            if let Some(vm) = r.cloud.vm(spec.id) {
+                let bb = r.cloud.topology().node(vm.node).bb;
+                let purpose = r.cloud.topology().bb(bb).purpose;
+                let mut expected = spec.class.required_bb_purpose();
+                if expected == BbPurpose::CiFarm && !ci_farm_exists {
+                    expected = BbPurpose::GeneralPurpose;
+                }
+                assert_eq!(purpose, expected, "{} on wrong block type", spec.id);
+            }
+        }
+    }
+
+    #[test]
+    fn policies_produce_different_placements() {
+        let mut cfg = SimConfig::smoke_test();
+        cfg.seed = 9;
+        cfg.policy = PolicyKind::Spread;
+        let spread = SimDriver::new(cfg).unwrap().run();
+        cfg.policy = PolicyKind::PackMemory;
+        let pack = SimDriver::new(cfg).unwrap().run();
+        // Packing concentrates load: the busiest node under packing has
+        // more allocated memory than under spreading.
+        let max_alloc = |r: &RunResult| {
+            r.cloud
+                .topology()
+                .nodes()
+                .iter()
+                .map(|n| r.cloud.node_allocated(n.id).memory_mib)
+                .max()
+                .unwrap()
+        };
+        assert!(max_alloc(&pack) >= max_alloc(&spread));
+    }
+
+    #[test]
+    fn resizes_fire_and_change_allocations() {
+        let mut cfg = SimConfig::smoke_test();
+        cfg.seed = 11;
+        cfg.days = 5;
+        cfg.resize_probability = 0.25;
+        let r = SimDriver::new(cfg).unwrap().run();
+        assert!(r.stats.resizes_attempted > 10, "attempted = {}", r.stats.resizes_attempted);
+        assert_eq!(
+            r.stats.resizes_attempted,
+            r.stats.resizes_in_place + r.stats.resizes_migrated + r.stats.resizes_failed
+        );
+        assert!(r.stats.resizes_in_place + r.stats.resizes_migrated > 0);
+        // Resized VMs that are still alive carry doubled allocations.
+        let mut seen_doubled = false;
+        for v in r.vm_stats.iter().filter(|v| v.placed) {
+            let spec = &r.specs[v.spec_index];
+            if let (Some(resize), Some(vm)) = (spec.resize, r.cloud.vm(spec.id)) {
+                if vm.resources == resize.resources {
+                    seen_doubled = true;
+                    assert_eq!(vm.resources.cpu_cores, spec.resources.cpu_cores * 2);
+                }
+            }
+        }
+        assert!(seen_doubled, "at least one applied resize survives the window");
+        r.cloud.verify_accounting(&r.specs).unwrap();
+    }
+
+    #[test]
+    fn maintenance_silences_nodes_and_returns_them() {
+        let mut cfg = SimConfig::smoke_test();
+        cfg.seed = 13;
+        cfg.days = 3;
+        cfg.maintenance_rate_per_month = 3.0; // force plenty of windows
+        let r = SimDriver::new(cfg).unwrap().run();
+        assert!(
+            r.stats.maintenance_windows > 0,
+            "windows = {} (aborted = {})",
+            r.stats.maintenance_windows,
+            r.stats.maintenance_aborted
+        );
+        // Maintenance produces missing telemetry: at least one node has a
+        // day with fewer samples than a full day of scrapes.
+        let full_day = 86_400 / r.config.scrape_interval.as_secs();
+        let mut gap_seen = false;
+        for (_, rollup) in r.store.rollups_of(MetricId::HostCpuUtilPct) {
+            for d in 0..rollup.num_days() {
+                let count = rollup.day(d).map(|c| c.stat.count).unwrap_or(0);
+                if count > 0 && count < full_day {
+                    gap_seen = true;
+                }
+            }
+        }
+        assert!(gap_seen, "maintenance gaps appear in the telemetry");
+        r.cloud.verify_accounting(&r.specs).unwrap();
+    }
+
+    #[test]
+    fn departures_free_capacity() {
+        let r = smoke(10);
+        assert!(r.stats.departures > 0, "CI churn departs within 3 days");
+        // Peak ≥ final.
+        assert!(r.stats.peak_vm_count >= r.stats.final_vm_count);
+    }
+}

@@ -1,0 +1,38 @@
+//! # sapsim-core — the cloud infrastructure simulator
+//!
+//! Ties every substrate together into an executable model of the SAP Cloud
+//! Infrastructure's studied region (paper Section 3): the topology provides
+//! the hardware inventory, the workload generator provides the VM stream,
+//! the scheduler crate provides the two-layer Nova → DRS placement system,
+//! and the telemetry crate records the same metrics the paper's monitoring
+//! stack exported (Table 4).
+//!
+//! A run is a deterministic discrete-event simulation over a 30-day (by
+//! default) observation window:
+//!
+//! * **VM lifecycle events** — creations (initial population + churn
+//!   arrivals), deletions at lifetime expiry; each creation exercises the
+//!   placement pipeline with greedy retries across ranked candidates.
+//! * **Telemetry scrapes** — periodic sampling of every VM's demand model,
+//!   aggregation into per-node physical load, the CPU contention / ready
+//!   time model of [`hypervisor`], and recording into the TSDB.
+//! * **Rebalancing rounds** — DRS-style intra-building-block migration
+//!   planning, and (optionally) the cross-BB rebalancer the paper calls
+//!   for.
+//!
+//! The entry point is [`SimDriver`]; see `examples/quickstart.rs` for a
+//! minimal end-to-end run.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cloud;
+mod config;
+mod driver;
+pub mod hypervisor;
+mod result;
+
+pub use cloud::{Cloud, PlacedVm, PlacementOutcome};
+pub use config::{PlacementGranularity, SimConfig};
+pub use driver::SimDriver;
+pub use result::{DriverStats, RunResult, VmUsageSummary};

@@ -1,0 +1,110 @@
+//! Outputs of a simulation run.
+
+use crate::cloud::Cloud;
+use crate::config::SimConfig;
+use sapsim_telemetry::{RunningStat, TsdbStore};
+use sapsim_workload::{VmId, VmSpec};
+
+/// Per-VM utilization summary over the whole window — the input to the
+/// Figure 14 CDFs and the Table 1/2 classifications.
+#[derive(Debug, Clone)]
+pub struct VmUsageSummary {
+    /// The VM.
+    pub id: VmId,
+    /// Index into [`RunResult::specs`].
+    pub spec_index: usize,
+    /// Whether the VM was ever successfully placed.
+    pub placed: bool,
+    /// Statistics of `vrops_virtualmachine_cpu_usage_ratio` samples.
+    pub cpu_ratio: RunningStat,
+    /// Statistics of `vrops_virtualmachine_memory_consumed_ratio` samples.
+    pub mem_ratio: RunningStat,
+}
+
+/// Counters describing one run.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct DriverStats {
+    /// Placement attempts (VM arrivals).
+    pub placements_attempted: u64,
+    /// Successful placements.
+    pub placed: u64,
+    /// Failures with an empty candidate list.
+    pub failed_no_candidate: u64,
+    /// Failures after exhausting all ranked candidates (fragmentation).
+    pub failed_fragmented: u64,
+    /// Cluster candidates tried and rejected before success — Nova's
+    /// greedy retries; nonzero values at BB granularity measure
+    /// intra-cluster fragmentation.
+    pub placement_retries: u64,
+    /// Migrations executed by the DRS-style intra-BB rebalancer.
+    pub drs_migrations: u64,
+    /// Migrations executed by the cross-BB rebalancer.
+    pub cross_bb_migrations: u64,
+    /// Resize events processed.
+    pub resizes_attempted: u64,
+    /// Resizes that fit on the VM's current node.
+    pub resizes_in_place: u64,
+    /// Resizes that required a migration (Nova re-schedule).
+    pub resizes_migrated: u64,
+    /// Resizes that found no capacity anywhere (VM keeps its old size).
+    pub resizes_failed: u64,
+    /// Maintenance windows that started (node evacuated and silenced).
+    pub maintenance_windows: u64,
+    /// Maintenance windows aborted because a VM could not be evacuated.
+    pub maintenance_aborted: u64,
+    /// VMs live-migrated by evacuations.
+    pub evacuations: u64,
+    /// VM deletions processed.
+    pub departures: u64,
+    /// Telemetry scrape rounds.
+    pub scrapes: u64,
+    /// Maximum concurrent VM count observed.
+    pub peak_vm_count: usize,
+    /// VM count at window end.
+    pub final_vm_count: usize,
+}
+
+impl DriverStats {
+    /// Fraction of attempted placements that succeeded.
+    pub fn placement_success_rate(&self) -> f64 {
+        if self.placements_attempted == 0 {
+            return 1.0;
+        }
+        self.placed as f64 / self.placements_attempted as f64
+    }
+}
+
+/// Everything a run produces. Consumed by `sapsim-analysis` to regenerate
+/// the paper's figures and tables.
+#[derive(Debug)]
+pub struct RunResult {
+    /// The configuration that produced this result.
+    pub config: SimConfig,
+    /// The recorded telemetry (Table 4 metrics).
+    pub store: TsdbStore,
+    /// Per-VM usage summaries, indexed like `specs`.
+    pub vm_stats: Vec<VmUsageSummary>,
+    /// The generated workload (for lifetime and classification analyses).
+    pub specs: Vec<VmSpec>,
+    /// Run counters.
+    pub stats: DriverStats,
+    /// Final cloud state (topology + residency).
+    pub cloud: Cloud,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn success_rate_handles_zero_attempts() {
+        let s = DriverStats::default();
+        assert_eq!(s.placement_success_rate(), 1.0);
+        let s = DriverStats {
+            placements_attempted: 10,
+            placed: 9,
+            ..Default::default()
+        };
+        assert!((s.placement_success_rate() - 0.9).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,129 @@
+//! Property-based tests on the cloud's allocation accounting: arbitrary
+//! sequences of place / remove / migrate / resize operations never break
+//! the invariants that `verify_accounting` checks.
+
+use proptest::prelude::*;
+use sapsim_core::{Cloud, PlacementGranularity};
+use sapsim_sim::{SimDuration, SimRng, SimTime};
+use sapsim_topology::{
+    BbPurpose, HardwareProfile, NodeId, OvercommitPolicy, Resources, Topology,
+};
+use sapsim_workload::{Archetype, UsageModel, VmId, VmSpec, WorkloadClass};
+
+fn fixture() -> Topology {
+    let mut topo = Topology::new();
+    let r = topo.add_region("r");
+    let az = topo.add_az(r, "az");
+    let dc = topo.add_dc(az, "A");
+    topo.add_bb(
+        dc,
+        "a-bb0",
+        BbPurpose::GeneralPurpose,
+        HardwareProfile::general_purpose(),
+        OvercommitPolicy::general_purpose(),
+        4,
+    );
+    topo.add_bb(
+        dc,
+        "a-bb1",
+        BbPurpose::GeneralPurpose,
+        HardwareProfile::general_purpose_dense(),
+        OvercommitPolicy::general_purpose(),
+        3,
+    );
+    topo
+}
+
+fn spec(id: u64, cpu: u32, mem_gib: u64) -> VmSpec {
+    let mut rng = SimRng::seed_from(id);
+    VmSpec {
+        id: VmId(id),
+        flavor_index: 0,
+        flavor_name: "p".into(),
+        resources: Resources::with_memory_gib(cpu, mem_gib, 10),
+        archetype: Archetype::GenericService,
+        class: WorkloadClass::GeneralPurpose,
+        usage: UsageModel::draw(Archetype::GenericService, &mut rng),
+        arrival: SimTime::ZERO,
+        age_at_arrival: SimDuration::ZERO,
+        lifetime: SimDuration::from_days(30),
+        resize: None,
+    }
+}
+
+/// One randomized operation on the cloud.
+#[derive(Debug, Clone)]
+enum Op {
+    Place { cpu: u32, mem_gib: u64 },
+    Remove { index: usize },
+    Migrate { index: usize, to: u32 },
+    Resize { index: usize, cpu: u32, mem_gib: u64 },
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (1u32..16, 1u64..128).prop_map(|(cpu, mem_gib)| Op::Place { cpu, mem_gib }),
+        (0usize..64).prop_map(|index| Op::Remove { index }),
+        (0usize..64, 0u32..7).prop_map(|(index, to)| Op::Migrate { index, to }),
+        (0usize..64, 1u32..32, 1u64..256)
+            .prop_map(|(index, cpu, mem_gib)| Op::Resize { index, cpu, mem_gib }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Accounting invariants survive any operation sequence, including
+    /// failed operations (which must leave state unchanged).
+    #[test]
+    fn accounting_survives_arbitrary_operations(ops in prop::collection::vec(arb_op(), 1..80)) {
+        let topo = fixture();
+        let node_count = topo.nodes().len();
+        let mut cloud = Cloud::new(topo);
+        let mut specs: Vec<VmSpec> = Vec::new();
+        let mut live: Vec<VmId> = Vec::new();
+        let mut next_id = 0u64;
+
+        for op in ops {
+            match op {
+                Op::Place { cpu, mem_gib } => {
+                    let s = spec(next_id, cpu, mem_gib);
+                    // Find a fitting node via the same helper the driver
+                    // uses; skip if the fleet is full.
+                    let views = cloud.host_views(PlacementGranularity::Node, SimTime::ZERO);
+                    if let Some(v) = views.iter().find(|v| v.fits(&s.resources)) {
+                        let node = v.node.expect("node view");
+                        cloud.place(specs.len(), &s, node, SimRng::seed_from(next_id));
+                        live.push(s.id);
+                        specs.push(s);
+                        next_id += 1;
+                    }
+                }
+                Op::Remove { index } => {
+                    if !live.is_empty() {
+                        let id = live.remove(index % live.len());
+                        prop_assert!(cloud.remove(id).is_some());
+                    }
+                }
+                Op::Migrate { index, to } => {
+                    if !live.is_empty() {
+                        let id = live[index % live.len()];
+                        // May fail (full target / same node) — fine either way.
+                        let _ = cloud.migrate(id, NodeId::from_raw(to % node_count as u32));
+                    }
+                }
+                Op::Resize { index, cpu, mem_gib } => {
+                    if !live.is_empty() {
+                        let id = live[index % live.len()];
+                        let _ = cloud
+                            .resize_in_place(id, Resources::with_memory_gib(cpu, mem_gib, 10));
+                    }
+                }
+            }
+            cloud.verify_accounting(&specs).map_err(|e| {
+                TestCaseError::fail(format!("accounting broken: {e}"))
+            })?;
+        }
+        prop_assert_eq!(cloud.vm_count(), live.len());
+    }
+}

@@ -1,0 +1,337 @@
+//! Classic bin-packing strategies.
+//!
+//! The paper frames VM-to-host assignment as bin packing (Section 3.2):
+//! "Well-known strategies with low computational effort include First-Fit,
+//! Best-Fit, and Worst-Fit." These serve two roles here:
+//!
+//! * [`BinPacker::choose`] — an online policy usable in place of the
+//!   Nova pipeline, for baseline comparisons;
+//! * [`pack_all`] — offline packing of a whole item list into
+//!   identical bins, for the "maximize placeable VMs per flavor"
+//!   optimization objective and the ablation benches.
+
+use crate::request::HostView;
+use sapsim_topology::{ResourceKind, Resources};
+use serde::{Deserialize, Serialize};
+
+/// The classic heuristics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PackingStrategy {
+    /// First bin (in index order) with room.
+    FirstFit,
+    /// Bin with the least remaining room (on the packing dimension) that
+    /// still fits — tightest fit.
+    BestFit,
+    /// Bin with the most remaining room.
+    WorstFit,
+    /// First-Fit over items sorted by decreasing size (offline only).
+    FirstFitDecreasing,
+    /// Best-Fit over items sorted by decreasing size (offline only).
+    BestFitDecreasing,
+}
+
+impl PackingStrategy {
+    /// All strategies.
+    pub const ALL: [PackingStrategy; 5] = [
+        PackingStrategy::FirstFit,
+        PackingStrategy::BestFit,
+        PackingStrategy::WorstFit,
+        PackingStrategy::FirstFitDecreasing,
+        PackingStrategy::BestFitDecreasing,
+    ];
+
+    /// Whether the strategy pre-sorts items (offline).
+    pub fn is_decreasing(self) -> bool {
+        matches!(
+            self,
+            PackingStrategy::FirstFitDecreasing | PackingStrategy::BestFitDecreasing
+        )
+    }
+
+    /// The online rule this strategy applies per item.
+    fn online_rule(self) -> PackingStrategy {
+        match self {
+            PackingStrategy::FirstFitDecreasing => PackingStrategy::FirstFit,
+            PackingStrategy::BestFitDecreasing => PackingStrategy::BestFit,
+            other => other,
+        }
+    }
+}
+
+/// An online bin-packing chooser over host views.
+#[derive(Debug, Clone, Copy)]
+pub struct BinPacker {
+    /// Which heuristic to apply.
+    pub strategy: PackingStrategy,
+    /// Which resource dimension defines "fullness". The paper's HANA
+    /// placement packs on memory (Section 7: "memory-based bin-packing
+    /// strategies are required").
+    pub dimension: ResourceKind,
+}
+
+impl BinPacker {
+    /// A packer using `strategy` on `dimension`.
+    pub fn new(strategy: PackingStrategy, dimension: ResourceKind) -> Self {
+        assert!(
+            !strategy.is_decreasing(),
+            "decreasing variants are offline; use pack_all"
+        );
+        BinPacker {
+            strategy,
+            dimension,
+        }
+    }
+
+    /// Pick a host for `request` among `hosts`, honoring every dimension
+    /// for fit but ranking by the packing dimension. Returns an index into
+    /// `hosts`, or `None` if nothing fits. Disabled hosts are skipped.
+    pub fn choose(&self, request: &Resources, hosts: &[HostView]) -> Option<usize> {
+        let mut best: Option<(usize, f64)> = None;
+        for (i, h) in hosts.iter().enumerate() {
+            if !h.enabled || !h.fits(request) {
+                continue;
+            }
+            let remaining = h.free().get(self.dimension) - request.get(self.dimension);
+            match self.strategy {
+                PackingStrategy::FirstFit => return Some(i),
+                PackingStrategy::BestFit => {
+                    if best.is_none_or(|(_, r)| remaining < r) {
+                        best = Some((i, remaining));
+                    }
+                }
+                PackingStrategy::WorstFit => {
+                    if best.is_none_or(|(_, r)| remaining > r) {
+                        best = Some((i, remaining));
+                    }
+                }
+                _ => unreachable!("constructor rejects offline strategies"),
+            }
+        }
+        best.map(|(i, _)| i)
+    }
+}
+
+/// Result of offline packing.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PackingOutcome {
+    /// Per-item bin assignment (`None` = unplaceable even in a fresh bin).
+    pub assignments: Vec<Option<usize>>,
+    /// Allocated resources per opened bin.
+    pub bins: Vec<Resources>,
+    /// Number of items that could not be placed.
+    pub unplaced: usize,
+}
+
+impl PackingOutcome {
+    /// Number of bins opened.
+    pub fn bin_count(&self) -> usize {
+        self.bins.len()
+    }
+}
+
+/// Pack `items` into identical bins of `capacity` using `strategy`,
+/// opening new bins on demand. Items that exceed a whole empty bin are
+/// reported unplaced. `dimension` defines fullness ranking (fit is always
+/// checked on all dimensions).
+pub fn pack_all(
+    items: &[Resources],
+    capacity: Resources,
+    strategy: PackingStrategy,
+    dimension: ResourceKind,
+) -> PackingOutcome {
+    // Order of processing: original, or decreasing on the dimension.
+    let mut order: Vec<usize> = (0..items.len()).collect();
+    if strategy.is_decreasing() {
+        order.sort_by(|&a, &b| {
+            items[b]
+                .get(dimension)
+                .partial_cmp(&items[a].get(dimension))
+                .expect("resource quantities are finite")
+                .then(a.cmp(&b))
+        });
+    }
+    let rule = strategy.online_rule();
+
+    let mut bins: Vec<Resources> = Vec::new();
+    let mut assignments: Vec<Option<usize>> = vec![None; items.len()];
+    let mut unplaced = 0usize;
+
+    for &idx in &order {
+        let item = &items[idx];
+        if !capacity.fits(item) {
+            unplaced += 1;
+            continue;
+        }
+        let mut chosen: Option<(usize, f64)> = None;
+        for (b, used) in bins.iter().enumerate() {
+            let free = capacity.saturating_sub(used);
+            if !free.fits(item) {
+                continue;
+            }
+            let remaining = free.get(dimension) - item.get(dimension);
+            match rule {
+                PackingStrategy::FirstFit => {
+                    chosen = Some((b, remaining));
+                    break;
+                }
+                PackingStrategy::BestFit => {
+                    if chosen.is_none_or(|(_, r)| remaining < r) {
+                        chosen = Some((b, remaining));
+                    }
+                }
+                PackingStrategy::WorstFit => {
+                    if chosen.is_none_or(|(_, r)| remaining > r) {
+                        chosen = Some((b, remaining));
+                    }
+                }
+                _ => unreachable!(),
+            }
+        }
+        let b = match chosen {
+            Some((b, _)) => b,
+            None => {
+                bins.push(Resources::ZERO);
+                bins.len() - 1
+            }
+        };
+        bins[b] += *item;
+        assignments[idx] = Some(b);
+    }
+
+    PackingOutcome {
+        assignments,
+        bins,
+        unplaced,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::test_support::host;
+
+    fn mem(gib: u64) -> Resources {
+        Resources::with_memory_gib(1, gib, 1)
+    }
+
+    fn cap(gib: u64) -> Resources {
+        Resources::with_memory_gib(100, gib, 1000)
+    }
+
+    #[test]
+    fn first_fit_takes_first_fitting_host() {
+        let hosts = vec![
+            host(0, cap(10), Resources::with_memory_gib(0, 9, 0)),
+            host(1, cap(10), Resources::ZERO),
+            host(2, cap(10), Resources::ZERO),
+        ];
+        let p = BinPacker::new(PackingStrategy::FirstFit, ResourceKind::Memory);
+        assert_eq!(p.choose(&mem(2), &hosts), Some(1));
+        assert_eq!(p.choose(&mem(1), &hosts), Some(0));
+    }
+
+    #[test]
+    fn best_fit_takes_tightest_host() {
+        let hosts = vec![
+            host(0, cap(10), Resources::with_memory_gib(0, 2, 0)), // 8 free
+            host(1, cap(10), Resources::with_memory_gib(0, 7, 0)), // 3 free
+            host(2, cap(10), Resources::with_memory_gib(0, 5, 0)), // 5 free
+        ];
+        let p = BinPacker::new(PackingStrategy::BestFit, ResourceKind::Memory);
+        assert_eq!(p.choose(&mem(3), &hosts), Some(1));
+        assert_eq!(p.choose(&mem(4), &hosts), Some(2));
+    }
+
+    #[test]
+    fn worst_fit_takes_roomiest_host() {
+        let hosts = vec![
+            host(0, cap(10), Resources::with_memory_gib(0, 2, 0)),
+            host(1, cap(10), Resources::with_memory_gib(0, 7, 0)),
+        ];
+        let p = BinPacker::new(PackingStrategy::WorstFit, ResourceKind::Memory);
+        assert_eq!(p.choose(&mem(1), &hosts), Some(0));
+    }
+
+    #[test]
+    fn disabled_and_unfitting_hosts_are_skipped() {
+        let mut h0 = host(0, cap(10), Resources::ZERO);
+        h0.enabled = false;
+        let hosts = vec![h0, host(1, cap(2), Resources::ZERO)];
+        let p = BinPacker::new(PackingStrategy::FirstFit, ResourceKind::Memory);
+        assert_eq!(p.choose(&mem(5), &hosts), None);
+        assert_eq!(p.choose(&mem(2), &hosts), Some(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "offline")]
+    fn online_packer_rejects_decreasing() {
+        let _ = BinPacker::new(PackingStrategy::FirstFitDecreasing, ResourceKind::Memory);
+    }
+
+    #[test]
+    fn pack_all_first_fit_classic_example() {
+        // Items 6,5,4,3,2 into bins of 10. FF walks: 6→b0; 5 doesn't fit
+        // b0 (4 free) → b1; 4 fits b0 exactly → b0; 3→b1 (5+3=8);
+        // 2→b1 (8+2=10). Two perfectly full bins.
+        let items: Vec<Resources> = [6, 5, 4, 3, 2].iter().map(|&g| mem(g)).collect();
+        let out = pack_all(&items, cap(10), PackingStrategy::FirstFit, ResourceKind::Memory);
+        assert_eq!(out.bin_count(), 2);
+        assert_eq!(out.unplaced, 0);
+        assert_eq!(
+            out.assignments,
+            vec![Some(0), Some(1), Some(0), Some(1), Some(1)]
+        );
+    }
+
+    #[test]
+    fn ffd_beats_ff_on_adversarial_input() {
+        // Items 4,4,4,6,6,6 into bins of 10. FF in arrival order wastes
+        // space: [4,4],[4,6],[6],[6] = 4 bins. FFD sorts to 6,6,6,4,4,4 and
+        // pairs them: [6,4]×3 = 3 bins.
+        let items: Vec<Resources> = [4, 4, 4, 6, 6, 6].iter().map(|&g| mem(g)).collect();
+        let ff = pack_all(&items, cap(10), PackingStrategy::FirstFit, ResourceKind::Memory);
+        let ffd = pack_all(
+            &items,
+            cap(10),
+            PackingStrategy::FirstFitDecreasing,
+            ResourceKind::Memory,
+        );
+        assert_eq!(ff.bin_count(), 4);
+        assert_eq!(ffd.bin_count(), 3, "perfect packing: 6+4 per bin");
+        assert_eq!(ffd.unplaced, 0);
+    }
+
+    #[test]
+    fn oversized_items_are_reported_unplaced() {
+        let items = vec![mem(20), mem(5)];
+        let out = pack_all(&items, cap(10), PackingStrategy::BestFit, ResourceKind::Memory);
+        assert_eq!(out.unplaced, 1);
+        assert_eq!(out.assignments[0], None);
+        assert_eq!(out.assignments[1], Some(0));
+    }
+
+    #[test]
+    fn pack_all_respects_all_dimensions() {
+        // Items fit on memory but exhaust CPU.
+        let capacity = Resources::with_memory_gib(2, 100, 100);
+        let items = vec![
+            Resources::with_memory_gib(2, 1, 1),
+            Resources::with_memory_gib(2, 1, 1),
+        ];
+        let out = pack_all(&items, capacity, PackingStrategy::FirstFit, ResourceKind::Memory);
+        assert_eq!(out.bin_count(), 2, "CPU forces a second bin");
+    }
+
+    #[test]
+    fn bins_never_exceed_capacity() {
+        let items: Vec<Resources> = (1..=30).map(|g| mem(g % 7 + 1)).collect();
+        for strategy in PackingStrategy::ALL {
+            let out = pack_all(&items, cap(10), strategy, ResourceKind::Memory);
+            for bin in &out.bins {
+                assert!(cap(10).fits(bin), "{strategy:?}: {bin}");
+            }
+            let placed = out.assignments.iter().flatten().count();
+            assert_eq!(placed + out.unplaced, items.len());
+        }
+    }
+}

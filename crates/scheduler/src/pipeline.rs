@@ -1,0 +1,313 @@
+//! The filter-and-weigher pipeline: Nova's scheduler core.
+
+use crate::filter::Filter;
+use crate::request::{HostView, PlacementRequest, RejectReason};
+use crate::weigher::Weigher;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Scheduling failure: no candidate survived filtering.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScheduleError {
+    /// How many candidates each reason eliminated.
+    pub rejections: Vec<(RejectReason, usize)>,
+}
+
+impl fmt::Display for ScheduleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "no valid host found (")?;
+        for (i, (reason, count)) in self.rejections.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{count}× {reason}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl std::error::Error for ScheduleError {}
+
+/// Running counters of pipeline activity, for the scheduling-efficiency
+/// analyses.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PipelineStats {
+    /// Placement decisions requested.
+    pub requests: u64,
+    /// Requests for which at least one candidate survived.
+    pub scheduled: u64,
+    /// Requests that failed outright.
+    pub failed: u64,
+    /// Candidates eliminated, by reason.
+    pub rejections: HashMap<RejectReason, u64>,
+}
+
+/// An OpenStack-Nova-style scheduler: a filter chain followed by a set of
+/// multiplier-weighted weighers (paper Figure 3).
+///
+/// [`FilterScheduler::rank`] returns *all* surviving candidates in
+/// preference order rather than just the winner, because Nova "implements a
+/// greedy approach with retries reapplying filters and weighers, which
+/// yields multiple suitable candidates" (paper Section 2.2) — the caller
+/// walks the list until a claim succeeds.
+pub struct FilterScheduler {
+    filters: Vec<Box<dyn Filter>>,
+    weighers: Vec<(f64, Box<dyn Weigher>)>,
+    stats: PipelineStats,
+}
+
+impl fmt::Debug for FilterScheduler {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("FilterScheduler")
+            .field(
+                "filters",
+                &self.filters.iter().map(|x| x.name()).collect::<Vec<_>>(),
+            )
+            .field(
+                "weighers",
+                &self
+                    .weighers
+                    .iter()
+                    .map(|(m, w)| (*m, w.name()))
+                    .collect::<Vec<_>>(),
+            )
+            .finish_non_exhaustive()
+    }
+}
+
+impl FilterScheduler {
+    /// A scheduler with explicit filter and weigher chains. Each weigher
+    /// carries a multiplier; negative multipliers turn a spreading weigher
+    /// into a packing one.
+    pub fn new(filters: Vec<Box<dyn Filter>>, weighers: Vec<(f64, Box<dyn Weigher>)>) -> Self {
+        FilterScheduler {
+            filters,
+            weighers,
+            stats: PipelineStats::default(),
+        }
+    }
+
+    /// Pipeline activity counters.
+    pub fn stats(&self) -> &PipelineStats {
+        &self.stats
+    }
+
+    /// Run the pipeline: filter `hosts`, then rank the survivors
+    /// best-first. Returns indices into `hosts`.
+    ///
+    /// Ranking follows Nova's weigher semantics: each weigher's raw scores
+    /// are min-max normalized to `[0, 1]` across the surviving candidates,
+    /// multiplied by the weigher's multiplier, and summed. Ties break by
+    /// candidate index, which keeps the pipeline fully deterministic.
+    pub fn rank(
+        &mut self,
+        request: &PlacementRequest,
+        hosts: &[HostView],
+    ) -> Result<Vec<usize>, ScheduleError> {
+        self.stats.requests += 1;
+
+        // Filter stage.
+        let mut survivors: Vec<usize> = Vec::with_capacity(hosts.len());
+        let mut rejections: HashMap<RejectReason, usize> = HashMap::new();
+        'candidates: for (i, host) in hosts.iter().enumerate() {
+            for f in &self.filters {
+                if let Err(reason) = f.check(request, host) {
+                    *rejections.entry(reason).or_insert(0) += 1;
+                    *self.stats.rejections.entry(reason).or_insert(0) += 1;
+                    continue 'candidates;
+                }
+            }
+            survivors.push(i);
+        }
+
+        if survivors.is_empty() {
+            self.stats.failed += 1;
+            let mut rej: Vec<_> = rejections.into_iter().collect();
+            rej.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| format!("{:?}", a.0).cmp(&format!("{:?}", b.0))));
+            return Err(ScheduleError { rejections: rej });
+        }
+
+        // Weighing stage: min-max normalize each weigher across survivors.
+        let mut totals = vec![0.0f64; survivors.len()];
+        for (multiplier, weigher) in &self.weighers {
+            let raw: Vec<f64> = survivors
+                .iter()
+                .map(|&i| weigher.weigh(request, &hosts[i]))
+                .collect();
+            let lo = raw.iter().cloned().fold(f64::INFINITY, f64::min);
+            let hi = raw.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            let span = hi - lo;
+            for (t, r) in totals.iter_mut().zip(&raw) {
+                let norm = if span > 0.0 { (r - lo) / span } else { 0.0 };
+                *t += multiplier * norm;
+            }
+        }
+
+        let mut order: Vec<usize> = (0..survivors.len()).collect();
+        order.sort_by(|&a, &b| {
+            totals[b]
+                .partial_cmp(&totals[a])
+                .expect("weights are finite")
+                .then_with(|| survivors[a].cmp(&survivors[b]))
+        });
+        self.stats.scheduled += 1;
+        Ok(order.into_iter().map(|k| survivors[k]).collect())
+    }
+
+    /// Convenience: the single best candidate.
+    pub fn select(
+        &mut self,
+        request: &PlacementRequest,
+        hosts: &[HostView],
+    ) -> Result<usize, ScheduleError> {
+        Ok(self.rank(request, hosts)?[0])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::filter::{default_filters, ComputeStatusFilter};
+    use crate::request::test_support::host;
+    use crate::weigher::{CpuWeigher, RamWeigher};
+    use sapsim_topology::{BbPurpose, Resources};
+
+    fn req(cpu: u32, mem: u64) -> PlacementRequest {
+        PlacementRequest::new(1, Resources::new(cpu, mem, 1), BbPurpose::GeneralPurpose)
+    }
+
+    fn spread_scheduler() -> FilterScheduler {
+        FilterScheduler::new(
+            default_filters(),
+            vec![
+                (1.0, Box::new(CpuWeigher) as Box<dyn Weigher>),
+                (1.0, Box::new(RamWeigher)),
+            ],
+        )
+    }
+
+    fn pack_scheduler() -> FilterScheduler {
+        FilterScheduler::new(
+            default_filters(),
+            vec![(-1.0, Box::new(RamWeigher) as Box<dyn Weigher>)],
+        )
+    }
+
+    #[test]
+    fn spreading_prefers_the_emptiest_host() {
+        let hosts = vec![
+            host(0, Resources::new(100, 1000, 100), Resources::new(80, 800, 0)),
+            host(1, Resources::new(100, 1000, 100), Resources::new(10, 100, 0)),
+            host(2, Resources::new(100, 1000, 100), Resources::new(50, 500, 0)),
+        ];
+        let mut s = spread_scheduler();
+        let ranked = s.rank(&req(2, 50), &hosts).unwrap();
+        assert_eq!(ranked, vec![1, 2, 0]);
+    }
+
+    #[test]
+    fn negative_multiplier_bin_packs() {
+        // The fullest host that still fits wins — the HANA strategy.
+        let hosts = vec![
+            host(0, Resources::new(100, 1000, 100), Resources::new(80, 800, 0)),
+            host(1, Resources::new(100, 1000, 100), Resources::new(10, 100, 0)),
+            host(2, Resources::new(100, 1000, 100), Resources::new(50, 500, 0)),
+        ];
+        let mut s = pack_scheduler();
+        let ranked = s.rank(&req(2, 50), &hosts).unwrap();
+        assert_eq!(ranked, vec![0, 2, 1]);
+    }
+
+    #[test]
+    fn filtered_hosts_never_appear_in_the_ranking() {
+        let mut disabled = host(0, Resources::new(100, 1000, 100), Resources::ZERO);
+        disabled.enabled = false;
+        let hosts = vec![
+            disabled,
+            host(1, Resources::new(1, 10, 1), Resources::ZERO), // too small
+            host(2, Resources::new(100, 1000, 100), Resources::ZERO),
+        ];
+        let mut s = spread_scheduler();
+        let ranked = s.rank(&req(4, 100), &hosts).unwrap();
+        assert_eq!(ranked, vec![2]);
+    }
+
+    #[test]
+    fn no_valid_host_reports_reasons() {
+        let mut disabled = host(0, Resources::new(100, 1000, 100), Resources::ZERO);
+        disabled.enabled = false;
+        let hosts = vec![disabled, host(1, Resources::new(1, 10, 1), Resources::ZERO)];
+        let mut s = spread_scheduler();
+        let err = s.rank(&req(4, 100), &hosts).unwrap_err();
+        let total: usize = err.rejections.iter().map(|&(_, n)| n).sum();
+        assert_eq!(total, 2);
+        assert!(err.to_string().contains("no valid host"));
+        assert_eq!(s.stats().failed, 1);
+    }
+
+    #[test]
+    fn empty_candidate_list_fails_cleanly() {
+        let mut s = spread_scheduler();
+        let err = s.rank(&req(1, 1), &[]).unwrap_err();
+        assert!(err.rejections.is_empty());
+    }
+
+    #[test]
+    fn equal_hosts_tie_break_by_index() {
+        let hosts = vec![
+            host(0, Resources::new(10, 100, 10), Resources::ZERO),
+            host(1, Resources::new(10, 100, 10), Resources::ZERO),
+        ];
+        let mut s = spread_scheduler();
+        assert_eq!(s.rank(&req(1, 1), &hosts).unwrap(), vec![0, 1]);
+    }
+
+    #[test]
+    fn single_weigher_normalization_is_scale_invariant() {
+        // Doubling all free capacities must not change the ranking.
+        let mk = |scale: u32| {
+            vec![
+                host(0, Resources::new(100 * scale, 1000, 100), Resources::new(30 * scale, 0, 0)),
+                host(1, Resources::new(100 * scale, 1000, 100), Resources::new(70 * scale, 0, 0)),
+                host(2, Resources::new(100 * scale, 1000, 100), Resources::new(50 * scale, 0, 0)),
+            ]
+        };
+        let mut s1 = FilterScheduler::new(
+            default_filters(),
+            vec![(1.0, Box::new(CpuWeigher) as Box<dyn Weigher>)],
+        );
+        let mut s2 = FilterScheduler::new(
+            default_filters(),
+            vec![(1.0, Box::new(CpuWeigher) as Box<dyn Weigher>)],
+        );
+        let r1 = s1.rank(&req(1, 1), &mk(1)).unwrap();
+        let r2 = s2.rank(&req(1, 1), &mk(2)).unwrap();
+        assert_eq!(r1, r2);
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let hosts = vec![host(0, Resources::new(10, 100, 10), Resources::ZERO)];
+        let mut s = spread_scheduler();
+        s.rank(&req(1, 1), &hosts).unwrap();
+        s.rank(&req(1, 1), &hosts).unwrap();
+        s.rank(&req(100, 1), &hosts).unwrap_err();
+        assert_eq!(s.stats().requests, 3);
+        assert_eq!(s.stats().scheduled, 2);
+        assert_eq!(s.stats().failed, 1);
+        assert_eq!(
+            s.stats().rejections.get(&RejectReason::InsufficientCpu),
+            Some(&1)
+        );
+    }
+
+    #[test]
+    fn status_only_pipeline_keeps_order_with_no_weighers() {
+        let hosts = vec![
+            host(0, Resources::new(1, 1, 1), Resources::ZERO),
+            host(1, Resources::new(1, 1, 1), Resources::ZERO),
+        ];
+        let mut s = FilterScheduler::new(vec![Box::new(ComputeStatusFilter)], vec![]);
+        assert_eq!(s.rank(&req(0, 0), &hosts).unwrap(), vec![0, 1]);
+    }
+}

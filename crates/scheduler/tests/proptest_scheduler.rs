@@ -1,0 +1,176 @@
+//! Property-based tests on the scheduling core: whatever the candidate
+//! set looks like, the pipeline's outputs obey its contracts.
+
+use proptest::prelude::*;
+use sapsim_scheduler::{
+    default_filters, pack_all, CpuWeigher, FilterScheduler, HostLoad, HostView, PackingStrategy,
+    PlacementRequest, RamWeigher, Rebalancer, VmLoad, Weigher,
+};
+use sapsim_topology::{AzId, BbId, BbPurpose, NodeId, ResourceKind, Resources};
+
+fn arb_host(i: u32) -> impl Strategy<Value = HostView> {
+    (
+        0u32..512,
+        0u64..1_048_576,
+        0u64..10_000,
+        any::<bool>(),
+        0.0f64..50.0,
+    )
+        .prop_map(move |(alloc_cpu, alloc_mem, alloc_disk, enabled, contention)| {
+            let capacity = Resources::new(512, 1_048_576, 10_000);
+            HostView {
+                bb: BbId::from_raw(i),
+                node: None,
+                purpose: BbPurpose::GeneralPurpose,
+                az: AzId::from_raw(i % 3),
+                capacity,
+                allocated: Resources::new(alloc_cpu, alloc_mem, alloc_disk),
+                enabled,
+                contention_pct: contention,
+                mean_remaining_lifetime_days: 0.0,
+            }
+        })
+}
+
+fn arb_hosts(max: usize) -> impl Strategy<Value = Vec<HostView>> {
+    prop::collection::vec(any::<u8>(), 1..max).prop_flat_map(|seeds| {
+        seeds
+            .into_iter()
+            .enumerate()
+            .map(|(i, _)| arb_host(i as u32))
+            .collect::<Vec<_>>()
+    })
+}
+
+fn spread() -> FilterScheduler {
+    FilterScheduler::new(
+        default_filters(),
+        vec![
+            (1.0, Box::new(CpuWeigher) as Box<dyn Weigher>),
+            (1.0, Box::new(RamWeigher)),
+        ],
+    )
+}
+
+proptest! {
+    /// Every ranked candidate fits the request and is enabled; the ranking
+    /// is a permutation of exactly the feasible set.
+    #[test]
+    fn ranking_returns_exactly_the_feasible_set(
+        hosts in arb_hosts(40),
+        cpu in 1u32..256,
+        mem in 1u64..524_288,
+    ) {
+        let request = PlacementRequest::new(
+            1,
+            Resources::new(cpu, mem, 100),
+            BbPurpose::GeneralPurpose,
+        );
+        let mut scheduler = spread();
+        let feasible: Vec<usize> = hosts
+            .iter()
+            .enumerate()
+            .filter(|(_, h)| h.enabled && h.fits(&request.resources))
+            .map(|(i, _)| i)
+            .collect();
+        match scheduler.rank(&request, &hosts) {
+            Ok(ranked) => {
+                let mut sorted = ranked.clone();
+                sorted.sort_unstable();
+                prop_assert_eq!(sorted, feasible);
+            }
+            Err(_) => prop_assert!(feasible.is_empty()),
+        }
+    }
+
+    /// Ranking is deterministic.
+    #[test]
+    fn ranking_is_deterministic(hosts in arb_hosts(30)) {
+        let request = PlacementRequest::new(
+            1,
+            Resources::new(8, 8192, 50),
+            BbPurpose::GeneralPurpose,
+        );
+        let r1 = spread().rank(&request, &hosts);
+        let r2 = spread().rank(&request, &hosts);
+        prop_assert_eq!(r1.ok(), r2.ok());
+    }
+
+    /// pack_all never overfills a bin, never loses an item, and the
+    /// decreasing variant never opens more bins than the plain one.
+    #[test]
+    fn packing_invariants(
+        sizes in prop::collection::vec(1u64..512, 1..120),
+    ) {
+        let items: Vec<Resources> = sizes
+            .iter()
+            .map(|&g| Resources::with_memory_gib(1, g, 1))
+            .collect();
+        let capacity = Resources::with_memory_gib(256, 512, 10_000);
+        let ff = pack_all(&items, capacity, PackingStrategy::FirstFit, ResourceKind::Memory);
+        let ffd = pack_all(
+            &items,
+            capacity,
+            PackingStrategy::FirstFitDecreasing,
+            ResourceKind::Memory,
+        );
+        for out in [&ff, &ffd] {
+            for bin in &out.bins {
+                prop_assert!(capacity.fits(bin));
+            }
+            let placed = out.assignments.iter().flatten().count();
+            prop_assert_eq!(placed + out.unplaced, items.len());
+            prop_assert_eq!(out.unplaced, 0, "all items fit an empty bin here");
+        }
+        prop_assert!(ffd.bin_count() <= ff.bin_count());
+        // Lower bound: total size / capacity.
+        let total: u64 = sizes.iter().sum();
+        let lower = total.div_ceil(512) as usize;
+        prop_assert!(ffd.bin_count() >= lower);
+        prop_assert!(ff.bin_count() <= 2 * lower + 1, "FF is 2-approximate-ish");
+    }
+
+    /// The DRS planner never increases the utilization gap, never moves a
+    /// pinned VM, and never exceeds its migration budget.
+    #[test]
+    fn drs_plan_invariants(
+        demands in prop::collection::vec(
+            prop::collection::vec((0.0f64..4.0, any::<bool>()), 0..20),
+            2..12,
+        ),
+    ) {
+        let loads: Vec<HostLoad<NodeId>> = demands
+            .iter()
+            .enumerate()
+            .map(|(i, vms)| HostLoad {
+                id: NodeId::from_raw(i as u32),
+                cpu_capacity: 48.0,
+                mem_capacity_mib: 768.0 * 1024.0,
+                vms: vms
+                    .iter()
+                    .enumerate()
+                    .map(|(j, &(demand, movable))| VmLoad {
+                        vm_uid: (i * 1000 + j) as u64,
+                        cpu_demand: demand,
+                        mem_used_mib: 1024.0,
+                        movable,
+                    })
+                    .collect(),
+            })
+            .collect();
+        let planner = Rebalancer::default();
+        let report = planner.plan(&loads);
+        prop_assert!(report.gap_after <= report.gap_before + 1e-9);
+        prop_assert!(report.migrations.len() <= planner.config().max_migrations);
+        for m in &report.migrations {
+            let host = m.from.index();
+            let vm = loads[host]
+                .vms
+                .iter()
+                .find(|v| v.vm_uid == m.vm_uid)
+                .expect("migrated VM came from its claimed source");
+            prop_assert!(vm.movable, "pinned VMs never move");
+            prop_assert!(m.from != m.to);
+        }
+    }
+}

@@ -1,0 +1,243 @@
+//! The pending-event set: a priority queue ordered by firing time with
+//! stable FIFO tie-breaking and O(log n) cancellation.
+
+use crate::time::SimTime;
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashSet};
+
+/// Opaque handle identifying a scheduled event; used to cancel it.
+///
+/// Handles are unique for the lifetime of a queue and are never reused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EventHandle(u64);
+
+impl EventHandle {
+    /// The raw sequence number. Exposed for logging/debugging only.
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+/// An event queued for execution.
+#[derive(Debug)]
+pub struct QueuedEvent<E> {
+    /// When the event fires.
+    pub time: SimTime,
+    /// Cancellation handle; doubles as the FIFO tie-breaker.
+    pub handle: EventHandle,
+    /// Caller-defined payload.
+    pub payload: E,
+}
+
+impl<E> PartialEq for QueuedEvent<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.handle == other.handle
+    }
+}
+
+impl<E> Eq for QueuedEvent<E> {}
+
+impl<E> PartialOrd for QueuedEvent<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for QueuedEvent<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest time (and, within
+        // a time, the lowest sequence number) pops first. This gives strict
+        // FIFO order among simultaneous events — the determinism guarantee.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.handle.cmp(&self.handle))
+    }
+}
+
+/// Priority queue of future events.
+///
+/// Cancellation is implemented with a tombstone set: `cancel` marks the
+/// handle dead and `pop` lazily discards dead entries. This keeps both
+/// operations O(log n) amortized without requiring a decrease-key heap.
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<QueuedEvent<E>>,
+    cancelled: HashSet<EventHandle>,
+    next_seq: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Create an empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            cancelled: HashSet::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// Number of live (non-cancelled) events still queued.
+    pub fn len(&self) -> usize {
+        self.heap.len() - self.cancelled.len()
+    }
+
+    /// True if no live events remain.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Schedule `payload` to fire at `time`. Returns a cancellation handle.
+    pub fn push(&mut self, time: SimTime, payload: E) -> EventHandle {
+        let handle = EventHandle(self.next_seq);
+        self.next_seq += 1;
+        self.heap.push(QueuedEvent {
+            time,
+            handle,
+            payload,
+        });
+        handle
+    }
+
+    /// Cancel a previously scheduled event. Returns `true` if the event was
+    /// still pending (and is now dead), `false` if it had already fired or
+    /// was already cancelled.
+    pub fn cancel(&mut self, handle: EventHandle) -> bool {
+        if handle.0 >= self.next_seq {
+            return false; // Never issued by this queue.
+        }
+        // Only tombstone handles that are actually still in the heap;
+        // otherwise the tombstone would leak forever.
+        if self.heap.iter().any(|e| e.handle == handle) && self.cancelled.insert(handle) {
+            return true;
+        }
+        false
+    }
+
+    /// Firing time of the next live event, if any.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        self.skip_cancelled();
+        self.heap.peek().map(|e| e.time)
+    }
+
+    /// Remove and return the next live event.
+    pub fn pop(&mut self) -> Option<QueuedEvent<E>> {
+        self.skip_cancelled();
+        self.heap.pop()
+    }
+
+    /// Drop cancelled entries sitting at the top of the heap.
+    fn skip_cancelled(&mut self) {
+        while let Some(top) = self.heap.peek() {
+            if self.cancelled.remove(&top.handle) {
+                self.heap.pop();
+            } else {
+                break;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimTime;
+
+    fn t(secs: u64) -> SimTime {
+        SimTime::from_secs(secs)
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(t(30), "b");
+        q.push(t(10), "a");
+        q.push(t(50), "c");
+        assert_eq!(q.pop().unwrap().payload, "a");
+        assert_eq!(q.pop().unwrap().payload, "b");
+        assert_eq!(q.pop().unwrap().payload, "c");
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn simultaneous_events_are_fifo() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.push(t(5), i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.pop().unwrap().payload, i);
+        }
+    }
+
+    #[test]
+    fn cancellation_removes_event() {
+        let mut q = EventQueue::new();
+        let h1 = q.push(t(1), "a");
+        q.push(t(2), "b");
+        assert!(q.cancel(h1));
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop().unwrap().payload, "b");
+    }
+
+    #[test]
+    fn double_cancel_is_noop() {
+        let mut q = EventQueue::new();
+        let h = q.push(t(1), ());
+        assert!(q.cancel(h));
+        assert!(!q.cancel(h));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn cancel_after_fire_is_noop() {
+        let mut q = EventQueue::new();
+        let h = q.push(t(1), ());
+        q.pop().unwrap();
+        assert!(!q.cancel(h));
+    }
+
+    #[test]
+    fn cancel_unknown_handle_is_noop() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        assert!(!q.cancel(EventHandle(999)));
+    }
+
+    #[test]
+    fn peek_time_skips_cancelled_head() {
+        let mut q = EventQueue::new();
+        let h = q.push(t(1), "dead");
+        q.push(t(2), "live");
+        q.cancel(h);
+        assert_eq!(q.peek_time(), Some(t(2)));
+    }
+
+    #[test]
+    fn len_accounts_for_tombstones() {
+        let mut q = EventQueue::new();
+        let h1 = q.push(t(1), 1);
+        q.push(t(2), 2);
+        q.push(t(3), 3);
+        q.cancel(h1);
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn interleaved_push_pop_preserves_order() {
+        let mut q = EventQueue::new();
+        q.push(t(10), 10);
+        q.push(t(5), 5);
+        assert_eq!(q.pop().unwrap().payload, 5);
+        q.push(t(7), 7);
+        q.push(t(3), 3);
+        assert_eq!(q.pop().unwrap().payload, 3);
+        assert_eq!(q.pop().unwrap().payload, 7);
+        assert_eq!(q.pop().unwrap().payload, 10);
+    }
+}

@@ -1,0 +1,92 @@
+//! Property-based tests for the discrete-event engine: ordering, clock
+//! monotonicity, and cancellation invariants under arbitrary schedules.
+
+use proptest::prelude::*;
+use sapsim_sim::{SimTime, Simulation};
+
+proptest! {
+    /// Events always fire in non-decreasing time order, and equal-time
+    /// events fire in insertion order, for any schedule.
+    #[test]
+    fn firing_order_is_stable_sort(times in proptest::collection::vec(0u64..1000, 1..200)) {
+        let mut sim = Simulation::new();
+        for (i, &t) in times.iter().enumerate() {
+            sim.schedule_at(SimTime::from_secs(t), i);
+        }
+        let mut fired: Vec<(u64, usize)> = Vec::new();
+        while let Some(e) = sim.next_event() {
+            fired.push((e.time.as_secs(), e.payload));
+        }
+        // Expected: stable sort of (time, insertion index).
+        let mut expected: Vec<(u64, usize)> =
+            times.iter().enumerate().map(|(i, &t)| (t, i)).collect();
+        expected.sort_by_key(|&(t, _)| t); // sort_by_key is stable
+        prop_assert_eq!(fired, expected);
+    }
+
+    /// The clock never moves backwards, whatever mix of scheduling and
+    /// horizon-bounded stepping happens.
+    #[test]
+    fn clock_is_monotone(
+        times in proptest::collection::vec(0u64..500, 1..100),
+        horizon in 0u64..600,
+    ) {
+        let mut sim = Simulation::new();
+        for &t in &times {
+            sim.schedule_at(SimTime::from_secs(t), ());
+        }
+        let mut last = sim.now();
+        while let Some(e) = sim.next_event_until(SimTime::from_secs(horizon)) {
+            prop_assert!(e.time >= last);
+            last = e.time;
+        }
+        prop_assert!(sim.now() >= last);
+        prop_assert_eq!(sim.now(), SimTime::from_secs(horizon).max(last));
+    }
+
+    /// Cancelling an arbitrary subset removes exactly those events.
+    #[test]
+    fn cancellation_removes_exactly_the_cancelled(
+        times in proptest::collection::vec(0u64..100, 1..100),
+        cancel_mask in proptest::collection::vec(any::<bool>(), 100),
+    ) {
+        let mut sim = Simulation::new();
+        let handles: Vec<_> = times
+            .iter()
+            .enumerate()
+            .map(|(i, &t)| (i, sim.schedule_at(SimTime::from_secs(t), i)))
+            .collect();
+        let mut expect_alive: Vec<usize> = Vec::new();
+        for (i, h) in handles {
+            if cancel_mask[i % cancel_mask.len()] {
+                prop_assert!(sim.cancel(h));
+            } else {
+                expect_alive.push(i);
+            }
+        }
+        let mut fired: Vec<usize> = Vec::new();
+        while let Some(e) = sim.next_event() {
+            fired.push(e.payload);
+        }
+        fired.sort_unstable();
+        expect_alive.sort_unstable();
+        prop_assert_eq!(fired, expect_alive);
+    }
+
+    /// Two engines fed the same schedule behave identically (determinism).
+    #[test]
+    fn replay_determinism(times in proptest::collection::vec(0u64..1000, 1..150)) {
+        let run = || {
+            let mut sim = Simulation::new();
+            for (i, &t) in times.iter().enumerate() {
+                sim.schedule_at(SimTime::from_secs(t), i);
+            }
+            let mut out = Vec::new();
+            while let Some(e) = sim.next_event() {
+                out.push((e.time, e.payload));
+            }
+            out
+        };
+        prop_assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,171 @@
+//! Prometheus text exposition.
+//!
+//! The paper's monitoring stack serves these metrics over Prometheus's
+//! text-based exposition format (Section 4: vROps and MySQL exporters
+//! scraped by Prometheus). This module renders a snapshot of the store's
+//! most recent samples in that format, so a `sapsim` process can be
+//! scraped by a real Prometheus — or its output diffed against a real
+//! exporter's.
+//!
+//! Format reference: one `# HELP` and `# TYPE` line per metric family,
+//! then one sample line per series:
+//!
+//! ```text
+//! # HELP vrops_hostsystem_cpu_contention_percentage Observed CPU contention per compute host
+//! # TYPE vrops_hostsystem_cpu_contention_percentage gauge
+//! vrops_hostsystem_cpu_contention_percentage{entity="node-17"} 1.25 1722384000000
+//! ```
+
+use crate::metric::MetricId;
+use crate::registry::metric_catalog;
+use crate::store::TsdbStore;
+use std::fmt::Write as _;
+
+/// Render the latest sample of every raw series as a Prometheus text
+/// exposition page. Series are grouped by metric family in Table 4 order;
+/// timestamps are the samples' simulation-time milliseconds.
+pub fn render_exposition(store: &TsdbStore) -> String {
+    let mut out = String::new();
+    for info in metric_catalog() {
+        let series = store.series_of(info.id);
+        if series.is_empty() {
+            continue;
+        }
+        let _ = writeln!(out, "# HELP {} {}", info.name, info.description);
+        let _ = writeln!(out, "# TYPE {} gauge", info.name);
+        for (entity, s) in series {
+            if let Some((t, v)) = s.last() {
+                let _ = writeln!(
+                    out,
+                    "{}{{entity=\"{}\"}} {} {}",
+                    info.name,
+                    entity,
+                    format_value(v),
+                    t.as_millis()
+                );
+            }
+        }
+    }
+    out
+}
+
+/// Prometheus float formatting: integers without a trailing `.0`,
+/// non-finite values in Prometheus's spelling.
+fn format_value(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".to_string()
+    } else if v.is_infinite() {
+        if v > 0.0 { "+Inf" } else { "-Inf" }.to_string()
+    } else if v == v.trunc() && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+/// Render only one metric family (for targeted scrape endpoints).
+pub fn render_family(store: &TsdbStore, metric: MetricId) -> String {
+    let mut out = String::new();
+    let series = store.series_of(metric);
+    if series.is_empty() {
+        return out;
+    }
+    let info = metric_catalog()
+        .into_iter()
+        .find(|i| i.id == metric)
+        .expect("catalog covers every metric");
+    let _ = writeln!(out, "# HELP {} {}", info.name, info.description);
+    let _ = writeln!(out, "# TYPE {} gauge", info.name);
+    for (entity, s) in series {
+        if let Some((t, v)) = s.last() {
+            let _ = writeln!(
+                out,
+                "{}{{entity=\"{}\"}} {} {}",
+                info.name,
+                entity,
+                format_value(v),
+                t.as_millis()
+            );
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metric::EntityRef;
+    use sapsim_sim::SimTime;
+
+    fn store_fixture() -> TsdbStore {
+        let mut db = TsdbStore::new(30);
+        db.record(
+            MetricId::HostCpuContentionPct,
+            EntityRef::Node(17),
+            SimTime::from_secs(300),
+            1.25,
+        );
+        db.record(
+            MetricId::HostCpuContentionPct,
+            EntityRef::Node(17),
+            SimTime::from_secs(600),
+            2.5,
+        );
+        db.record(
+            MetricId::OsInstancesTotal,
+            EntityRef::Region,
+            SimTime::from_secs(30),
+            42.0,
+        );
+        db
+    }
+
+    #[test]
+    fn exposition_has_help_type_and_latest_samples() {
+        let page = render_exposition(&store_fixture());
+        assert!(page.contains(
+            "# HELP vrops_hostsystem_cpu_contention_percentage Observed CPU contention per compute host"
+        ));
+        assert!(page.contains("# TYPE vrops_hostsystem_cpu_contention_percentage gauge"));
+        // Latest sample only, with millisecond timestamp.
+        assert!(page.contains(
+            "vrops_hostsystem_cpu_contention_percentage{entity=\"node-17\"} 2.5 600000"
+        ));
+        assert!(!page.contains("1.25"), "older samples are not exposed");
+        assert!(page.contains("openstack_compute_instances_total{entity=\"region\"} 42 30000"));
+    }
+
+    #[test]
+    fn families_appear_in_table4_order() {
+        let page = render_exposition(&store_fixture());
+        let contention = page
+            .find("vrops_hostsystem_cpu_contention_percentage")
+            .unwrap();
+        let instances = page.find("openstack_compute_instances_total").unwrap();
+        assert!(contention < instances);
+    }
+
+    #[test]
+    fn single_family_render() {
+        let db = store_fixture();
+        let page = render_family(&db, MetricId::HostCpuContentionPct);
+        assert_eq!(page.lines().count(), 3, "HELP + TYPE + one series");
+        let empty = render_family(&db, MetricId::HostMemUsagePct);
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn value_formatting_matches_prometheus() {
+        assert_eq!(format_value(42.0), "42");
+        assert_eq!(format_value(1.25), "1.25");
+        assert_eq!(format_value(f64::NAN), "NaN");
+        assert_eq!(format_value(f64::INFINITY), "+Inf");
+        assert_eq!(format_value(f64::NEG_INFINITY), "-Inf");
+        assert_eq!(format_value(-7.0), "-7");
+    }
+
+    #[test]
+    fn empty_store_renders_empty_page() {
+        assert!(render_exposition(&TsdbStore::new(30)).is_empty());
+    }
+}

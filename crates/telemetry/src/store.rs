@@ -1,0 +1,216 @@
+//! The in-memory time-series database.
+
+use crate::metric::{EntityRef, MetricId};
+use crate::rollup::DailyRollup;
+use crate::series::TimeSeries;
+use sapsim_sim::SimTime;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// The identity of one series: `(metric, entity)` — equivalent to a
+/// Prometheus metric name plus its label set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct SeriesKey {
+    /// Which metric.
+    pub metric: MetricId,
+    /// Which entity it is recorded against.
+    pub entity: EntityRef,
+}
+
+impl SeriesKey {
+    /// Construct a key.
+    pub fn new(metric: MetricId, entity: EntityRef) -> Self {
+        SeriesKey { metric, entity }
+    }
+}
+
+/// An in-memory TSDB holding raw series and/or daily rollups.
+///
+/// Two storage modes per series, chosen by the recording side:
+///
+/// * [`record`](TsdbStore::record) keeps every raw sample — needed for
+///   interval-resolution analyses (Figure 8's ready-time spikes, Figure 9's
+///   contention percentiles).
+/// * [`record_rolled`](TsdbStore::record_rolled) streams into a per-day
+///   aggregate — sufficient for the daily-average heatmaps and far smaller.
+///
+/// Both may be used for the same key; they are independent views.
+#[derive(Debug, Default, Clone, Serialize, Deserialize)]
+pub struct TsdbStore {
+    raw: HashMap<SeriesKey, TimeSeries>,
+    rolled: HashMap<SeriesKey, DailyRollup>,
+    rollup_days: usize,
+}
+
+impl TsdbStore {
+    /// A store whose rollups cover `rollup_days` days (the paper's
+    /// observation window is 30).
+    pub fn new(rollup_days: usize) -> Self {
+        TsdbStore {
+            raw: HashMap::new(),
+            rolled: HashMap::new(),
+            rollup_days,
+        }
+    }
+
+    /// The configured rollup window.
+    pub fn rollup_days(&self) -> usize {
+        self.rollup_days
+    }
+
+    /// Append a raw sample.
+    pub fn record(&mut self, metric: MetricId, entity: EntityRef, time: SimTime, value: f64) {
+        self.raw
+            .entry(SeriesKey::new(metric, entity))
+            .or_default()
+            .push(time, value);
+    }
+
+    /// Stream a sample into the daily rollup.
+    pub fn record_rolled(
+        &mut self,
+        metric: MetricId,
+        entity: EntityRef,
+        time: SimTime,
+        value: f64,
+    ) {
+        let days = self.rollup_days;
+        self.rolled
+            .entry(SeriesKey::new(metric, entity))
+            .or_insert_with(|| DailyRollup::new(days))
+            .push(time, value);
+    }
+
+    /// Raw series for a key, if any samples were recorded.
+    pub fn series(&self, metric: MetricId, entity: EntityRef) -> Option<&TimeSeries> {
+        self.raw.get(&SeriesKey::new(metric, entity))
+    }
+
+    /// Daily rollup for a key, if any samples were streamed.
+    pub fn rollup(&self, metric: MetricId, entity: EntityRef) -> Option<&DailyRollup> {
+        self.rolled.get(&SeriesKey::new(metric, entity))
+    }
+
+    /// All raw series of one metric, in deterministic (key-sorted) order.
+    pub fn series_of(&self, metric: MetricId) -> Vec<(EntityRef, &TimeSeries)> {
+        let mut v: Vec<_> = self
+            .raw
+            .iter()
+            .filter(|(k, _)| k.metric == metric)
+            .map(|(k, s)| (k.entity, s))
+            .collect();
+        v.sort_by_key(|(e, _)| *e);
+        v
+    }
+
+    /// All rollups of one metric, in deterministic (key-sorted) order.
+    pub fn rollups_of(&self, metric: MetricId) -> Vec<(EntityRef, &DailyRollup)> {
+        let mut v: Vec<_> = self
+            .rolled
+            .iter()
+            .filter(|(k, _)| k.metric == metric)
+            .map(|(k, s)| (k.entity, s))
+            .collect();
+        v.sort_by_key(|(e, _)| *e);
+        v
+    }
+
+    /// Number of raw series.
+    pub fn raw_series_count(&self) -> usize {
+        self.raw.len()
+    }
+
+    /// Number of rolled series.
+    pub fn rolled_series_count(&self) -> usize {
+        self.rolled.len()
+    }
+
+    /// Total raw samples across all series.
+    pub fn raw_sample_count(&self) -> usize {
+        self.raw.values().map(|s| s.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn record_and_query_raw() {
+        let mut db = TsdbStore::new(30);
+        let e = EntityRef::Node(0);
+        db.record(MetricId::HostCpuUtilPct, e, t(0), 50.0);
+        db.record(MetricId::HostCpuUtilPct, e, t(300), 60.0);
+        let s = db.series(MetricId::HostCpuUtilPct, e).unwrap();
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.mean(), Some(55.0));
+        assert!(db.series(MetricId::HostMemUsagePct, e).is_none());
+    }
+
+    #[test]
+    fn rolled_recording_aggregates_by_day() {
+        let mut db = TsdbStore::new(2);
+        let e = EntityRef::Node(1);
+        db.record_rolled(MetricId::HostMemUsagePct, e, t(100), 10.0);
+        db.record_rolled(MetricId::HostMemUsagePct, e, t(200), 30.0);
+        db.record_rolled(
+            MetricId::HostMemUsagePct,
+            e,
+            SimTime::from_days(1) + sapsim_sim::SimDuration::from_secs(5),
+            50.0,
+        );
+        let r = db.rollup(MetricId::HostMemUsagePct, e).unwrap();
+        assert_eq!(r.daily_means(), vec![Some(20.0), Some(50.0)]);
+    }
+
+    #[test]
+    fn series_of_is_sorted_and_filtered() {
+        let mut db = TsdbStore::new(30);
+        for i in [5u32, 1, 3] {
+            db.record(MetricId::HostCpuReadyMs, EntityRef::Node(i), t(0), i as f64);
+        }
+        db.record(MetricId::HostMemUsagePct, EntityRef::Node(9), t(0), 1.0);
+        let got: Vec<_> = db
+            .series_of(MetricId::HostCpuReadyMs)
+            .into_iter()
+            .map(|(e, _)| e)
+            .collect();
+        assert_eq!(
+            got,
+            vec![EntityRef::Node(1), EntityRef::Node(3), EntityRef::Node(5)]
+        );
+    }
+
+    #[test]
+    fn raw_and_rolled_views_are_independent() {
+        let mut db = TsdbStore::new(30);
+        let e = EntityRef::Vm(7);
+        db.record(MetricId::VmCpuUsageRatio, e, t(0), 0.5);
+        assert!(db.rollup(MetricId::VmCpuUsageRatio, e).is_none());
+        db.record_rolled(MetricId::VmCpuUsageRatio, e, t(0), 0.5);
+        assert_eq!(db.raw_series_count(), 1);
+        assert_eq!(db.rolled_series_count(), 1);
+        assert_eq!(db.raw_sample_count(), 1);
+    }
+
+    #[test]
+    fn counts() {
+        let mut db = TsdbStore::new(30);
+        for i in 0..10u32 {
+            for s in 0..5u64 {
+                db.record(
+                    MetricId::HostCpuUtilPct,
+                    EntityRef::Node(i),
+                    t(s * 300),
+                    0.0,
+                );
+            }
+        }
+        assert_eq!(db.raw_series_count(), 10);
+        assert_eq!(db.raw_sample_count(), 50);
+    }
+}

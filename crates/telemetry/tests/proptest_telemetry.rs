@@ -1,0 +1,123 @@
+//! Property-based tests on the telemetry substrate: streaming rollups
+//! agree with whole-series recomputation, and the summary statistics obey
+//! their order relations.
+
+use proptest::prelude::*;
+use sapsim_telemetry::{summary, DailyRollup, RunningStat, TimeSeries};
+use sapsim_sim::SimTime;
+
+proptest! {
+    /// A streamed rollup equals a brute-force recomputation over the same
+    /// samples, day by day.
+    #[test]
+    fn rollup_matches_bruteforce(
+        samples in prop::collection::vec((0u64..30 * 86_400, -100.0f64..100.0), 0..500),
+    ) {
+        let days = 30usize;
+        let mut rollup = DailyRollup::new(days);
+        for &(secs, v) in &samples {
+            rollup.push(SimTime::from_secs(secs), v);
+        }
+        for day in 0..days {
+            let brute: Vec<f64> = samples
+                .iter()
+                .filter(|&&(secs, _)| (secs / 86_400) as usize == day)
+                .map(|&(_, v)| v)
+                .collect();
+            let expect = if brute.is_empty() {
+                None
+            } else {
+                Some(brute.iter().sum::<f64>() / brute.len() as f64)
+            };
+            let got = rollup.day(day).and_then(|c| c.mean());
+            match (expect, got) {
+                (None, None) => {}
+                (Some(e), Some(g)) => prop_assert!((e - g).abs() < 1e-9),
+                other => prop_assert!(false, "mismatch on day {day}: {other:?}"),
+            }
+        }
+    }
+
+    /// Merging split accumulators equals accumulating everything at once.
+    #[test]
+    fn running_stat_merge_associativity(
+        values in prop::collection::vec(-1e6f64..1e6, 1..200),
+        split in 0usize..200,
+    ) {
+        let split = split.min(values.len());
+        let mut a = RunningStat::new();
+        let mut b = RunningStat::new();
+        let mut whole = RunningStat::new();
+        for (i, &v) in values.iter().enumerate() {
+            if i < split { a.push(v) } else { b.push(v) }
+            whole.push(v);
+        }
+        a.merge(&b);
+        prop_assert_eq!(a.count, whole.count);
+        prop_assert!((a.sum - whole.sum).abs() <= 1e-6 * whole.sum.abs().max(1.0));
+        prop_assert_eq!(a.min, whole.min);
+        prop_assert_eq!(a.max, whole.max);
+    }
+
+    /// Quantiles are monotone in q and bounded by min/max.
+    #[test]
+    fn quantiles_are_monotone_and_bounded(
+        values in prop::collection::vec(-1e3f64..1e3, 1..300),
+        qs in prop::collection::vec(0.0f64..1.0, 2..10),
+    ) {
+        let mut qs = qs;
+        qs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let min = values.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let mut last = f64::NEG_INFINITY;
+        for &q in &qs {
+            let v = summary::quantile(&values, q).unwrap();
+            prop_assert!(v >= min - 1e-9 && v <= max + 1e-9);
+            prop_assert!(v >= last - 1e-9, "monotone in q");
+            last = v;
+        }
+    }
+
+    /// The empirical CDF evaluated via fraction_below agrees with the
+    /// sorted-pairs construction.
+    #[test]
+    fn cdf_consistency(values in prop::collection::vec(-100.0f64..100.0, 1..200)) {
+        let cdf = summary::empirical_cdf(&values);
+        prop_assert_eq!(cdf.len(), values.len());
+        for &(v, frac) in &cdf {
+            // fraction strictly below plus ties at v must bracket frac.
+            let below = summary::fraction_below(&values, v);
+            let at_or_below = values.iter().filter(|&&x| x <= v).count() as f64
+                / values.len() as f64;
+            prop_assert!(below <= frac + 1e-9);
+            prop_assert!(frac <= at_or_below + 1e-9);
+        }
+    }
+
+    /// Series range queries agree with linear filtering.
+    #[test]
+    fn series_range_matches_filter(
+        times in prop::collection::vec(0u64..10_000, 1..100),
+        window in (0u64..10_000, 0u64..10_000),
+    ) {
+        let mut sorted = times;
+        sorted.sort_unstable();
+        let mut series = TimeSeries::new();
+        for (i, &t) in sorted.iter().enumerate() {
+            series.push(SimTime::from_secs(t), i as f64);
+        }
+        let (a, b) = window;
+        let (start, end) = (a.min(b), a.max(b));
+        let got: Vec<f64> = series
+            .range(SimTime::from_secs(start), SimTime::from_secs(end))
+            .map(|(_, v)| v)
+            .collect();
+        let expect: Vec<f64> = sorted
+            .iter()
+            .enumerate()
+            .filter(|&(_, &t)| t >= start && t < end)
+            .map(|(i, _)| i as f64)
+            .collect();
+        prop_assert_eq!(got, expect);
+    }
+}

@@ -1,0 +1,298 @@
+//! Per-VM resource demand models.
+//!
+//! Each VM owns a [`UsageModel`] (fixed parameters drawn once from its
+//! archetype) and a [`UsageState`] (the evolving Ornstein–Uhlenbeck noise).
+//! Sampling yields the two ratios the dataset reports per VM:
+//! `vrops_virtualmachine_cpu_usage_ratio` and
+//! `vrops_virtualmachine_memory_consumed_ratio` — fractions of the
+//! *requested* flavor resources actually consumed.
+//!
+//! The model is a sum of four components:
+//!
+//! * a per-VM constant mean (drawn from the archetype's range — this is
+//!   what spreads the Figure 14 CDFs),
+//! * a business-hours sinusoid, dampened on weekends (the weekday/weekend
+//!   effect visible in Figure 8),
+//! * mean-reverting Ornstein–Uhlenbeck noise with a ~2 h correlation time
+//!   (short-term fluctuation),
+//! * occasional spikes (builds, batch jobs) that drive contention tails.
+
+use crate::archetype::{Archetype, ArchetypeParams};
+use rand::Rng;
+use rand_distr::{Distribution, StandardNormal};
+use sapsim_sim::{SimDuration, SimRng, SimTime};
+use serde::{Deserialize, Serialize};
+use std::f64::consts::TAU;
+
+/// Correlation time of the OU noise.
+const OU_TAU_SECS: f64 = 2.0 * 3600.0;
+
+/// Mean-CPU band for hot outlier VMs (Figure 14(a)'s small
+/// optimally-/over-utilized tail).
+const CPU_HOT_RANGE: (f64, f64) = (0.60, 0.95);
+
+/// Mean-memory band for the high component of the bimodal consumed-memory
+/// mixture (Figure 14(b)'s >85 % majority).
+const MEM_HIGH_RANGE: (f64, f64) = (0.86, 0.99);
+
+/// Fixed demand parameters of one VM.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct UsageModel {
+    /// Long-run mean CPU utilization (fraction of requested vCPUs).
+    pub cpu_mean: f64,
+    /// Diurnal amplitude, relative to `cpu_mean` (0.5 = ±50 % swing).
+    pub cpu_diurnal_amp: f64,
+    /// OU noise stationary standard deviation (CPU).
+    pub cpu_noise_sigma: f64,
+    /// Per-sample spike probability.
+    pub cpu_spike_prob: f64,
+    /// Spike magnitude.
+    pub cpu_spike_mag: f64,
+    /// Weekend dampening factor (0 = none, 1 = fully idle weekends).
+    pub weekend_dampening: f64,
+    /// Hour of day at which this VM's load peaks.
+    pub peak_hour: f64,
+    /// Long-run mean memory-consumed ratio.
+    pub mem_mean: f64,
+    /// OU noise stationary standard deviation (memory).
+    pub mem_noise_sigma: f64,
+    /// Linear memory growth per day of VM age.
+    pub mem_daily_drift: f64,
+}
+
+impl UsageModel {
+    /// Draw a model for one VM of the given archetype. Each VM gets its own
+    /// mean levels and peak hour, which is what produces the population
+    /// spread of Figure 14 rather than identical curves.
+    pub fn draw(archetype: Archetype, rng: &mut SimRng) -> UsageModel {
+        let p: ArchetypeParams = archetype.params();
+        let cpu_mean = if p.cpu_hot_prob > 0.0 && rng.gen_bool(p.cpu_hot_prob) {
+            rng.gen_range(CPU_HOT_RANGE.0..CPU_HOT_RANGE.1)
+        } else {
+            rng.gen_range(p.cpu_mean_range.0..p.cpu_mean_range.1)
+        };
+        let mem_mean = if p.mem_high_prob > 0.0 && rng.gen_bool(p.mem_high_prob) {
+            rng.gen_range(MEM_HIGH_RANGE.0..MEM_HIGH_RANGE.1)
+        } else {
+            rng.gen_range(p.mem_mean_range.0..p.mem_mean_range.1)
+        };
+        // Business-hours peak, mid-morning to late afternoon, with a little
+        // per-VM jitter so load is not synchronized fleet-wide.
+        let peak_hour = rng.gen_range(8.0..18.0);
+        UsageModel {
+            cpu_mean,
+            cpu_diurnal_amp: p.cpu_diurnal_amp,
+            cpu_noise_sigma: p.cpu_noise_sigma,
+            cpu_spike_prob: p.cpu_spike_prob,
+            cpu_spike_mag: p.cpu_spike_mag,
+            weekend_dampening: p.weekend_dampening,
+            peak_hour,
+            mem_mean,
+            mem_noise_sigma: p.mem_noise_sigma,
+            mem_daily_drift: p.mem_daily_drift,
+        }
+    }
+
+    /// Deterministic expected CPU level at `time` (no noise, no spikes).
+    /// Exposed for tests and for cheap contention estimation.
+    pub fn cpu_level(&self, time: SimTime) -> f64 {
+        let hour = (time.as_millis() % sapsim_sim::MILLIS_PER_DAY) as f64
+            / sapsim_sim::MILLIS_PER_HOUR as f64;
+        let diurnal = (TAU * (hour - self.peak_hour) / 24.0).cos();
+        let weekday_scale = if time.is_weekend() {
+            1.0 - self.weekend_dampening
+        } else {
+            1.0
+        };
+        // The diurnal swing is *relative* to the VM's own mean: a mostly
+        // idle VM swings a little, a busy one a lot. An absolute swing
+        // would let small-mean VMs saturate whole nodes at the peak hour.
+        (self.cpu_mean * (1.0 + self.cpu_diurnal_amp * diurnal) * weekday_scale).clamp(0.0, 1.0)
+    }
+
+    /// Advance the VM's noise state by `dt` and sample the pair of
+    /// utilization ratios at `time`, for a VM created `age` ago.
+    ///
+    /// Returns `(cpu_ratio, mem_ratio)`, both in `[0, 1]`.
+    pub fn sample(
+        &self,
+        state: &mut UsageState,
+        time: SimTime,
+        dt: SimDuration,
+        age: SimDuration,
+        rng: &mut SimRng,
+    ) -> (f64, f64) {
+        state.advance(self, dt, rng);
+        let mut cpu = self.cpu_level(time) + state.ou_cpu;
+        if self.cpu_spike_prob > 0.0 && rng.gen_bool(self.cpu_spike_prob.min(1.0)) {
+            cpu += self.cpu_spike_mag * rng.gen_range(0.5..1.0);
+        }
+        let mem = self.mem_mean + self.mem_daily_drift * age.as_days_f64() + state.ou_mem;
+        (cpu.clamp(0.0, 1.0), mem.clamp(0.02, 1.0))
+    }
+}
+
+/// Evolving noise state of one VM.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct UsageState {
+    /// OU deviation of CPU from its deterministic level.
+    pub ou_cpu: f64,
+    /// OU deviation of memory from its mean.
+    pub ou_mem: f64,
+}
+
+impl UsageState {
+    /// Fresh state with zero deviation.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Exact OU transition over `dt`:
+    /// `x ← αx + σ√(1−α²)·z` with `α = exp(−dt/τ)`, which keeps the
+    /// stationary distribution `N(0, σ²)` for any step size — scrape
+    /// intervals of 30 s and 300 s therefore see the same marginal noise.
+    fn advance(&mut self, model: &UsageModel, dt: SimDuration, rng: &mut SimRng) {
+        let alpha = (-dt.as_secs_f64() / OU_TAU_SECS).exp();
+        let scale = (1.0 - alpha * alpha).sqrt();
+        let z_cpu: f64 = StandardNormal.sample(rng);
+        let z_mem: f64 = StandardNormal.sample(rng);
+        self.ou_cpu = alpha * self.ou_cpu + model.cpu_noise_sigma * scale * z_cpu;
+        self.ou_mem = alpha * self.ou_mem + model.mem_noise_sigma * scale * z_mem;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model(archetype: Archetype, seed: u64) -> (UsageModel, SimRng) {
+        let mut rng = SimRng::seed_from(seed);
+        (UsageModel::draw(archetype, &mut rng), rng)
+    }
+
+    #[test]
+    fn draw_is_reproducible() {
+        let (m1, _) = model(Archetype::AbapAppServer, 5);
+        let (m2, _) = model(Archetype::AbapAppServer, 5);
+        assert_eq!(m1, m2);
+        let (m3, _) = model(Archetype::AbapAppServer, 6);
+        assert_ne!(m1, m3);
+    }
+
+    #[test]
+    fn samples_are_in_range() {
+        for a in Archetype::ALL {
+            let (m, mut rng) = model(a, 42);
+            let mut st = UsageState::new();
+            let dt = SimDuration::from_secs(300);
+            let mut t = SimTime::ZERO;
+            for i in 0..2000 {
+                let (cpu, mem) = m.sample(&mut st, t, dt, SimDuration::from_days(i / 288), &mut rng);
+                assert!((0.0..=1.0).contains(&cpu), "{a}: cpu={cpu}");
+                assert!((0.0..=1.0).contains(&mem), "{a}: mem={mem}");
+                t += dt;
+            }
+        }
+    }
+
+    #[test]
+    fn long_run_cpu_mean_tracks_model_mean() {
+        let (m, mut rng) = model(Archetype::KubernetesNode, 7);
+        let mut st = UsageState::new();
+        let dt = SimDuration::from_secs(300);
+        let mut t = SimTime::ZERO;
+        let mut sum = 0.0;
+        let n = 288 * 28; // four whole weeks
+        for _ in 0..n {
+            let (cpu, _) = m.sample(&mut st, t, dt, SimDuration::ZERO, &mut rng);
+            sum += cpu;
+            t += dt;
+        }
+        let measured = sum / n as f64;
+        // Diurnal averages out over whole days; weekends and spikes shift
+        // the mean slightly, so tolerate a modest band.
+        assert!(
+            (measured - m.cpu_mean).abs() < 0.10,
+            "measured={measured:.3} model mean={:.3}",
+            m.cpu_mean
+        );
+    }
+
+    #[test]
+    fn weekday_peak_exceeds_weekend_level() {
+        let (m, _) = model(Archetype::AbapAppServer, 3);
+        // Day 0 (Wednesday) at the peak hour vs day 3 (Saturday) same hour.
+        let peak_ms = (m.peak_hour * sapsim_sim::MILLIS_PER_HOUR as f64) as u64;
+        let weekday = SimTime::from_millis(peak_ms);
+        let weekend = SimTime::from_days(3) + SimDuration::from_millis(peak_ms);
+        assert!(m.cpu_level(weekday) > m.cpu_level(weekend));
+    }
+
+    #[test]
+    fn diurnal_peak_is_at_peak_hour() {
+        // Use an explicit mid-range mean so neither extreme clamps.
+        let (mut m, _) = model(Archetype::AbapAppServer, 9);
+        m.cpu_mean = 0.5;
+        let at = |h: f64| {
+            m.cpu_level(SimTime::from_millis(
+                (h * sapsim_sim::MILLIS_PER_HOUR as f64) as u64,
+            ))
+        };
+        let peak = at(m.peak_hour);
+        let trough = at((m.peak_hour + 12.0) % 24.0);
+        assert!(peak > trough);
+        assert!(
+            (peak - trough - 2.0 * m.cpu_diurnal_amp * m.cpu_mean).abs() < 1e-6,
+            "peak-trough span equals twice the relative amplitude times the mean"
+        );
+    }
+
+    #[test]
+    fn memory_drift_accumulates_with_age() {
+        let (m, mut rng) = model(Archetype::HanaDb, 11);
+        let mut st = UsageState::new();
+        let dt = SimDuration::from_secs(300);
+        // Compare expected memory at age 0 and age 200 days: drift should
+        // dominate noise.
+        let (_, young) = m.sample(&mut st, SimTime::ZERO, dt, SimDuration::ZERO, &mut rng);
+        let mut old_sum = 0.0;
+        for _ in 0..50 {
+            let (_, v) = m.sample(
+                &mut st,
+                SimTime::ZERO,
+                dt,
+                SimDuration::from_days(200),
+                &mut rng,
+            );
+            old_sum += v;
+        }
+        let old = old_sum / 50.0;
+        assert!(
+            old >= young || old >= 0.99,
+            "200-day-old HANA VM consumes more memory (young={young:.3}, old={old:.3})"
+        );
+    }
+
+    #[test]
+    fn ou_noise_is_stationary_across_step_sizes() {
+        // Sampling with 30 s steps and 300 s steps must give the same
+        // stationary spread (the exact OU discretization property).
+        let spread = |step_secs: u64, seed: u64| {
+            let (m, mut rng) = model(Archetype::GenericService, seed);
+            let mut st = UsageState::new();
+            let dt = SimDuration::from_secs(step_secs);
+            let mut vals = Vec::new();
+            for _ in 0..5000 {
+                st.advance(&m, dt, &mut rng);
+                vals.push(st.ou_cpu);
+            }
+            let mean = vals.iter().sum::<f64>() / vals.len() as f64;
+            (vals.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / vals.len() as f64).sqrt()
+        };
+        let (m, _) = model(Archetype::GenericService, 13);
+        let s30 = spread(30, 13);
+        let s300 = spread(300, 13);
+        assert!((s30 - m.cpu_noise_sigma).abs() < 0.02, "s30={s30}");
+        assert!((s300 - m.cpu_noise_sigma).abs() < 0.02, "s300={s300}");
+    }
+}

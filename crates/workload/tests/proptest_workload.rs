@@ -1,0 +1,91 @@
+//! Property-based tests on the workload generator: whatever the scale,
+//! seed, and churn settings, the generated population obeys its contracts.
+
+use proptest::prelude::*;
+use sapsim_sim::SimTime;
+use sapsim_workload::{
+    paper_flavor_catalog, CpuClass, GeneratorConfig, RamClass, WorkloadClass, WorkloadGenerator,
+};
+
+fn config(scale: f64, seed: u64, churn: bool, rampup: u64) -> GeneratorConfig {
+    GeneratorConfig {
+        scale,
+        horizon_days: 10,
+        churn,
+        rampup_days: rampup,
+        resize_probability: 0.05,
+        seed,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Structural invariants hold for arbitrary (scale, seed, churn).
+    #[test]
+    fn generated_specs_are_well_formed(
+        scale in 0.005f64..0.05,
+        seed in 0u64..1000,
+        churn in any::<bool>(),
+        rampup in prop::sample::select(vec![0u64, 7]),
+    ) {
+        let gen = WorkloadGenerator::new(paper_flavor_catalog(), config(scale, seed, churn, rampup));
+        let specs = gen.generate();
+        prop_assert!(!specs.is_empty());
+        let horizon = SimTime::from_days(rampup + 10);
+        for (i, s) in specs.iter().enumerate() {
+            prop_assert_eq!(s.id.raw(), i as u64, "ids are dense and ordered");
+            prop_assert!(s.arrival < horizon);
+            prop_assert!(s.age_at_arrival <= s.lifetime);
+            prop_assert!(s.departure() >= s.arrival);
+            prop_assert!(s.resources.cpu_cores >= 1);
+            prop_assert!(s.resources.memory_mib >= 1024);
+            if let Some(r) = s.resize {
+                prop_assert_eq!(s.class, WorkloadClass::GeneralPurpose, "only GP resizes");
+                prop_assert!(r.resources.cpu_cores > s.resources.cpu_cores);
+            }
+            // HANA flavors stay memory-giants; others stay below.
+            match s.class {
+                WorkloadClass::Hana => prop_assert!(s.resources.memory_gib() >= 512),
+                _ => prop_assert!(s.resources.memory_gib() <= 256),
+            }
+        }
+        // Sorted by arrival.
+        for w in specs.windows(2) {
+            prop_assert!(w[0].arrival <= w[1].arrival);
+        }
+    }
+
+    /// Class shares stay close to Tables 1/2 across scales and seeds
+    /// (initial population only; churn weights short-lived classes by
+    /// turnover, which the paper's averaging handles via aliveness).
+    #[test]
+    fn class_shares_are_scale_invariant(
+        scale in 0.02f64..0.10,
+        seed in 0u64..50,
+    ) {
+        let gen = WorkloadGenerator::new(paper_flavor_catalog(), config(scale, seed, false, 0));
+        let specs = gen.generate();
+        let n = specs.len() as f64;
+        let small = specs
+            .iter()
+            .filter(|s| CpuClass::of(s.resources.cpu_cores) == CpuClass::Small)
+            .count() as f64;
+        prop_assert!((small / n - 0.627).abs() < 0.02, "small share = {:.3}", small / n);
+        let ram_medium = specs
+            .iter()
+            .filter(|s| RamClass::of(s.resources.memory_gib()) == RamClass::Medium)
+            .count() as f64;
+        prop_assert!((ram_medium / n - 0.912).abs() < 0.02, "medium = {:.3}", ram_medium / n);
+    }
+
+    /// Same config, same output; different seeds diverge.
+    #[test]
+    fn seed_determinism(seed in 0u64..500) {
+        let a = WorkloadGenerator::new(paper_flavor_catalog(), config(0.01, seed, true, 0)).generate();
+        let b = WorkloadGenerator::new(paper_flavor_catalog(), config(0.01, seed, true, 0)).generate();
+        prop_assert_eq!(&a, &b);
+        let c = WorkloadGenerator::new(paper_flavor_catalog(), config(0.01, seed + 1, true, 0)).generate();
+        prop_assert_ne!(&a, &c);
+    }
+}

@@ -1,0 +1,65 @@
+//! Capacity planning: the paper's primary optimization objective is to
+//! "maximize the number of placeable VMs per flavor" (Section 3.2). This
+//! example uses the offline bin-packing baselines to answer: *how many
+//! HANA systems of each flavor fit into one HANA building block, per
+//! strategy?* — and shows why First-Fit-Decreasing is the house favourite.
+//!
+//! ```sh
+//! cargo run --release --bin capacity_planning
+//! ```
+
+use sapsim_scheduler::{pack_all, PackingStrategy};
+use sapsim_topology::{HardwareProfile, OvercommitPolicy, ResourceKind};
+use sapsim_workload::{paper_flavor_catalog, WorkloadClass};
+
+fn main() {
+    let catalog = paper_flavor_catalog();
+    let host = HardwareProfile::hana_large();
+    let node_cap = OvercommitPolicy::hana().virtual_capacity(&host.physical);
+    // A 8-node HANA building block.
+    let nodes = 8usize;
+    println!(
+        "HANA building block: {} x {} ({} per node, no CPU overcommit)\n",
+        nodes, host.name, node_cap
+    );
+
+    // A representative mixed HANA demand: one month of requests, largest
+    // systems first in catalog order.
+    let mut items = Vec::new();
+    for flavor in catalog.flavors().iter().filter(|f| f.class == WorkloadClass::Hana) {
+        // Take the flavor's share of a 100-system batch.
+        let hana_total: u32 = catalog
+            .flavors()
+            .iter()
+            .filter(|f| f.class == WorkloadClass::Hana)
+            .map(|f| f.population)
+            .sum();
+        let n = (flavor.population * 100).div_ceil(hana_total);
+        for _ in 0..n {
+            items.push(flavor.resources);
+        }
+    }
+    println!("demand batch: {} HANA systems (mixed flavors)\n", items.len());
+
+    println!(
+        "{:<22} {:>12} {:>10} {:>16}",
+        "strategy", "bins (nodes)", "unplaced", "blocks needed"
+    );
+    for strategy in PackingStrategy::ALL {
+        let out = pack_all(&items, node_cap, strategy, ResourceKind::Memory);
+        println!(
+            "{:<22} {:>12} {:>10} {:>16.1}",
+            format!("{strategy:?}"),
+            out.bin_count(),
+            out.unplaced,
+            out.bin_count() as f64 / nodes as f64
+        );
+    }
+
+    println!(
+        "\nreading guide: fewer bins = more placeable VMs per block. Decreasing \
+         variants pack the multi-TiB systems first and fill the gaps with small \
+         ones — the memory-based bin-packing the paper prescribes for HANA \
+         (Section 7: 'memory-based bin-packing strategies are required')."
+    );
+}

@@ -1,0 +1,65 @@
+//! Quickstart: simulate a small slice of the SAP Cloud Infrastructure's
+//! studied region for three days and print the headline numbers.
+//!
+//! ```sh
+//! cargo run --release --bin quickstart
+//! ```
+
+use sapsim_analysis::cdf::{utilization_cdf, VmResource};
+use sapsim_analysis::contention::contention_aggregate;
+use sapsim_core::{SimConfig, SimDriver};
+
+fn main() {
+    // 5% of the region (~90 hypervisors, ~2,300 VMs), 3 simulated days,
+    // the paper's production scheduling policy (load-balance general
+    // purpose, bin-pack HANA on memory, DRS on).
+    let config = SimConfig {
+        scale: 0.05,
+        days: 3,
+        seed: 42,
+        ..SimConfig::default()
+    };
+    println!(
+        "simulating {} days of the studied region at {:.0}% scale ...",
+        config.days,
+        config.scale * 100.0
+    );
+    let result = SimDriver::new(config).expect("valid config").run();
+
+    let topo = result.cloud.topology();
+    println!("\n== infrastructure ==");
+    println!("  hypervisors: {}", topo.nodes().len());
+    println!("  building blocks: {}", topo.bbs().len());
+    println!("  data centers: {}", topo.dcs().len());
+    println!("  total physical capacity: {}", topo.total_physical_capacity());
+
+    println!("\n== workload ==");
+    println!("  VM arrivals processed: {}", result.stats.placements_attempted);
+    println!(
+        "  placed: {} ({:.1}%), fragmented: {}, no candidate: {}",
+        result.stats.placed,
+        result.stats.placement_success_rate() * 100.0,
+        result.stats.failed_fragmented,
+        result.stats.failed_no_candidate
+    );
+    println!("  peak concurrent VMs: {}", result.stats.peak_vm_count);
+    println!("  deletions: {}", result.stats.departures);
+    println!("  DRS migrations: {}", result.stats.drs_migrations);
+
+    println!("\n== telemetry ==");
+    println!("  scrape rounds: {}", result.stats.scrapes);
+    println!("  raw series: {}", result.store.raw_series_count());
+    println!("  rolled series: {}", result.store.rolled_series_count());
+
+    println!("\n== the paper's headline findings, on this run ==");
+    let cpu = utilization_cdf(&result, VmResource::Cpu);
+    let mem = utilization_cdf(&result, VmResource::Memory);
+    println!("  {}", cpu.summary_line());
+    println!("  {}", mem.summary_line());
+    let agg = contention_aggregate(&result);
+    println!(
+        "  CPU contention: daily mean up to {:.2}%, max sample {:.1}%",
+        agg.peak_mean(),
+        agg.peak_max()
+    );
+}

@@ -1,0 +1,51 @@
+//! Scheduler comparison: run the same workload under vanilla spreading and
+//! under the contention-aware extension, and compare what the paper's
+//! Section 7 predicts — contention-aware placement should cut the worst
+//! contention without hurting placeability.
+//!
+//! ```sh
+//! cargo run --release --bin scheduler_comparison
+//! ```
+
+use sapsim_analysis::ablation::{ablation_row, render_ablation};
+use sapsim_core::{SimConfig, SimDriver};
+use sapsim_scheduler::PolicyKind;
+
+fn main() {
+    let base = SimConfig {
+        scale: 0.05,
+        days: 4,
+        seed: 7,
+        ..SimConfig::default()
+    };
+    println!(
+        "same workload (seed {}), two initial-placement policies, {} days at {:.0}% scale\n",
+        base.seed,
+        base.days,
+        base.scale * 100.0
+    );
+
+    let mut rows = Vec::new();
+    for policy in [PolicyKind::Spread, PolicyKind::ContentionAware] {
+        let cfg = SimConfig { policy, ..base };
+        let run = SimDriver::new(cfg).expect("valid config").run();
+        rows.push(ablation_row(policy.name(), &run));
+    }
+    println!("{}", render_ablation(&rows));
+
+    let (spread, aware) = (&rows[0], &rows[1]);
+    println!(
+        "contention-aware vs spread: peak contention {:.1}% -> {:.1}%, \
+         placement success {:.1}% -> {:.1}%",
+        spread.peak_contention,
+        aware.peak_contention,
+        spread.placement_success * 100.0,
+        aware.placement_success * 100.0
+    );
+    println!(
+        "\nthe paper's guidance (Section 7): extend the Nova scheduler with \
+         'current and historic utilization data, for example the contention \
+         metrics' — this example is that extension, in ~40 lines of pipeline \
+         configuration (see sapsim_scheduler::ContentionWeigher)."
+    );
+}

@@ -1,0 +1,3 @@
+//! Host crate for the cross-crate integration tests in `tests/tests/`.
+//! It intentionally exports nothing — the tests exercise the public APIs
+//! of the `sapsim-*` crates exactly as a downstream user would.

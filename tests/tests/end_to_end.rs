@@ -1,0 +1,177 @@
+//! End-to-end integration: a full (scaled) simulation run exercised the
+//! way the experiment binaries use it, with every paper-shape invariant
+//! checked in one pass.
+
+use sapsim_analysis::cdf::{utilization_cdf, VmResource};
+use sapsim_analysis::classify::{table1_by_vcpu, table2_by_ram};
+use sapsim_analysis::contention::contention_aggregate;
+use sapsim_analysis::heatmap::{build_heatmap, HeatmapQuantity, HeatmapScope};
+use sapsim_analysis::lifetime::lifetime_per_flavor;
+use sapsim_analysis::ready_time::top_ready_nodes;
+use sapsim_core::{SimConfig, SimDriver};
+use sapsim_telemetry::MetricId;
+
+/// One shared mid-size run for the whole file (5 % scale, 5 days + 7-day
+/// warm-up). Building it once keeps the suite fast.
+fn shared_run() -> &'static sapsim_core::RunResult {
+    use std::sync::OnceLock;
+    static RUN: OnceLock<sapsim_core::RunResult> = OnceLock::new();
+    RUN.get_or_init(|| {
+        let cfg = SimConfig {
+            scale: 0.05,
+            days: 5,
+            seed: 1234,
+            ..SimConfig::default()
+        };
+        SimDriver::new(cfg).expect("valid").run()
+    })
+}
+
+#[test]
+fn placement_succeeds_for_nearly_all_vms() {
+    let run = shared_run();
+    assert!(run.stats.placements_attempted > 2000);
+    assert!(
+        run.stats.placement_success_rate() > 0.95,
+        "success = {:.3}",
+        run.stats.placement_success_rate()
+    );
+    run.cloud.verify_accounting(&run.specs).expect("accounting intact");
+}
+
+#[test]
+fn observation_window_is_exactly_the_configured_days() {
+    let run = shared_run();
+    // Telemetry is rebased onto the observation window: rollups cover
+    // exactly `days` days and every day has data.
+    for (_, rollup) in run.store.rollups_of(MetricId::HostCpuUtilPct) {
+        assert_eq!(rollup.num_days(), run.config.days as usize);
+        let means = rollup.daily_means();
+        assert!(means.iter().all(|m| m.is_some()), "no missing days");
+    }
+    // Rebased specs never depart before the window.
+    for s in &run.specs {
+        assert!(s.departure() >= s.arrival);
+    }
+}
+
+#[test]
+fn figure14_shapes_hold_on_the_shared_run() {
+    let run = shared_run();
+    let cpu = utilization_cdf(run, VmResource::Cpu);
+    let mem = utilization_cdf(run, VmResource::Memory);
+    assert!(cpu.under > 0.80, "cpu under = {:.2}", cpu.under);
+    assert!(mem.over > 0.40, "mem over = {:.2}", mem.over);
+    assert!(mem.under < cpu.under);
+    // Paper: memory ≈ 38 % under — ±10 points at this scale.
+    assert!((mem.under - 0.38).abs() < 0.10, "mem under = {:.2}", mem.under);
+}
+
+#[test]
+fn figure9_contention_bands_hold() {
+    let run = shared_run();
+    let agg = contention_aggregate(run);
+    assert!(agg.peak_mean() < 5.0, "mean = {:.2}", agg.peak_mean());
+    assert!(agg.peak_p95() < 10.0, "p95 = {:.2}", agg.peak_p95());
+}
+
+#[test]
+fn tables_1_and_2_shares_hold() {
+    let run = shared_run();
+    let t1 = table1_by_vcpu(run);
+    let total: f64 = t1.iter().map(|&(_, n)| n).sum();
+    assert!((t1[0].1 / total - 0.627).abs() < 0.05, "small = {:.3}", t1[0].1 / total);
+    let t2 = table2_by_ram(run);
+    let total2: f64 = t2.iter().map(|&(_, n)| n).sum();
+    assert!((t2[1].1 / total2 - 0.912).abs() < 0.05, "medium = {:.3}", t2[1].1 / total2);
+}
+
+#[test]
+fn heatmaps_cover_every_node_and_sort_most_free_first() {
+    let run = shared_run();
+    let dc = run.cloud.topology().dcs()[0].id;
+    for metric in [MetricId::HostCpuUtilPct, MetricId::HostMemUsagePct] {
+        let hm = build_heatmap(
+            run,
+            HeatmapScope::NodesOfDc(dc),
+            HeatmapQuantity::FreePercentOf(metric),
+            "it",
+            |_| 1.0,
+        );
+        assert_eq!(hm.width(), run.cloud.topology().dc_node_count(dc));
+        assert_eq!(hm.days(), run.config.days as usize);
+        let means: Vec<f64> = hm.column_means().into_iter().flatten().collect();
+        for w in means.windows(2) {
+            assert!(w[0] >= w[1] - 1e-9);
+        }
+    }
+}
+
+#[test]
+fn ready_time_shows_weekday_weekend_structure() {
+    let run = shared_run();
+    let top = top_ready_nodes(run, 10);
+    assert!(!top.nodes.is_empty());
+    // Window starts Wednesday and spans 5 days (Wed–Sun): both weekday
+    // and weekend samples exist; weekday ready dominates.
+    let (weekday, weekend) = top.weekday_weekend_means();
+    assert!(
+        weekday >= weekend,
+        "weekday = {weekday:.1}s, weekend = {weekend:.1}s"
+    );
+}
+
+#[test]
+fn lifetimes_span_orders_of_magnitude() {
+    let run = shared_run();
+    let flavors = lifetime_per_flavor(run, 10);
+    assert!(flavors.len() >= 10, "flavors = {}", flavors.len());
+    let min = flavors.iter().map(|f| f.min_days).fold(f64::INFINITY, f64::min);
+    let max = flavors.iter().map(|f| f.max_days).fold(0.0f64, f64::max);
+    assert!(max / min > 1000.0, "span = {min:.4}..{max:.0} days");
+}
+
+#[test]
+fn special_purpose_isolation_holds_at_window_end() {
+    let run = shared_run();
+    let topo = run.cloud.topology();
+    for node in topo.nodes() {
+        let purpose = topo.bb(node.bb).purpose;
+        for &vm_id in run.cloud.vms_on_node(node.id) {
+            let vm = run.cloud.vm(vm_id).expect("resident");
+            let class = run.specs[vm.spec_index].class;
+            match purpose {
+                sapsim_topology::BbPurpose::Hana => {
+                    assert_eq!(class, sapsim_workload::WorkloadClass::Hana)
+                }
+                sapsim_topology::BbPurpose::GeneralPurpose => {
+                    assert_ne!(class, sapsim_workload::WorkloadClass::Hana)
+                }
+                sapsim_topology::BbPurpose::CiFarm => {
+                    assert_eq!(class, sapsim_workload::WorkloadClass::CiFarm)
+                }
+                sapsim_topology::BbPurpose::Gpu => {
+                    panic!("no VM may land on GPU blocks (no GPU flavors exist)")
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn reserved_blocks_stay_empty() {
+    let run = shared_run();
+    let topo = run.cloud.topology();
+    let mut reserved_seen = 0;
+    for bb in topo.bbs() {
+        if run.cloud.is_bb_reserved(bb.id) {
+            reserved_seen += 1;
+            assert!(
+                run.cloud.bb_allocated(bb.id).is_zero(),
+                "{} is reserved but allocated",
+                bb.name
+            );
+        }
+    }
+    assert!(reserved_seen > 0, "the default config reserves blocks");
+}
