@@ -2,7 +2,7 @@
 //! increasing fleet scales — the number a user planning a full-region
 //! 30-day reproduction cares about.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use sapsim_core::{SimConfig, SimDriver};
 use std::hint::black_box;
 
@@ -22,6 +22,43 @@ fn one_day_runs(c: &mut Criterion) {
                         warmup_days: 0,
                         ..SimConfig::default()
                     };
+                    black_box(SimDriver::new(cfg).expect("valid").run())
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+/// The scrape hot path, reported in VM-samples per second. The scrape
+/// dominates full runs (every placed VM draws a demand sample every 300
+/// simulated seconds), so this is the number the dense-store and parallel
+/// fan-out work moves. `threads_1` pins the scrape to one worker —
+/// identical to a build without the `parallel` feature — while `threads_0`
+/// uses one worker per available CPU (it only differs when the bench is
+/// compiled with `--features parallel`).
+fn scrape_hot_path(c: &mut Criterion) {
+    let base = SimConfig {
+        scale: 0.05,
+        days: 1,
+        seed: 7,
+        warmup_days: 0,
+        ..SimConfig::default()
+    };
+    // Probe run: count the per-VM samples one run draws so criterion can
+    // report throughput in VM-samples/sec rather than runs/sec.
+    let probe = SimDriver::new(base).expect("valid").run();
+    let vm_samples: u64 = probe.vm_stats.iter().map(|v| v.cpu_ratio.count).sum();
+    let mut g = c.benchmark_group("scrape_hot_path");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(vm_samples));
+    for threads in [1usize, 0] {
+        g.bench_with_input(
+            BenchmarkId::new("vm_samples", format!("threads_{threads}")),
+            &threads,
+            |b, &threads| {
+                b.iter(|| {
+                    let cfg = SimConfig { threads, ..base };
                     black_box(SimDriver::new(cfg).expect("valid").run())
                 })
             },
@@ -62,5 +99,5 @@ fn event_engine(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, one_day_runs, event_engine);
+criterion_group!(benches, one_day_runs, scrape_hot_path, event_engine);
 criterion_main!(benches);

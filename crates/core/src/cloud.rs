@@ -6,7 +6,7 @@ use sapsim_scheduler::HostView;
 use sapsim_sim::{SimRng, SimTime, MILLIS_PER_DAY};
 use sapsim_topology::{BbId, NodeId, NodeState, Resources, Topology};
 use sapsim_workload::{UsageState, VmId, VmSpec, WorkloadClass};
-use std::collections::{HashMap, HashSet};
+use std::collections::BTreeSet;
 
 /// Runtime state of one placed VM.
 #[derive(Debug, Clone)]
@@ -28,6 +28,9 @@ pub struct PlacedVm {
     pub last_cpu_demand_cores: f64,
     /// Consumed memory at the last scrape, MiB.
     pub last_mem_used_mib: f64,
+    /// Filled disk at the last scrape, GiB (age-driven fill fraction of
+    /// the flavor's disk allocation).
+    pub last_disk_used_gib: f64,
     /// Scheduled departure instant.
     pub departure: SimTime,
     /// Whether the rebalancers may migrate this VM. HANA VMs are pinned:
@@ -82,15 +85,21 @@ pub struct Cloud {
     bb_virtual_cap: Vec<Resources>,
     /// Aggregated allocation per block.
     bb_alloc: Vec<Resources>,
-    /// All placed VMs.
-    vms: HashMap<VmId, PlacedVm>,
+    /// All placed VMs, in a dense slot table indexed by `VmId::raw`.
+    /// The workload generator numbers VM ids as consecutive spec indices,
+    /// so the table stays compact, lookups are a bounds-checked index, and
+    /// the telemetry scrape can walk (and fan out over) all VMs in id
+    /// order without hashing. `None` marks never-placed or departed ids.
+    vm_slots: Vec<Option<PlacedVm>>,
+    /// Number of `Some` entries in `vm_slots`.
+    vm_count: usize,
     /// Building blocks held back from placement as failover/expansion
     /// reserve (paper Section 5.1: "capacities are intentionally reserved
     /// in case of emergency failover, redundancy, and scalability
     /// demands"). Their nodes stay active and monitored — they are the
     /// persistently light columns of the heatmaps — but the scheduler
-    /// never offers them.
-    reserved_bbs: HashSet<BbId>,
+    /// never offers them. Ordered set for deterministic iteration.
+    reserved_bbs: BTreeSet<BbId>,
 }
 
 impl Cloud {
@@ -117,8 +126,19 @@ impl Cloud {
             node_departure_sum_ms: vec![0.0; n],
             bb_virtual_cap,
             bb_alloc: vec![Resources::ZERO; b],
-            vms: HashMap::new(),
-            reserved_bbs: HashSet::new(),
+            vm_slots: Vec::new(),
+            vm_count: 0,
+            reserved_bbs: BTreeSet::new(),
+        }
+    }
+
+    /// Pre-size the VM slot table for ids `0..n` (the driver knows the
+    /// spec count up front). Growing lazily also works; pre-sizing avoids
+    /// reallocation mid-run and lets the scrape fan-out zip the slot table
+    /// against per-spec state of the same length.
+    pub fn reserve_vm_slots(&mut self, n: usize) {
+        if self.vm_slots.len() < n {
+            self.vm_slots.resize_with(n, || None);
         }
     }
 
@@ -153,7 +173,7 @@ impl Cloud {
         let residents: Vec<VmId> = self.node_vms[node.index()].clone();
         let mut moved = 0u64;
         for vm_id in residents {
-            let vm = self.vms.get(&vm_id).expect("resident");
+            let vm = self.vm(vm_id).expect("resident");
             if !vm.movable {
                 return Err(vm_id);
             }
@@ -176,18 +196,26 @@ impl Cloud {
 
     /// Number of currently placed VMs.
     pub fn vm_count(&self) -> usize {
-        self.vms.len()
+        self.vm_count
     }
 
     /// Access a placed VM.
     pub fn vm(&self, id: VmId) -> Option<&PlacedVm> {
-        self.vms.get(&id)
+        self.vm_slots.get(id.raw() as usize)?.as_ref()
     }
 
     /// Mutable access to a placed VM (the driver updates demand state
     /// during scrapes).
     pub fn vm_mut(&mut self, id: VmId) -> Option<&mut PlacedVm> {
-        self.vms.get_mut(&id)
+        self.vm_slots.get_mut(id.raw() as usize)?.as_mut()
+    }
+
+    /// The dense VM slot table, indexed by `VmId::raw` (`None` for ids not
+    /// currently placed). The telemetry scrape walks this mutably —
+    /// advancing each VM's independent demand model — and may partition it
+    /// across threads, because slots are disjoint per VM.
+    pub fn vm_slots_mut(&mut self) -> &mut [Option<PlacedVm>] {
+        &mut self.vm_slots
     }
 
     /// Ids of VMs resident on a node.
@@ -345,27 +373,36 @@ impl Cloud {
         self.node_departure_sum_ms[node.index()] += departure.as_millis() as f64;
         let bb = self.topo.node(node).bb;
         self.bb_alloc[bb.index()] += spec.resources;
-        self.vms.insert(
-            spec.id,
-            PlacedVm {
-                spec_index,
-                id: spec.id,
-                node,
-                resources: spec.resources,
-                usage_state: UsageState::new(),
-                rng,
-                last_cpu_demand_cores: 0.0,
-                last_mem_used_mib: 0.0,
-                departure,
-                movable: spec.class != WorkloadClass::Hana,
-            },
+        let idx = spec.id.raw() as usize;
+        if idx >= self.vm_slots.len() {
+            self.vm_slots.resize_with(idx + 1, || None);
+        }
+        assert!(
+            self.vm_slots[idx].is_none(),
+            "duplicate placement of {}",
+            spec.id
         );
+        self.vm_slots[idx] = Some(PlacedVm {
+            spec_index,
+            id: spec.id,
+            node,
+            resources: spec.resources,
+            usage_state: UsageState::new(),
+            rng,
+            last_cpu_demand_cores: 0.0,
+            last_mem_used_mib: 0.0,
+            last_disk_used_gib: 0.0,
+            departure,
+            movable: spec.class != WorkloadClass::Hana,
+        });
+        self.vm_count += 1;
     }
 
     /// Remove a VM (deletion at end of lifetime). Returns its final state,
     /// or `None` if the id is unknown (e.g. the VM was never placed).
     pub fn remove(&mut self, id: VmId) -> Option<PlacedVm> {
-        let vm = self.vms.remove(&id)?;
+        let vm = self.vm_slots.get_mut(id.raw() as usize)?.take()?;
+        self.vm_count -= 1;
         let node = vm.node;
         self.node_alloc[node.index()] -= vm.resources;
         self.node_vms[node.index()].retain(|&v| v != id);
@@ -379,7 +416,7 @@ impl Cloud {
     /// unchanged) if the destination lacks room for the VM's *requested*
     /// resources.
     pub fn migrate(&mut self, id: VmId, to: NodeId) -> bool {
-        let Some(vm) = self.vms.get(&id) else {
+        let Some(vm) = self.vm(id) else {
             return false;
         };
         let from = vm.node;
@@ -404,7 +441,7 @@ impl Cloud {
         let to_bb = self.topo.node(to).bb;
         self.bb_alloc[to_bb.index()] += resources;
 
-        self.vms.get_mut(&id).expect("checked above").node = to;
+        self.vm_mut(id).expect("checked above").node = to;
         true
     }
 
@@ -413,7 +450,7 @@ impl Cloud {
     /// new size; the caller then falls back to resize-with-migration via
     /// the placement pipeline, like Nova's resize re-schedule.
     pub fn resize_in_place(&mut self, id: VmId, new: Resources) -> bool {
-        let Some(vm) = self.vms.get(&id) else {
+        let Some(vm) = self.vm(id) else {
             return false;
         };
         let node = vm.node;
@@ -425,7 +462,7 @@ impl Cloud {
         self.node_alloc[node.index()] = after;
         let bb = self.topo.node(node).bb;
         self.bb_alloc[bb.index()] = self.bb_alloc[bb.index()].saturating_sub(&old) + new;
-        self.vms.get_mut(&id).expect("checked above").resources = new;
+        self.vm_mut(id).expect("checked above").resources = new;
         true
     }
 
@@ -433,7 +470,7 @@ impl Cloud {
     /// one atomic step (Nova's resize re-schedule). Fails unchanged if the
     /// destination cannot hold the new size.
     pub fn resize_to_node(&mut self, id: VmId, new: Resources, to: NodeId) -> bool {
-        let Some(vm) = self.vms.get(&id) else {
+        let Some(vm) = self.vm(id) else {
             return false;
         };
         let from = vm.node;
@@ -458,7 +495,7 @@ impl Cloud {
         let to_bb = self.topo.node(to).bb;
         self.bb_alloc[to_bb.index()] += new;
 
-        let vm = self.vms.get_mut(&id).expect("checked above");
+        let vm = self.vm_mut(id).expect("checked above");
         vm.node = to;
         vm.resources = new;
         true
@@ -470,7 +507,7 @@ impl Cloud {
         self.node_vms[node.index()]
             .iter()
             .map(|vmid| {
-                let vm = &self.vms[vmid];
+                let vm = self.vm(*vmid).expect("resident");
                 let spec = &specs[vm.spec_index];
                 let age_days = spec.age_at(now).as_days_f64();
                 hypervisor::vm_disk_fill_fraction(age_days) * spec.resources.disk_gib as f64
@@ -483,7 +520,7 @@ impl Cloud {
     pub fn verify_accounting(&self, specs: &[VmSpec]) -> Result<(), String> {
         let mut node_sum = vec![Resources::ZERO; self.topo.nodes().len()];
         let mut bb_sum = vec![Resources::ZERO; self.topo.bbs().len()];
-        for vm in self.vms.values() {
+        for vm in self.vm_slots.iter().flatten() {
             debug_assert!(vm.spec_index < specs.len());
             node_sum[vm.node.index()] += vm.resources;
             bb_sum[self.topo.node(vm.node).bb.index()] += vm.resources;

@@ -82,6 +82,15 @@ pub struct SimConfig {
     /// stays anchored on the paper's Wednesday epoch. Telemetry and VM
     /// statistics cover only the observation window.
     pub warmup_days: u64,
+    /// Worker threads for the telemetry-scrape fan-out when the `parallel`
+    /// cargo feature is enabled: `0` = one per available CPU, `1` =
+    /// sequential, `n` = exactly `n`. This is a pure execution knob — the
+    /// scrape partitions VMs into fixed chunks and keeps every cross-VM
+    /// reduction sequential, so results are bit-identical at any value —
+    /// and it is therefore normalized away in canonical serializations.
+    /// Ignored without the feature.
+    #[serde(default)]
+    pub threads: usize,
 }
 
 impl Default for SimConfig {
@@ -107,6 +116,7 @@ impl Default for SimConfig {
             maintenance_rate_per_month: 0.10,
             maintenance_duration: SimDuration::from_hours(18),
             warmup_days: 7,
+            threads: 0,
         }
     }
 }

@@ -8,6 +8,7 @@ use crate::result::{DriverStats, RunResult, VmUsageSummary};
 use sapsim_scheduler::{
     HostLoad, PlacementPolicy, PlacementRequest, Rebalancer, VmLoad,
 };
+use sapsim_sim::par::join_chunks2;
 use sapsim_sim::{SimRng, SimTime, Simulation};
 use sapsim_telemetry::{EntityRef, MetricId, RunningStat, TsdbStore};
 use sapsim_topology::{
@@ -40,6 +41,20 @@ enum Event {
     MaintenanceStart(NodeId),
     /// A node leaves maintenance.
     MaintenanceEnd(NodeId),
+}
+
+/// Reusable buffers for the periodic events, allocated once per run so the
+/// hot paths (scrape, rebalancing rounds) run allocation-free in steady
+/// state.
+struct DriverScratch {
+    /// Per-node demand accumulator for `scrape`.
+    demands: Vec<NodeDemand>,
+    /// Host loads rebuilt by `drs_round` for each building block.
+    node_loads: Vec<HostLoad<NodeId>>,
+    /// Host loads rebuilt by `cross_bb_round` for each data center.
+    bb_loads: Vec<HostLoad<BbId>>,
+    /// Recycled per-host VM-load vectors for both rebalancers.
+    vm_load_pool: Vec<Vec<VmLoad>>,
 }
 
 /// Runs one complete simulation from a [`SimConfig`].
@@ -132,14 +147,29 @@ impl SimDriver {
             },
         );
         let specs = generator.generate();
+        // The generator numbers ids as consecutive spec indices; pre-size
+        // the slot table so the scrape can zip it against per-spec state.
+        cloud.reserve_vm_slots(specs.len());
 
         // --- Simulation state ----------------------------------------
         let mut sim: Simulation<Event> = Simulation::new();
         let warmup = SimTime::from_days(cfg.warmup_days);
         let horizon = SimTime::from_days(cfg.warmup_days + cfg.days);
         let mut policy = PlacementPolicy::new(cfg.policy);
-        let mut store = TsdbStore::new(cfg.days as usize);
+        // Dense tables for every node/BB/region series: the scrape's write
+        // path is an indexed store, not a hash-map insert.
+        let mut store = TsdbStore::with_topology(
+            cfg.days as usize,
+            cloud.topology().nodes().len(),
+            cloud.topology().bbs().len(),
+        );
         let mut stats = DriverStats::default();
+        let mut scratch = DriverScratch {
+            demands: vec![NodeDemand::default(); cloud.topology().nodes().len()],
+            node_loads: Vec::new(),
+            bb_loads: Vec::new(),
+            vm_load_pool: Vec::new(),
+        };
         let mut vm_stats: Vec<VmUsageSummary> = specs
             .iter()
             .enumerate()
@@ -270,22 +300,29 @@ impl SimDriver {
                 }
                 Event::Scrape => {
                     stats.scrapes += 1;
-                    Self::scrape(&mut cloud, &specs, &mut vm_stats, &mut store, cfg, now, warmup);
+                    Self::scrape(
+                        &mut cloud,
+                        &specs,
+                        &mut vm_stats,
+                        &mut store,
+                        cfg,
+                        now,
+                        warmup,
+                        &mut scratch,
+                    );
                     sim.schedule_after(cfg.scrape_interval, Event::Scrape);
                 }
                 Event::OsGauge => {
-                    if now >= warmup {
-                        let obs = SimTime::from_millis(now.as_millis() - warmup.as_millis());
-                        Self::record_os_gauges(&cloud, &mut store, obs);
-                    }
+                    Self::record_os_gauges(&cloud, &mut store, now, warmup);
                     sim.schedule_after(cfg.os_gauge_interval, Event::OsGauge);
                 }
                 Event::DrsRound => {
-                    stats.drs_migrations += Self::drs_round(&mut cloud, &drs);
+                    stats.drs_migrations += Self::drs_round(&mut cloud, &drs, &mut scratch);
                     sim.schedule_after(cfg.drs_interval, Event::DrsRound);
                 }
                 Event::CrossBbRound => {
-                    stats.cross_bb_migrations += Self::cross_bb_round(&mut cloud, &cross);
+                    stats.cross_bb_migrations +=
+                        Self::cross_bb_round(&mut cloud, &cross, &mut scratch);
                     sim.schedule_after(cfg.cross_bb_interval, Event::CrossBbRound);
                 }
                 Event::MaintenanceStart(node) => {
@@ -486,7 +523,22 @@ impl SimDriver {
     /// One telemetry round: advance every VM's demand model, aggregate
     /// per-node physical load, evaluate the hypervisor model, and record.
     /// During warm-up (`now < warmup`) the demand models and contention
-    /// hints advance but nothing is recorded.
+    /// hints advance but nothing is recorded; the same holds for the one
+    /// horizon event that fires exactly at window end (the event loop is
+    /// horizon-inclusive, and that instant is already outside `[0, days)`).
+    ///
+    /// The round runs in three phases so that phase 1 — the hot per-VM
+    /// sampling loop — parallelizes without changing a single output bit:
+    ///
+    /// 1. **Per-VM sampling** (parallel behind the `parallel` feature):
+    ///    each VM advances its own demand model on its own split-off RNG
+    ///    stream and caches the resulting demand in its slot. The slot and
+    ///    summary tables are parallel arrays partitioned into disjoint
+    ///    contiguous chunks; no worker touches another worker's elements.
+    /// 2. **Per-node reduction** (sequential): cached demands are summed
+    ///    in fixed (node, residency) order — the only cross-VM float
+    ///    accumulation, so the sum order is identical at any thread count.
+    /// 3. **Hypervisor model + recording** (sequential, node order).
     #[allow(clippy::too_many_arguments)]
     fn scrape(
         cloud: &mut Cloud,
@@ -496,6 +548,7 @@ impl SimDriver {
         cfg: &SimConfig,
         now: SimTime,
         warmup: SimTime,
+        scratch: &mut DriverScratch,
     ) {
         let observing = now >= warmup;
         let obs_time = if observing {
@@ -503,57 +556,70 @@ impl SimDriver {
         } else {
             SimTime::ZERO
         };
+        let recording = observing && obs_time < SimTime::from_days(cfg.days);
         let interval = cfg.scrape_interval;
-        let node_count = cloud.topology().nodes().len();
-        let mut demands: Vec<NodeDemand> = vec![NodeDemand::default(); node_count];
 
-        // Iterate nodes (deterministic order), sampling each resident VM.
-        // (An iterator over `demands` can't be used: the body also borrows
-        // `cloud` mutably.)
-        #[allow(clippy::needless_range_loop)]
-        for node_idx in 0..node_count {
-            let node = NodeId::from_raw(node_idx as u32);
-            let resident: Vec<VmId> = cloud.vms_on_node(node).to_vec();
-            for vm_id in resident {
-                let vm = cloud.vm_mut(vm_id).expect("resident VM exists");
-                let spec_index = vm.spec_index;
-                let spec = &specs[spec_index];
-                let age = spec.age_at(now);
-                let mut rng = vm.rng.clone();
-                let mut state = vm.usage_state;
-                let (cpu_ratio, mem_ratio) =
-                    spec.usage.sample(&mut state, now, interval, age, &mut rng);
-                vm.rng = rng;
-                vm.usage_state = state;
-                // Demand scales with the *current* request (resizes apply).
-                let current = vm.resources;
-                let cpu_cores = cpu_ratio * current.cpu_cores as f64;
-                let mem_mib = mem_ratio * current.memory_mib as f64;
-                vm.last_cpu_demand_cores = cpu_cores;
-                vm.last_mem_used_mib = mem_mib;
-                let d = &mut demands[node_idx];
-                d.cpu_demand_cores += cpu_cores;
-                d.mem_used_mib += mem_mib;
-                d.disk_used_gib += hypervisor::vm_disk_fill_fraction(age.as_days_f64())
-                    * spec.resources.disk_gib as f64;
-                if observing {
-                    let stats = &mut vm_stats[spec_index];
-                    stats.cpu_ratio.push(cpu_ratio);
-                    stats.mem_ratio.push(mem_ratio);
+        // Phase 1: sample every placed VM. `vm_stats` is indexed by spec,
+        // and the generator numbers ids as consecutive spec indices, so
+        // slot i of the dense VM table pairs with summary i.
+        join_chunks2(
+            cloud.vm_slots_mut(),
+            vm_stats,
+            cfg.threads,
+            |offset, slots, summaries| {
+                for (i, (slot, summary)) in
+                    slots.iter_mut().zip(summaries.iter_mut()).enumerate()
+                {
+                    let Some(vm) = slot.as_mut() else { continue };
+                    debug_assert_eq!(vm.spec_index, offset + i, "slot table is id-indexed");
+                    let spec = &specs[vm.spec_index];
+                    let age = spec.age_at(now);
+                    let (cpu_ratio, mem_ratio) =
+                        spec.usage
+                            .sample(&mut vm.usage_state, now, interval, age, &mut vm.rng);
+                    // Demand scales with the *current* request (resizes
+                    // apply); disk fills toward the original allocation.
+                    let current = vm.resources;
+                    vm.last_cpu_demand_cores = cpu_ratio * current.cpu_cores as f64;
+                    vm.last_mem_used_mib = mem_ratio * current.memory_mib as f64;
+                    vm.last_disk_used_gib = hypervisor::vm_disk_fill_fraction(
+                        age.as_days_f64(),
+                    ) * spec.resources.disk_gib as f64;
+                    if recording {
+                        summary.cpu_ratio.push(cpu_ratio);
+                        summary.mem_ratio.push(mem_ratio);
+                    }
                 }
+            },
+        );
+
+        // Phase 2: reduce the cached per-VM demands into per-node totals.
+        debug_assert_eq!(scratch.demands.len(), cloud.topology().nodes().len());
+        scratch.demands.fill(NodeDemand::default());
+        for (node_idx, d) in scratch.demands.iter_mut().enumerate() {
+            for &vm_id in cloud.vms_on_node(NodeId::from_raw(node_idx as u32)) {
+                let vm = cloud.vm(vm_id).expect("resident VM exists");
+                d.cpu_demand_cores += vm.last_cpu_demand_cores;
+                d.mem_used_mib += vm.last_mem_used_mib;
+                d.disk_used_gib += vm.last_disk_used_gib;
             }
         }
 
-        // Evaluate and record the node model.
-        #[allow(clippy::needless_range_loop)]
-        for node_idx in 0..node_count {
+        // Phase 3: evaluate and record the node model.
+        for (node_idx, demand) in scratch.demands.iter().enumerate() {
             let node = NodeId::from_raw(node_idx as u32);
             let physical = cloud.topology().node_physical_capacity(node);
-            let sample = hypervisor::sample_node(&physical, &demands[node_idx], interval.as_millis());
+            let sample = hypervisor::sample_node(&physical, demand, interval.as_millis());
             cloud.set_node_contention(node, sample.cpu_contention_pct);
-            if !observing {
+            if !recording {
                 continue;
             }
+            debug_assert!(
+                (obs_time.day_index() as usize) < store.rollup_days(),
+                "rolled sample at day {} outside the {}-day window",
+                obs_time.day_index(),
+                store.rollup_days(),
+            );
             if cloud.topology().node(node).state != sapsim_topology::NodeState::Active {
                 // Under maintenance: the exporter loses the host — the
                 // white (missing) cells of the paper's heatmaps.
@@ -577,59 +643,82 @@ impl SimDriver {
     /// Record the Nova-database gauges. In the paper's deployment Nova's
     /// "compute host" is the vSphere cluster, so these gauges are per
     /// building block, plus the region-wide instance counter.
-    fn record_os_gauges(cloud: &Cloud, store: &mut TsdbStore, now: SimTime) {
+    ///
+    /// Samples are stamped with observation-relative time, exactly like
+    /// `scrape`: nothing is recorded during warm-up, and the one
+    /// horizon-boundary event (which the inclusive event loop fires at the
+    /// first instant past the `[0, days)` window) is dropped rather than
+    /// recorded outside the rollup range.
+    fn record_os_gauges(cloud: &Cloud, store: &mut TsdbStore, now: SimTime, warmup: SimTime) {
+        if now < warmup {
+            return;
+        }
+        let obs = SimTime::from_millis(now.as_millis() - warmup.as_millis());
+        if (obs.day_index() as usize) >= store.rollup_days() {
+            return; // the single horizon-boundary event
+        }
+        debug_assert!(
+            (obs.day_index() as usize) < store.rollup_days(),
+            "rolled gauge at day {} outside the {}-day window",
+            obs.day_index(),
+            store.rollup_days(),
+        );
         for bb in cloud.topology().bbs() {
             let e = EntityRef::Bb(bb.id.index() as u32);
             let cap = bb.total_virtual_capacity();
             let alloc = cloud.bb_allocated(bb.id);
-            store.record_rolled(MetricId::OsVcpus, e, now, cap.cpu_cores as f64);
-            store.record_rolled(MetricId::OsVcpusUsed, e, now, alloc.cpu_cores as f64);
-            store.record_rolled(MetricId::OsMemoryMb, e, now, cap.memory_mib as f64);
-            store.record_rolled(MetricId::OsMemoryMbUsed, e, now, alloc.memory_mib as f64);
+            store.record_rolled(MetricId::OsVcpus, e, obs, cap.cpu_cores as f64);
+            store.record_rolled(MetricId::OsVcpusUsed, e, obs, alloc.cpu_cores as f64);
+            store.record_rolled(MetricId::OsMemoryMb, e, obs, cap.memory_mib as f64);
+            store.record_rolled(MetricId::OsMemoryMbUsed, e, obs, alloc.memory_mib as f64);
         }
         store.record(
             MetricId::OsInstancesTotal,
             EntityRef::Region,
-            now,
+            obs,
             cloud.vm_count() as f64,
         );
     }
 
+    /// Return a round's host loads to the scratch pool so the next round
+    /// reuses their VM vectors instead of reallocating them.
+    fn recycle_loads<I>(loads: &mut Vec<HostLoad<I>>, pool: &mut Vec<Vec<VmLoad>>) {
+        for mut hl in loads.drain(..) {
+            hl.vms.clear();
+            pool.push(hl.vms);
+        }
+    }
+
     /// One DRS round: plan and apply migrations inside each building block.
-    fn drs_round(cloud: &mut Cloud, drs: &Rebalancer) -> u64 {
+    fn drs_round(cloud: &mut Cloud, drs: &Rebalancer, scratch: &mut DriverScratch) -> u64 {
         let mut applied = 0u64;
         let bb_count = cloud.topology().bbs().len();
         for bb_idx in 0..bb_count {
             let bb = BbId::from_raw(bb_idx as u32);
-            let loads: Vec<HostLoad<NodeId>> = cloud.topology().bb(bb)
-                .nodes
-                .iter()
-                .map(|&nid| {
-                    let physical = cloud.topology().node_physical_capacity(nid);
-                    HostLoad {
-                        id: nid,
-                        cpu_capacity: physical.cpu_cores as f64,
-                        mem_capacity_mib: physical.memory_mib as f64,
-                        vms: cloud
-                            .vms_on_node(nid)
-                            .iter()
-                            .map(|&vmid| {
-                                let vm = cloud.vm(vmid).expect("resident");
-                                VmLoad {
-                                    vm_uid: vmid.raw(),
-                                    cpu_demand: vm.last_cpu_demand_cores,
-                                    mem_used_mib: vm.last_mem_used_mib,
-                                    movable: vm.movable,
-                                }
-                            })
-                            .collect(),
-                    }
-                })
-                .collect();
-            if loads.len() < 2 {
+            Self::recycle_loads(&mut scratch.node_loads, &mut scratch.vm_load_pool);
+            for &nid in &cloud.topology().bb(bb).nodes {
+                let physical = cloud.topology().node_physical_capacity(nid);
+                let mut vms = scratch.vm_load_pool.pop().unwrap_or_default();
+                for &vmid in cloud.vms_on_node(nid) {
+                    let vm = cloud.vm(vmid).expect("resident");
+                    vms.push(VmLoad {
+                        vm_uid: vmid.raw(),
+                        cpu_demand: vm.last_cpu_demand_cores,
+                        mem_used_mib: vm.last_mem_used_mib,
+                        movable: vm.movable,
+                    });
+                }
+                scratch.node_loads.push(HostLoad {
+                    id: nid,
+                    cpu_capacity: physical.cpu_cores as f64,
+                    mem_capacity_mib: physical.memory_mib as f64,
+                    vms,
+                });
+            }
+            if scratch.node_loads.len() < 2 {
                 continue;
             }
-            let plan = drs.plan(&loads);
+            let plan = drs.plan(&scratch.node_loads);
             for m in plan.migrations {
                 if cloud.migrate(VmId(m.vm_uid), m.to) {
                     applied += 1;
@@ -643,47 +732,46 @@ impl SimDriver {
     /// across that DC's general-purpose blocks. A migration plan names a
     /// destination block; the actual node is chosen like any initial
     /// placement.
-    fn cross_bb_round(cloud: &mut Cloud, rebalancer: &Rebalancer) -> u64 {
+    fn cross_bb_round(
+        cloud: &mut Cloud,
+        rebalancer: &Rebalancer,
+        scratch: &mut DriverScratch,
+    ) -> u64 {
         let mut applied = 0u64;
-        let dcs: Vec<DcId> = cloud.topology().dcs().iter().map(|d| d.id).collect();
-        for dc in dcs {
-            let bbs: Vec<BbId> = cloud.topology().dc(dc)
-                .bbs
-                .iter()
-                .copied()
-                .filter(|&bb| cloud.topology().bb(bb).purpose == BbPurpose::GeneralPurpose)
-                .collect();
-            if bbs.len() < 2 {
+        let dc_count = cloud.topology().dcs().len();
+        for dc_idx in 0..dc_count {
+            Self::recycle_loads(&mut scratch.bb_loads, &mut scratch.vm_load_pool);
+            let dc: DcId = cloud.topology().dcs()[dc_idx].id;
+            for &bb in &cloud.topology().dc(dc).bbs {
+                let block = cloud.topology().bb(bb);
+                if block.purpose != BbPurpose::GeneralPurpose {
+                    continue;
+                }
+                let phys = &block.profile.physical;
+                let n = block.nodes.len() as f64;
+                let mut vms = scratch.vm_load_pool.pop().unwrap_or_default();
+                for &nid in &block.nodes {
+                    for &vmid in cloud.vms_on_node(nid) {
+                        let vm = cloud.vm(vmid).expect("resident");
+                        vms.push(VmLoad {
+                            vm_uid: vmid.raw(),
+                            cpu_demand: vm.last_cpu_demand_cores,
+                            mem_used_mib: vm.last_mem_used_mib,
+                            movable: vm.movable,
+                        });
+                    }
+                }
+                scratch.bb_loads.push(HostLoad {
+                    id: bb,
+                    cpu_capacity: phys.cpu_cores as f64 * n,
+                    mem_capacity_mib: phys.memory_mib as f64 * n,
+                    vms,
+                });
+            }
+            if scratch.bb_loads.len() < 2 {
                 continue;
             }
-            let loads: Vec<HostLoad<BbId>> = bbs
-                .iter()
-                .map(|&bb| {
-                    let block = cloud.topology().bb(bb);
-                    let phys = &block.profile.physical;
-                    let n = block.nodes.len() as f64;
-                    HostLoad {
-                        id: bb,
-                        cpu_capacity: phys.cpu_cores as f64 * n,
-                        mem_capacity_mib: phys.memory_mib as f64 * n,
-                        vms: block
-                            .nodes
-                            .iter()
-                            .flat_map(|&nid| cloud.vms_on_node(nid).to_vec())
-                            .map(|vmid| {
-                                let vm = cloud.vm(vmid).expect("resident");
-                                VmLoad {
-                                    vm_uid: vmid.raw(),
-                                    cpu_demand: vm.last_cpu_demand_cores,
-                                    mem_used_mib: vm.last_mem_used_mib,
-                                    movable: vm.movable,
-                                }
-                            })
-                            .collect(),
-                    }
-                })
-                .collect();
-            let plan = rebalancer.plan(&loads);
+            let plan = rebalancer.plan(&scratch.bb_loads);
             for m in plan.migrations {
                 let vm_id = VmId(m.vm_uid);
                 let resources = cloud.vm(vm_id).expect("planned VM exists").resources;

@@ -4,10 +4,11 @@ use crate::cloud::Cloud;
 use crate::config::SimConfig;
 use sapsim_telemetry::{RunningStat, TsdbStore};
 use sapsim_workload::{VmId, VmSpec};
+use serde::{Deserialize, Serialize};
 
 /// Per-VM utilization summary over the whole window — the input to the
 /// Figure 14 CDFs and the Table 1/2 classifications.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct VmUsageSummary {
     /// The VM.
     pub id: VmId,
@@ -22,7 +23,7 @@ pub struct VmUsageSummary {
 }
 
 /// Counters describing one run.
-#[derive(Debug, Clone, Copy, Default, PartialEq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
 pub struct DriverStats {
     /// Placement attempts (VM arrivals).
     pub placements_attempted: u64,
@@ -90,6 +91,54 @@ pub struct RunResult {
     pub stats: DriverStats,
     /// Final cloud state (topology + residency).
     pub cloud: Cloud,
+}
+
+impl RunResult {
+    /// Canonical byte serialization of everything the simulation computed,
+    /// for determinism assertions and content hashing.
+    ///
+    /// Two properties define "canonical":
+    ///
+    /// * **Deterministic** — every container serialized here iterates in a
+    ///   fixed order (dense telemetry tables, `BTreeMap` fallbacks, the
+    ///   spec-ordered placement list), so equal results always produce
+    ///   equal bytes.
+    /// * **Execution-independent** — knobs that choose *how* a run
+    ///   executes rather than *what* it simulates (currently only
+    ///   [`SimConfig::threads`]) are normalized to their default, so runs
+    ///   that must be bit-identical across thread counts compare equal.
+    ///
+    /// The final cloud state is represented by the `(vm uid, node index)`
+    /// placement list in id order; per-VM RNG internals are execution
+    /// machinery and are not part of the canonical form.
+    pub fn canonical_bytes(&self) -> Vec<u8> {
+        #[derive(Serialize)]
+        struct Canonical<'a> {
+            config: SimConfig,
+            store: &'a TsdbStore,
+            vm_stats: &'a [VmUsageSummary],
+            specs: &'a [VmSpec],
+            stats: &'a DriverStats,
+            placements: Vec<(u64, u32)>,
+        }
+        let mut config = self.config;
+        config.threads = 0;
+        let placements: Vec<(u64, u32)> = self
+            .specs
+            .iter()
+            .filter_map(|s| self.cloud.vm(s.id))
+            .map(|vm| (vm.id.raw(), vm.node.index() as u32))
+            .collect();
+        serde_json::to_vec(&Canonical {
+            config,
+            store: &self.store,
+            vm_stats: &self.vm_stats,
+            specs: &self.specs,
+            stats: &self.stats,
+            placements,
+        })
+        .expect("all RunResult components serialize")
+    }
 }
 
 #[cfg(test)]

@@ -19,7 +19,10 @@
 //!    no global state, no unsafe code.
 //! 3. **Throughput.** The engine must sustain tens of millions of events so
 //!    that a full region (1,800 hypervisors, 48,000 VMs, 30 days) simulates
-//!    in seconds-to-minutes on a laptop.
+//!    in seconds-to-minutes on a laptop. The [`par`] module provides a
+//!    deterministic fan-out primitive (gated behind the `parallel` cargo
+//!    feature, `std::thread` only) so hot loops can use every core without
+//!    compromising goal 1: results are bit-identical at any thread count.
 //!
 //! ## Quick tour
 //!
@@ -45,6 +48,7 @@
 #![warn(missing_docs)]
 
 mod engine;
+pub mod par;
 mod queue;
 mod rng;
 mod time;

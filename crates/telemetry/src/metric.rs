@@ -79,6 +79,10 @@ pub enum MetricId {
 }
 
 impl MetricId {
+    /// Number of metrics in the catalog — the row count of Table 4 and the
+    /// per-metric stride of dense storage tables.
+    pub const COUNT: usize = MetricId::ALL.len();
+
     /// All metrics in Table 4 order.
     pub const ALL: [MetricId; 14] = [
         MetricId::HostCpuUtilPct,
@@ -96,6 +100,13 @@ impl MetricId {
         MetricId::OsMemoryMbUsed,
         MetricId::OsInstancesTotal,
     ];
+
+    /// Dense table index of this metric: its position in [`MetricId::ALL`]
+    /// (the enum is declared in Table 4 order, so the discriminant *is* the
+    /// position — asserted by a unit test).
+    pub const fn index(self) -> usize {
+        self as usize
+    }
 
     /// The exporter metric name as it appears in the dataset.
     pub const fn name(self) -> &'static str {
@@ -223,6 +234,15 @@ mod tests {
             } else {
                 assert!(m.name().starts_with("openstack_compute_"), "{m}");
             }
+        }
+    }
+
+    #[test]
+    fn index_matches_position_in_all() {
+        assert_eq!(MetricId::COUNT, MetricId::ALL.len());
+        for (pos, m) in MetricId::ALL.iter().enumerate() {
+            assert_eq!(m.index(), pos, "{m}");
+            assert!(m.index() < MetricId::COUNT);
         }
     }
 

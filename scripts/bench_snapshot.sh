@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# Snapshot simulator benchmark results into BENCH_<date>.json at the repo
+# root, so perf changes can be compared across commits.
+#
+# Usage:
+#   scripts/bench_snapshot.sh                      # sequential build
+#   scripts/bench_snapshot.sh --features parallel  # with the scrape fan-out
+#
+# Extra arguments are passed through to `cargo bench`. The output flattens
+# criterion's estimates into one document:
+#
+#   {
+#     "scrape_hot_path/vm_samples/threads_1": {"mean_ns": ..., "std_dev_ns": ...},
+#     ...
+#   }
+#
+# Times are nanoseconds per iteration (criterion's native unit); divide the
+# probe's VM-sample count (printed in the bench report as throughput) by
+# mean_ns to recover VM-samples/sec.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo bench -p sapsim-bench --bench simulator "$@"
+
+out="BENCH_$(date +%Y-%m-%d).json"
+{
+    printf '{\n'
+    first=1
+    while IFS= read -r est; do
+        id=${est#target/criterion/}
+        id=${id%/new/estimates.json}
+        # estimates.json is single-line JSON with a stable field layout;
+        # pull point estimates without requiring jq on the host.
+        mean=$(sed -n 's/.*"mean":{"confidence_interval":{[^}]*},"point_estimate":\([-0-9.e+]*\).*/\1/p' "$est")
+        sd=$(sed -n 's/.*"std_dev":{"confidence_interval":{[^}]*},"point_estimate":\([-0-9.e+]*\).*/\1/p' "$est")
+        [ -n "$mean" ] || continue
+        [ "$first" = 1 ] || printf ',\n'
+        first=0
+        printf '  "%s": {"mean_ns": %s, "std_dev_ns": %s}' "$id" "$mean" "${sd:-null}"
+    done < <(find target/criterion -path '*/new/estimates.json' | sort)
+    printf '\n}\n'
+} >"$out"
+echo "wrote $out"

@@ -1,0 +1,11 @@
+#!/usr/bin/env bash
+# Full local gate: the roadmap's tier-1 check (release build + tests) plus
+# the lint ratchet. Run this before pushing; CI and the tier-1 definition
+# stay `cargo build --release && cargo test -q`, with clippy layered on top
+# here so new code lands warning-free without redefining the baseline gate.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release
+cargo test -q
+cargo clippy --all-targets -- -D warnings
