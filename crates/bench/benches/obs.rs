@@ -1,0 +1,50 @@
+//! Observability overhead: the same one-day run with recording compiled
+//! out (`run()` / `NullRecorder`), with the recorder attached at full
+//! decision sampling, and with decision sampling off (spans and counters
+//! only). The first two bars are the PR's "zero-cost when disabled" claim;
+//! the gap between the last two isolates the decision audit log's share.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sapsim_core::obs::{JsonlRecorder, NullRecorder, ObsConfig};
+use sapsim_core::{SimConfig, SimDriver};
+use std::hint::black_box;
+
+fn obs_overhead(c: &mut Criterion) {
+    let base = SimConfig {
+        scale: 0.05,
+        days: 1,
+        seed: 7,
+        warmup_days: 0,
+        ..SimConfig::default()
+    };
+    let mut g = c.benchmark_group("obs_overhead");
+    g.sample_size(10);
+
+    g.bench_function(BenchmarkId::new("one_day", "disabled"), |b| {
+        b.iter(|| black_box(SimDriver::new(base).expect("valid").run()))
+    });
+
+    g.bench_function(BenchmarkId::new("one_day", "null_recorder"), |b| {
+        b.iter(|| {
+            let mut rec = NullRecorder;
+            black_box(SimDriver::new(base).expect("valid").run_with_recorder(&mut rec))
+        })
+    });
+
+    for (label, rate) in [("jsonl_full_sampling", 1.0f64), ("jsonl_spans_only", 0.0)] {
+        g.bench_with_input(BenchmarkId::new("one_day", label), &rate, |b, &rate| {
+            b.iter(|| {
+                let mut rec = JsonlRecorder::new(ObsConfig {
+                    decision_sample_rate: rate,
+                    ..ObsConfig::default()
+                });
+                let result = SimDriver::new(base).expect("valid").run_with_recorder(&mut rec);
+                black_box((result, rec))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, obs_overhead);
+criterion_main!(benches);

@@ -1,8 +1,7 @@
 //! `sapsim export` — run a simulation and write the dataset CSV.
 
-use super::{sim_config_from, SIM_BOOL_FLAGS, SIM_VALUE_OPTIONS};
+use super::{obs_args_from, run_with_obs, sim_config_from, SIM_BOOL_FLAGS, SIM_VALUE_OPTIONS};
 use crate::args::Parsed;
-use sapsim_core::SimDriver;
 use sapsim_trace::TraceWriter;
 use std::fs::File;
 use std::io::{BufWriter, Write};
@@ -15,6 +14,7 @@ pub fn run(argv: &[String], out: &mut dyn Write) -> Result<(), String> {
         return Err("export requires exactly one output file argument".into());
     };
     let cfg = sim_config_from(&parsed)?;
+    let obs = obs_args_from(&parsed)?;
 
     writeln!(
         out,
@@ -22,7 +22,7 @@ pub fn run(argv: &[String], out: &mut dyn Write) -> Result<(), String> {
         cfg.days, cfg.scale, cfg.seed
     )
     .map_err(|e| e.to_string())?;
-    let result = SimDriver::new(cfg)?.run();
+    let result = run_with_obs(cfg, obs.as_ref(), out)?;
 
     let mut writer = match parsed.get("anonymize") {
         Some(salt_raw) => {

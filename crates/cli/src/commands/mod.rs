@@ -2,12 +2,16 @@
 
 pub mod export;
 pub mod import;
+pub mod obs;
 pub mod simulate;
 pub mod tables;
 
 use crate::args::Parsed;
-use sapsim_core::{PlacementGranularity, SimConfig};
+use sapsim_core::obs::{JsonlRecorder, ObsConfig};
+use sapsim_core::{PlacementGranularity, RunResult, SimConfig, SimDriver};
 use sapsim_scheduler::PolicyKind;
+use std::fs::File;
+use std::io::{BufWriter, Write};
 
 /// Options shared by `simulate` and `export`.
 pub const SIM_VALUE_OPTIONS: &[&str] = &[
@@ -18,6 +22,10 @@ pub const SIM_VALUE_OPTIONS: &[&str] = &[
     "granularity",
     "overcommit",
     "anonymize",
+    "obs-out",
+    "obs-chrome",
+    "obs-sample",
+    "obs-ring",
 ];
 /// Boolean flags shared by `simulate` and `export`.
 pub const SIM_BOOL_FLAGS: &[&str] = &["no-drs", "cross-bb", "no-warmup"];
@@ -57,6 +65,85 @@ pub fn sim_config_from(parsed: &Parsed) -> Result<SimConfig, String> {
     }
     cfg.validate()?;
     Ok(cfg)
+}
+
+/// Observability export destinations and recorder knobs, parsed from the
+/// shared `--obs-*` options.
+pub struct ObsArgs {
+    /// Where to write the JSONL event log, if requested.
+    pub jsonl_path: Option<String>,
+    /// Where to write the Chrome trace, if requested.
+    pub chrome_path: Option<String>,
+    /// Recorder configuration (sampling rate, ring capacity).
+    pub config: ObsConfig,
+}
+
+/// Build the observability arguments from parsed CLI options. Returns
+/// `Ok(None)` when no `--obs-*` output was requested, so callers fall back
+/// to the zero-cost [`sapsim_core::obs::NullRecorder`] path.
+pub fn obs_args_from(parsed: &Parsed) -> Result<Option<ObsArgs>, String> {
+    let jsonl_path = parsed.get("obs-out").map(str::to_string);
+    let chrome_path = parsed.get("obs-chrome").map(str::to_string);
+    if jsonl_path.is_none() && chrome_path.is_none() {
+        if parsed.get("obs-sample").is_some() || parsed.get("obs-ring").is_some() {
+            return Err(
+                "--obs-sample/--obs-ring have no effect without --obs-out or --obs-chrome".into(),
+            );
+        }
+        return Ok(None);
+    }
+    let defaults = ObsConfig::default();
+    let config = ObsConfig {
+        decision_sample_rate: parsed
+            .get_parsed("obs-sample", defaults.decision_sample_rate)
+            .map_err(|e| e.to_string())?,
+        ring_capacity: parsed
+            .get_parsed("obs-ring", defaults.ring_capacity)
+            .map_err(|e| e.to_string())?,
+    };
+    config.validate()?;
+    Ok(Some(ObsArgs {
+        jsonl_path,
+        chrome_path,
+        config,
+    }))
+}
+
+/// Run the simulation, with the observability recorder attached when any
+/// `--obs-*` output was requested. Writes the requested export files and a
+/// one-line status per file to `out`.
+pub fn run_with_obs(
+    cfg: SimConfig,
+    obs: Option<&ObsArgs>,
+    out: &mut dyn Write,
+) -> Result<RunResult, String> {
+    let Some(obs) = obs else {
+        return Ok(SimDriver::new(cfg)?.run());
+    };
+    let mut rec = JsonlRecorder::new(obs.config);
+    let result = SimDriver::new(cfg)?.run_with_recorder(&mut rec);
+    if let Some(path) = &obs.jsonl_path {
+        let file = File::create(path).map_err(|e| format!("cannot create {path}: {e}"))?;
+        let mut sink = BufWriter::new(file);
+        rec.write_jsonl(&mut sink).map_err(|e| e.to_string())?;
+        sink.flush().map_err(|e| e.to_string())?;
+        writeln!(
+            out,
+            "obs: wrote {} events ({} dropped) to {path}",
+            rec.len(),
+            rec.dropped()
+        )
+        .map_err(|e| e.to_string())?;
+    }
+    if let Some(path) = &obs.chrome_path {
+        let file = File::create(path).map_err(|e| format!("cannot create {path}: {e}"))?;
+        let mut sink = BufWriter::new(file);
+        rec.write_chrome_trace(&mut sink).map_err(|e| e.to_string())?;
+        sink.flush().map_err(|e| e.to_string())?;
+        writeln!(out, "obs: wrote Chrome trace to {path} (open via chrome://tracing)")
+            .map_err(|e| e.to_string())?;
+    }
+    Ok(result)
 }
 
 #[cfg(test)]
@@ -109,5 +196,52 @@ mod tests {
     fn bad_policy_and_scale_are_rejected() {
         assert!(sim_config_from(&parse(&["--policy", "nope"])).is_err());
         assert!(sim_config_from(&parse(&["--scale", "7.0"])).is_err());
+    }
+
+    #[test]
+    fn no_obs_flags_means_no_recorder() {
+        assert!(obs_args_from(&parse(&[])).unwrap().is_none());
+    }
+
+    #[test]
+    fn obs_out_enables_recorder_with_defaults() {
+        let obs = obs_args_from(&parse(&["--obs-out", "run.jsonl"]))
+            .unwrap()
+            .unwrap();
+        assert_eq!(obs.jsonl_path.as_deref(), Some("run.jsonl"));
+        assert!(obs.chrome_path.is_none());
+        let defaults = ObsConfig::default();
+        assert_eq!(obs.config.decision_sample_rate, defaults.decision_sample_rate);
+        assert_eq!(obs.config.ring_capacity, defaults.ring_capacity);
+    }
+
+    #[test]
+    fn obs_knobs_map_through() {
+        let obs = obs_args_from(&parse(&[
+            "--obs-chrome",
+            "trace.json",
+            "--obs-sample",
+            "0.25",
+            "--obs-ring",
+            "1024",
+        ]))
+        .unwrap()
+        .unwrap();
+        assert_eq!(obs.chrome_path.as_deref(), Some("trace.json"));
+        assert_eq!(obs.config.decision_sample_rate, 0.25);
+        assert_eq!(obs.config.ring_capacity, 1024);
+    }
+
+    #[test]
+    fn obs_knobs_without_an_output_are_rejected() {
+        let err = obs_args_from(&parse(&["--obs-sample", "0.5"])).unwrap_err();
+        assert!(err.contains("--obs-out"));
+    }
+
+    #[test]
+    fn invalid_obs_knobs_are_rejected() {
+        assert!(obs_args_from(&parse(&["--obs-out", "x", "--obs-sample", "1.5"])).is_err());
+        assert!(obs_args_from(&parse(&["--obs-out", "x", "--obs-ring", "0"])).is_err());
+        assert!(obs_args_from(&parse(&["--obs-out", "x", "--obs-ring", "nope"])).is_err());
     }
 }

@@ -1,0 +1,251 @@
+//! `sapsim obs` — inspect an observability JSONL log offline.
+//!
+//! `sapsim obs summary run.jsonl` re-aggregates a decision/span log written
+//! by `simulate --obs-out` into the run's diagnostic headline: span timing
+//! per event-loop phase, placement outcomes, filter rejection totals, and
+//! the event counters. With `--prom` the counters are re-rendered in
+//! Prometheus text format instead, so a log can be pushed through the same
+//! tooling as the telemetry exposition.
+
+use crate::args::Parsed;
+use sapsim_telemetry::exposition::render_counters;
+use serde_json::Value;
+use std::collections::BTreeMap;
+use std::io::Write;
+
+/// Per-span-kind aggregate rebuilt from the log.
+#[derive(Default)]
+struct SpanAgg {
+    count: u64,
+    total_us: u64,
+    max_us: u64,
+}
+
+/// Everything `summary` extracts from one pass over the log.
+#[derive(Default)]
+struct Summary {
+    meta: Option<(f64, u64, u64, u64)>, // (sample rate, ring capacity, events, dropped)
+    spans: BTreeMap<String, SpanAgg>,
+    outcomes: BTreeMap<String, u64>,
+    rejections: BTreeMap<String, u64>,
+    decisions: u64,
+    retries_total: u64,
+    retries_max: u64,
+    candidates_total: u64,
+    counters: Vec<(String, u64)>,
+}
+
+/// Execute the subcommand.
+pub fn run(argv: &[String], out: &mut dyn Write) -> Result<(), String> {
+    let parsed = Parsed::parse(argv, &[], &["prom"]).map_err(|e| e.to_string())?;
+    let [action, path] = parsed.positionals() else {
+        return Err("usage: sapsim obs summary <FILE.jsonl> [--prom]".into());
+    };
+    if action != "summary" {
+        return Err(format!("unknown obs action `{action}` (expected `summary`)"));
+    }
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let summary = summarize(&text)?;
+    if parsed.flag("prom") {
+        let page =
+            render_counters(summary.counters.iter().map(|(name, v)| (name.as_str(), *v)));
+        write!(out, "{page}").map_err(|e| e.to_string())?;
+        return Ok(());
+    }
+    render(&summary, out).map_err(|e| e.to_string())
+}
+
+/// One pass over the JSONL text, dispatching on each line's `type`.
+fn summarize(text: &str) -> Result<Summary, String> {
+    let mut s = Summary::default();
+    for (lineno, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let v: Value = serde_json::from_str(line)
+            .map_err(|e| format!("line {}: invalid JSON: {e}", lineno + 1))?;
+        match v["type"].as_str() {
+            Some("meta") => {
+                s.meta = Some((
+                    v["decision_sample_rate"].as_f64().unwrap_or(f64::NAN),
+                    v["ring_capacity"].as_u64().unwrap_or(0),
+                    v["events"].as_u64().unwrap_or(0),
+                    v["dropped"].as_u64().unwrap_or(0),
+                ));
+            }
+            Some("span") => {
+                let kind = v["kind"].as_str().unwrap_or("?").to_string();
+                let dur = v["dur_us"].as_u64().unwrap_or(0);
+                let agg = s.spans.entry(kind).or_default();
+                agg.count += 1;
+                agg.total_us += dur;
+                agg.max_us = agg.max_us.max(dur);
+            }
+            Some("decision") => {
+                s.decisions += 1;
+                let outcome = v["outcome"].as_str().unwrap_or("?").to_string();
+                *s.outcomes.entry(outcome).or_insert(0) += 1;
+                let retries = v["retries"].as_u64().unwrap_or(0);
+                s.retries_total += retries;
+                s.retries_max = s.retries_max.max(retries);
+                s.candidates_total += v["candidates"].as_u64().unwrap_or(0);
+                if let Some(rej) = v["rejections"].as_object() {
+                    for (reason, count) in rej {
+                        *s.rejections.entry(reason.clone()).or_insert(0) +=
+                            count.as_u64().unwrap_or(0);
+                    }
+                }
+            }
+            Some("counter") => {
+                if let (Some(name), Some(value)) =
+                    (v["name"].as_str(), v["value"].as_u64())
+                {
+                    s.counters.push((name.to_string(), value));
+                }
+            }
+            other => {
+                return Err(format!(
+                    "line {}: unknown record type {:?}",
+                    lineno + 1,
+                    other.unwrap_or("<missing>")
+                ));
+            }
+        }
+    }
+    Ok(s)
+}
+
+/// Human-readable rendering of a [`Summary`].
+fn render(s: &Summary, out: &mut dyn Write) -> std::io::Result<()> {
+    if let Some((rate, capacity, events, dropped)) = s.meta {
+        writeln!(
+            out,
+            "log: {events} events buffered, {dropped} dropped (ring {capacity}, decision sample rate {rate})"
+        )?;
+    }
+
+    if !s.spans.is_empty() {
+        writeln!(out, "\nspans:")?;
+        writeln!(
+            out,
+            "  {:<16} {:>10} {:>12} {:>10} {:>10}",
+            "phase", "count", "total ms", "mean us", "max us"
+        )?;
+        for (kind, agg) in &s.spans {
+            writeln!(
+                out,
+                "  {:<16} {:>10} {:>12.1} {:>10} {:>10}",
+                kind,
+                agg.count,
+                agg.total_us as f64 / 1000.0,
+                agg.total_us / agg.count.max(1),
+                agg.max_us
+            )?;
+        }
+    }
+
+    if s.decisions > 0 {
+        writeln!(out, "\ndecisions: {} sampled", s.decisions)?;
+        for (outcome, count) in &s.outcomes {
+            writeln!(out, "  {outcome}: {count}")?;
+        }
+        writeln!(
+            out,
+            "  retries: {} total, max {} | mean candidate set: {:.1}",
+            s.retries_total,
+            s.retries_max,
+            s.candidates_total as f64 / s.decisions as f64
+        )?;
+    }
+
+    if !s.rejections.is_empty() {
+        writeln!(out, "\nfilter rejections (across sampled decisions):")?;
+        let mut by_count: Vec<_> = s.rejections.iter().collect();
+        by_count.sort_by(|a, b| b.1.cmp(a.1).then_with(|| a.0.cmp(b.0)));
+        for (reason, count) in by_count {
+            writeln!(out, "  {reason}: {count}")?;
+        }
+    }
+
+    if !s.counters.is_empty() {
+        writeln!(out, "\ncounters:")?;
+        for (name, value) in &s.counters {
+            writeln!(out, "  {name}: {value}")?;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const LOG: &str = concat!(
+        "{\"type\":\"meta\",\"version\":1,\"decision_sample_rate\":1,",
+        "\"ring_capacity\":65536,\"events\":4,\"dropped\":0}\n",
+        "{\"type\":\"span\",\"kind\":\"scrape\",\"ts_us\":10,\"dur_us\":200}\n",
+        "{\"type\":\"span\",\"kind\":\"scrape\",\"ts_us\":500,\"dur_us\":100}\n",
+        "{\"type\":\"decision\",\"sim_time_ms\":1000,\"vm_uid\":7,\"candidates\":12,",
+        "\"retries\":1,\"outcome\":\"placed\",\"chosen_host\":3,",
+        "\"rejections\":{\"insufficient_cpu\":2,\"wrong_az\":8},\"top_k\":[]}\n",
+        "{\"type\":\"counter\",\"name\":\"placements\",\"value\":812}\n",
+    );
+
+    #[test]
+    fn summarize_aggregates_all_record_types() {
+        let s = summarize(LOG).unwrap();
+        assert_eq!(s.meta, Some((1.0, 65536, 4, 0)));
+        let scrape = &s.spans["scrape"];
+        assert_eq!((scrape.count, scrape.total_us, scrape.max_us), (2, 300, 200));
+        assert_eq!(s.decisions, 1);
+        assert_eq!(s.outcomes["placed"], 1);
+        assert_eq!(s.rejections["wrong_az"], 8);
+        assert_eq!(s.retries_total, 1);
+        assert_eq!(s.counters, vec![("placements".to_string(), 812)]);
+    }
+
+    #[test]
+    fn summarize_rejects_malformed_lines() {
+        assert!(summarize("not json\n").is_err());
+        assert!(summarize("{\"type\":\"mystery\"}\n").is_err());
+    }
+
+    #[test]
+    fn run_requires_the_summary_action() {
+        let argv: Vec<String> = vec!["frobnicate".into(), "x.jsonl".into()];
+        let err = run(&argv, &mut Vec::new()).unwrap_err();
+        assert!(err.contains("unknown obs action"));
+    }
+
+    #[test]
+    fn render_mentions_each_section() {
+        let s = summarize(LOG).unwrap();
+        let mut buf = Vec::new();
+        render(&s, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("4 events buffered"));
+        assert!(text.contains("scrape"));
+        assert!(text.contains("placed: 1"));
+        assert!(text.contains("wrong_az: 8"));
+        assert!(text.contains("placements: 812"));
+    }
+
+    #[test]
+    fn prom_mode_renders_counter_families() {
+        let dir = std::env::temp_dir().join("sapsim-obs-cmd-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("log.jsonl");
+        std::fs::write(&path, LOG).unwrap();
+        let argv: Vec<String> = vec![
+            "summary".into(),
+            path.to_str().unwrap().into(),
+            "--prom".into(),
+        ];
+        let mut buf = Vec::new();
+        run(&argv, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("# TYPE sapsim_placements counter"));
+        assert!(text.contains("sapsim_placements 812"));
+    }
+}

@@ -1,10 +1,9 @@
 //! `sapsim simulate` — run and summarize.
 
-use super::{sim_config_from, SIM_BOOL_FLAGS, SIM_VALUE_OPTIONS};
+use super::{obs_args_from, run_with_obs, sim_config_from, SIM_BOOL_FLAGS, SIM_VALUE_OPTIONS};
 use crate::args::Parsed;
 use sapsim_analysis::cdf::{utilization_cdf, VmResource};
 use sapsim_analysis::contention::contention_aggregate;
-use sapsim_core::SimDriver;
 use std::io::Write;
 
 /// Execute the subcommand.
@@ -15,6 +14,7 @@ pub fn run(argv: &[String], out: &mut dyn Write) -> Result<(), String> {
         return Err("simulate takes no positional arguments".into());
     }
     let cfg = sim_config_from(&parsed)?;
+    let obs = obs_args_from(&parsed)?;
     let w = |e: std::io::Error| e.to_string();
 
     writeln!(
@@ -26,7 +26,7 @@ pub fn run(argv: &[String], out: &mut dyn Write) -> Result<(), String> {
         cfg.seed
     )
     .map_err(w)?;
-    let result = SimDriver::new(cfg)?.run();
+    let result = run_with_obs(cfg, obs.as_ref(), out)?;
 
     let topo = result.cloud.topology();
     writeln!(out, "\ninfrastructure:").map_err(w)?;
@@ -88,5 +88,36 @@ pub fn run(argv: &[String], out: &mut dyn Write) -> Result<(), String> {
         agg.peak_max()
     )
     .map_err(w)?;
+
+    if result.profile.enabled() {
+        writeln!(out, "\nevent-loop profile (wall clock, not simulation time):").map_err(w)?;
+        writeln!(
+            out,
+            "  {:<16} {:>10} {:>12} {:>10} {:>10}",
+            "phase", "count", "total ms", "mean us", "max us"
+        )
+        .map_err(w)?;
+        for (kind, stat) in result.profile.phases() {
+            if stat.count == 0 {
+                continue;
+            }
+            writeln!(
+                out,
+                "  {:<16} {:>10} {:>12.1} {:>10} {:>10}",
+                kind.name(),
+                stat.count,
+                stat.total_us as f64 / 1000.0,
+                stat.mean_us(),
+                stat.max_us
+            )
+            .map_err(w)?;
+        }
+        writeln!(
+            out,
+            "  wall clock total: {:.1} ms",
+            result.profile.wall_us() as f64 / 1000.0
+        )
+        .map_err(w)?;
+    }
     Ok(())
 }

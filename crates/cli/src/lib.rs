@@ -1,11 +1,12 @@
 //! # sapsim-cli — the `sapsim` command
 //!
-//! A small, dependency-free command-line front end over the workspace:
+//! A small command-line front end over the workspace:
 //!
 //! ```text
 //! sapsim simulate [OPTIONS]        run a simulation and print a summary
 //! sapsim export   [OPTIONS] FILE   run a simulation and export the dataset CSV
 //! sapsim import   FILE [OPTIONS]   load a dataset CSV and print summary stats
+//! sapsim obs summary FILE          summarize an --obs-out JSONL log
 //! sapsim tables                    print the static paper tables (3, 4, 5)
 //! sapsim help                      this text
 //! ```
@@ -32,6 +33,7 @@ COMMANDS:
     simulate    run a simulation and print the headline findings
     export      run a simulation and write the telemetry as dataset CSV
     import      load a dataset CSV (simulated or real) and summarize it
+    obs         summarize an observability JSONL log (obs summary FILE)
     tables      print the paper's static tables (3, 4, 5)
     help        show this message
 
@@ -46,6 +48,17 @@ SIMULATION OPTIONS (simulate, export):
     --cross-bb           enable the cross-building-block rebalancer
     --overcommit <F>     general-purpose vCPU:pCPU ratio    [default: 4.0]
     --no-warmup          skip the 7-day pre-observation ramp
+
+OBSERVABILITY OPTIONS (simulate, export):
+    --obs-out <FILE>     write the decision/span event log as JSON Lines
+    --obs-chrome <FILE>  write a chrome://tracing span trace
+    --obs-sample <F>     decision audit sampling rate in [0, 1] [default: 1.0]
+    --obs-ring <N>       event ring-buffer capacity           [default: 65536]
+
+OBS COMMAND:
+    obs summary <FILE>   aggregate a JSONL log: span timing, decision
+                         outcomes, rejection totals, counters
+    --prom               render the log's counters in Prometheus text format
 
 EXPORT OPTIONS:
     --anonymize <SALT>   consistently hash entity names (like the
@@ -80,6 +93,7 @@ pub fn run_to(argv: &[String], out: &mut dyn std::io::Write) -> Result<(), Strin
         "simulate" => commands::simulate::run(rest, out),
         "export" => commands::export::run(rest, out),
         "import" => commands::import::run(rest, out),
+        "obs" => commands::obs::run(rest, out),
         "tables" => commands::tables::run(rest, out),
         "help" | "--help" | "-h" => {
             writeln!(out, "{USAGE}").map_err(|e| e.to_string())?;

@@ -82,6 +82,65 @@ fn export_then_import_roundtrip() {
 }
 
 #[test]
+fn simulate_with_obs_writes_logs_and_profile() {
+    let dir = std::env::temp_dir();
+    let jsonl = dir.join(format!("sapsim-cli-obs-{}.jsonl", std::process::id()));
+    let chrome = dir.join(format!("sapsim-cli-obs-{}.trace.json", std::process::id()));
+    let jsonl_str = jsonl.to_str().expect("utf8 path");
+    let chrome_str = chrome.to_str().expect("utf8 path");
+
+    let text = run_capture(&[
+        "simulate",
+        "--scale",
+        "0.02",
+        "--days",
+        "1",
+        "--no-warmup",
+        "--seed",
+        "3",
+        "--obs-out",
+        jsonl_str,
+        "--obs-chrome",
+        chrome_str,
+    ])
+    .unwrap();
+    assert!(text.contains("obs: wrote"), "{text}");
+    assert!(text.contains("event-loop profile"), "{text}");
+    assert!(text.contains("scrape"), "{text}");
+
+    // The JSONL log round-trips through `obs summary`.
+    let summary = run_capture(&["obs", "summary", jsonl_str]).unwrap();
+    assert!(summary.contains("events buffered"), "{summary}");
+    assert!(summary.contains("decisions:"), "{summary}");
+    assert!(summary.contains("placed:"), "{summary}");
+    assert!(summary.contains("placements:"), "{summary}");
+
+    // And through `--prom` into Prometheus counter families.
+    let prom = run_capture(&["obs", "summary", jsonl_str, "--prom"]).unwrap();
+    assert!(prom.contains("# TYPE sapsim_placements counter"), "{prom}");
+
+    // The Chrome trace is a JSON array of complete events.
+    let trace = std::fs::read_to_string(&chrome).expect("trace written");
+    assert!(trace.trim_start().starts_with('['));
+    assert!(trace.contains("\"ph\":\"X\""));
+
+    std::fs::remove_file(&jsonl).expect("cleanup");
+    std::fs::remove_file(&chrome).expect("cleanup");
+}
+
+#[test]
+fn obs_knobs_without_output_error() {
+    let err = run_capture(&["simulate", "--obs-sample", "0.5"]).unwrap_err();
+    assert!(err.contains("--obs-out"), "{err}");
+}
+
+#[test]
+fn obs_summary_missing_file_errors() {
+    let err = run_capture(&["obs", "summary", "/nonexistent/definitely-not.jsonl"]).unwrap_err();
+    assert!(err.contains("cannot read"));
+}
+
+#[test]
 fn tables_prints_all_three() {
     let text = run_capture(&["tables"]).unwrap();
     assert!(text.contains("Table 3"));

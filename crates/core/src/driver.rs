@@ -5,8 +5,12 @@ use crate::cloud::{Cloud, PlacementOutcome};
 use crate::config::{PlacementGranularity, SimConfig};
 use crate::hypervisor::{self, NodeDemand};
 use crate::result::{DriverStats, RunResult, VmUsageSummary};
+use sapsim_obs::{
+    DecisionOutcome, DecisionRecord, HostScore, NullRecorder, ObsEvent, Recorder, RunProfile,
+    SpanKind, DECISION_TOP_K,
+};
 use sapsim_scheduler::{
-    HostLoad, PlacementPolicy, PlacementRequest, Rebalancer, VmLoad,
+    HostLoad, PlacementPolicy, PlacementRequest, Ranking, Rebalancer, RejectReason, VmLoad,
 };
 use sapsim_sim::par::join_chunks2;
 use sapsim_sim::{SimRng, SimTime, Simulation};
@@ -18,6 +22,7 @@ use sapsim_workload::{
     paper_flavor_catalog, GeneratorConfig, VmId, VmSpec, WorkloadClass, WorkloadGenerator,
 };
 use rand::Rng;
+use std::time::Instant;
 
 /// Events of the cloud simulation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -41,6 +46,48 @@ enum Event {
     MaintenanceStart(NodeId),
     /// A node leaves maintenance.
     MaintenanceEnd(NodeId),
+}
+
+/// Start a wall-clock span — `None` (no clock read at all) when the
+/// recorder is disabled, so instrumentation monomorphizes away.
+#[inline(always)]
+fn span_start<R: Recorder>() -> Option<Instant> {
+    if R::ENABLED {
+        Some(Instant::now())
+    } else {
+        None
+    }
+}
+
+/// Close a span opened by [`span_start`]: fold the duration into the
+/// profile and buffer a span event stamped relative to the run origin.
+#[inline(always)]
+fn span_end<R: Recorder>(
+    rec: &mut R,
+    profile: &mut RunProfile,
+    kind: SpanKind,
+    origin: Instant,
+    start: Option<Instant>,
+) {
+    if let Some(start) = start {
+        let dur_us = start.elapsed().as_micros() as u64;
+        let ts_us = start.duration_since(origin).as_micros() as u64;
+        profile.add(kind, dur_us);
+        rec.record(ObsEvent::Span { kind, ts_us, dur_us });
+    }
+}
+
+/// Counter name for a filter rejection reason (static, so counters stay
+/// allocation-free).
+const fn rejection_counter(reason: RejectReason) -> &'static str {
+    match reason {
+        RejectReason::HostDisabled => "rejections_host_disabled",
+        RejectReason::WrongAz => "rejections_wrong_az",
+        RejectReason::WrongPurpose => "rejections_wrong_purpose",
+        RejectReason::InsufficientCpu => "rejections_insufficient_cpu",
+        RejectReason::InsufficientMemory => "rejections_insufficient_memory",
+        RejectReason::InsufficientDisk => "rejections_insufficient_disk",
+    }
 }
 
 /// Reusable buffers for the periodic events, allocated once per run so the
@@ -84,10 +131,25 @@ impl SimDriver {
         &self.config
     }
 
-    /// Execute the run to completion.
+    /// Execute the run to completion without observability. Equivalent to
+    /// `run_with_recorder(&mut NullRecorder)` — the instrumentation
+    /// monomorphizes to nothing.
     pub fn run(&self) -> RunResult {
+        self.run_with_recorder(&mut NullRecorder)
+    }
+
+    /// Execute the run to completion, streaming observability into `rec`.
+    ///
+    /// The recorder is purely observational: it never feeds anything back
+    /// into the simulation, so `RunResult::canonical_bytes()` is
+    /// byte-identical whichever recorder is plugged in (the determinism
+    /// suite asserts this). Wall-clock timings flow only into the
+    /// non-canonical [`RunProfile`] on the result.
+    pub fn run_with_recorder<R: Recorder>(&self, rec: &mut R) -> RunResult {
         let cfg = &self.config;
         let root_rng = SimRng::seed_from(cfg.seed);
+        let run_start = Instant::now();
+        let mut profile = RunProfile::new(R::ENABLED);
 
         // --- World construction -------------------------------------
         let mut builder = TopologyBuilder::new();
@@ -251,6 +313,7 @@ impl SimDriver {
                 Event::VmArrival(spec_index) => {
                     let spec = &specs[spec_index];
                     stats.placements_attempted += 1;
+                    let t0 = span_start::<R>();
                     let outcome = Self::place_vm(
                         &mut cloud,
                         &mut policy,
@@ -261,7 +324,9 @@ impl SimDriver {
                         now,
                         &vm_rng_root,
                         ci_farm_exists,
+                        rec,
                     );
+                    span_end(rec, &mut profile, SpanKind::Placement, run_start, t0);
                     match outcome {
                         PlacementOutcome::Placed { retries, .. } => {
                             stats.placed += 1;
@@ -276,14 +341,31 @@ impl SimDriver {
                                 }
                             }
                             stats.peak_vm_count = stats.peak_vm_count.max(cloud.vm_count());
+                            if R::ENABLED {
+                                rec.counter_add("placements", 1);
+                                rec.counter_add("placement_retries", retries as u64);
+                            }
                         }
-                        PlacementOutcome::NoCandidate => stats.failed_no_candidate += 1,
-                        PlacementOutcome::Fragmented => stats.failed_fragmented += 1,
+                        PlacementOutcome::NoCandidate => {
+                            stats.failed_no_candidate += 1;
+                            if R::ENABLED {
+                                rec.counter_add("placements_failed_no_candidate", 1);
+                            }
+                        }
+                        PlacementOutcome::Fragmented => {
+                            stats.failed_fragmented += 1;
+                            if R::ENABLED {
+                                rec.counter_add("placements_failed_fragmented", 1);
+                            }
+                        }
                     }
                 }
                 Event::VmDeparture(id) => {
                     if cloud.remove(id).is_some() {
                         stats.departures += 1;
+                        if R::ENABLED {
+                            rec.counter_add("departures", 1);
+                        }
                     }
                 }
                 Event::VmResize(id) => {
@@ -300,6 +382,7 @@ impl SimDriver {
                 }
                 Event::Scrape => {
                     stats.scrapes += 1;
+                    let t0 = span_start::<R>();
                     Self::scrape(
                         &mut cloud,
                         &specs,
@@ -309,20 +392,40 @@ impl SimDriver {
                         now,
                         warmup,
                         &mut scratch,
+                        rec,
+                        &mut profile,
+                        run_start,
                     );
+                    span_end(rec, &mut profile, SpanKind::Scrape, run_start, t0);
+                    if R::ENABLED {
+                        rec.counter_add("scrapes", 1);
+                    }
                     sim.schedule_after(cfg.scrape_interval, Event::Scrape);
                 }
                 Event::OsGauge => {
+                    let t0 = span_start::<R>();
                     Self::record_os_gauges(&cloud, &mut store, now, warmup);
+                    span_end(rec, &mut profile, SpanKind::OsGauge, run_start, t0);
                     sim.schedule_after(cfg.os_gauge_interval, Event::OsGauge);
                 }
                 Event::DrsRound => {
-                    stats.drs_migrations += Self::drs_round(&mut cloud, &drs, &mut scratch);
+                    let t0 = span_start::<R>();
+                    let migrated = Self::drs_round(&mut cloud, &drs, &mut scratch);
+                    span_end(rec, &mut profile, SpanKind::DrsRound, run_start, t0);
+                    stats.drs_migrations += migrated;
+                    if R::ENABLED {
+                        rec.counter_add("drs_migrations", migrated);
+                    }
                     sim.schedule_after(cfg.drs_interval, Event::DrsRound);
                 }
                 Event::CrossBbRound => {
-                    stats.cross_bb_migrations +=
-                        Self::cross_bb_round(&mut cloud, &cross, &mut scratch);
+                    let t0 = span_start::<R>();
+                    let migrated = Self::cross_bb_round(&mut cloud, &cross, &mut scratch);
+                    span_end(rec, &mut profile, SpanKind::CrossBbRound, run_start, t0);
+                    stats.cross_bb_migrations += migrated;
+                    if R::ENABLED {
+                        rec.counter_add("cross_bb_migrations", migrated);
+                    }
                     sim.schedule_after(cfg.cross_bb_interval, Event::CrossBbRound);
                 }
                 Event::MaintenanceStart(node) => {
@@ -335,6 +438,9 @@ impl SimDriver {
                         Ok(moved) => {
                             stats.maintenance_windows += 1;
                             stats.evacuations += moved;
+                            if R::ENABLED {
+                                rec.counter_add("evacuations", moved);
+                            }
                             sim.schedule_after(
                                 cfg.maintenance_duration,
                                 Event::MaintenanceEnd(node),
@@ -371,6 +477,16 @@ impl SimDriver {
             }
         }
 
+        if R::ENABLED {
+            let wall_us = run_start.elapsed().as_micros() as u64;
+            profile.set_wall_us(wall_us);
+            rec.record(ObsEvent::Span {
+                kind: SpanKind::Run,
+                ts_us: 0,
+                dur_us: wall_us,
+            });
+        }
+
         RunResult {
             config: *cfg,
             store,
@@ -378,6 +494,7 @@ impl SimDriver {
             specs,
             stats,
             cloud,
+            profile,
         }
     }
 
@@ -444,7 +561,7 @@ impl SimDriver {
             .in_az(vm_az[spec_index]);
         let views = cloud.host_views(cfg.granularity, now);
         if let Ok(ranked) = policy.rank(&request, &views) {
-            for candidate in ranked {
+            for &candidate in &ranked.order {
                 let node = match cfg.granularity {
                     PlacementGranularity::BuildingBlock => {
                         match cloud
@@ -466,8 +583,14 @@ impl SimDriver {
     }
 
     /// Place one VM via the policy pipeline with Nova-style greedy retries.
+    ///
+    /// When the recorder is enabled, every rank pass feeds the rejection
+    /// counters, and sampled decisions (see
+    /// [`Recorder::wants_decision`]) emit a full [`DecisionRecord`] —
+    /// candidate set size, per-filter eliminations, top-k weigher scores,
+    /// chosen host, retry depth.
     #[allow(clippy::too_many_arguments)]
-    fn place_vm(
+    fn place_vm<R: Recorder>(
         cloud: &mut Cloud,
         policy: &mut PlacementPolicy,
         cfg: &SimConfig,
@@ -477,6 +600,7 @@ impl SimDriver {
         now: SimTime,
         vm_rng_root: &SimRng,
         ci_farm_exists: bool,
+        rec: &mut R,
     ) -> PlacementOutcome {
         let mut purpose = spec.class.required_bb_purpose();
         if purpose == BbPurpose::CiFarm && !ci_farm_exists {
@@ -492,11 +616,39 @@ impl SimDriver {
         let views = cloud.host_views(cfg.granularity, now);
         let ranked = match policy.rank(&request, &views) {
             Ok(r) => r,
-            Err(_) => return PlacementOutcome::NoCandidate,
+            Err(err) => {
+                if R::ENABLED {
+                    for &(reason, n) in &err.rejections {
+                        rec.counter_add(rejection_counter(reason), n as u64);
+                    }
+                    if rec.wants_decision(spec.id.raw()) {
+                        rec.record(ObsEvent::Decision(DecisionRecord {
+                            sim_time_ms: now.as_millis(),
+                            vm_uid: spec.id.raw(),
+                            candidates: views.len() as u32,
+                            retries: 0,
+                            outcome: DecisionOutcome::NoCandidate,
+                            chosen_host: None,
+                            rejections: err
+                                .rejections
+                                .iter()
+                                .map(|&(reason, n)| (reason.label(), n as u32))
+                                .collect(),
+                            top_k: Vec::new(),
+                        }));
+                    }
+                }
+                return PlacementOutcome::NoCandidate;
+            }
         };
+        if R::ENABLED {
+            for &(reason, n) in &ranked.rejections {
+                rec.counter_add(rejection_counter(reason), n as u64);
+            }
+        }
 
         let mut retries = 0u32;
-        for candidate in ranked {
+        for &candidate in &ranked.order {
             let node = match cfg.granularity {
                 PlacementGranularity::BuildingBlock => {
                     let bb = BbId::from_raw(candidate as u32);
@@ -515,9 +667,66 @@ impl SimDriver {
             };
             let rng = vm_rng_root.split_index(spec.id.raw());
             cloud.place(spec_index, spec, node, rng);
+            if R::ENABLED && rec.wants_decision(spec.id.raw()) {
+                rec.record(ObsEvent::Decision(Self::decision_from(
+                    &ranked,
+                    now,
+                    spec.id.raw(),
+                    retries,
+                    DecisionOutcome::Placed,
+                    Some(node),
+                )));
+            }
             return PlacementOutcome::Placed { node, retries };
         }
+        if R::ENABLED && rec.wants_decision(spec.id.raw()) {
+            rec.record(ObsEvent::Decision(Self::decision_from(
+                &ranked,
+                now,
+                spec.id.raw(),
+                retries,
+                DecisionOutcome::Fragmented,
+                None,
+            )));
+        }
         PlacementOutcome::Fragmented
+    }
+
+    /// Build the audit-log entry for a decision whose rank pass succeeded.
+    fn decision_from(
+        ranked: &Ranking,
+        now: SimTime,
+        vm_uid: u64,
+        retries: u32,
+        outcome: DecisionOutcome,
+        chosen: Option<NodeId>,
+    ) -> DecisionRecord {
+        let k = DECISION_TOP_K.min(ranked.order.len());
+        let top_k = (0..k)
+            .map(|i| HostScore {
+                host: ranked.order[i] as u32,
+                score: ranked.scores[i],
+                weights: ranked
+                    .weigher_scores
+                    .iter()
+                    .map(|(name, contrib)| (*name, contrib[i]))
+                    .collect(),
+            })
+            .collect();
+        DecisionRecord {
+            sim_time_ms: now.as_millis(),
+            vm_uid,
+            candidates: ranked.candidates as u32,
+            retries,
+            outcome,
+            chosen_host: chosen.map(|n| n.index() as u32),
+            rejections: ranked
+                .rejections
+                .iter()
+                .map(|&(reason, n)| (reason.label(), n))
+                .collect(),
+            top_k,
+        }
     }
 
     /// One telemetry round: advance every VM's demand model, aggregate
@@ -540,7 +749,7 @@ impl SimDriver {
     ///    accumulation, so the sum order is identical at any thread count.
     /// 3. **Hypervisor model + recording** (sequential, node order).
     #[allow(clippy::too_many_arguments)]
-    fn scrape(
+    fn scrape<R: Recorder>(
         cloud: &mut Cloud,
         specs: &[VmSpec],
         vm_stats: &mut [VmUsageSummary],
@@ -549,6 +758,9 @@ impl SimDriver {
         now: SimTime,
         warmup: SimTime,
         scratch: &mut DriverScratch,
+        rec: &mut R,
+        profile: &mut RunProfile,
+        origin: Instant,
     ) {
         let observing = now >= warmup;
         let obs_time = if observing {
@@ -562,6 +774,7 @@ impl SimDriver {
         // Phase 1: sample every placed VM. `vm_stats` is indexed by spec,
         // and the generator numbers ids as consecutive spec indices, so
         // slot i of the dense VM table pairs with summary i.
+        let t_sample = span_start::<R>();
         join_chunks2(
             cloud.vm_slots_mut(),
             vm_stats,
@@ -593,7 +806,10 @@ impl SimDriver {
             },
         );
 
+        span_end(rec, profile, SpanKind::ScrapeSample, origin, t_sample);
+
         // Phase 2: reduce the cached per-VM demands into per-node totals.
+        let t_reduce = span_start::<R>();
         debug_assert_eq!(scratch.demands.len(), cloud.topology().nodes().len());
         scratch.demands.fill(NodeDemand::default());
         for (node_idx, d) in scratch.demands.iter_mut().enumerate() {
@@ -605,7 +821,10 @@ impl SimDriver {
             }
         }
 
+        span_end(rec, profile, SpanKind::ScrapeReduce, origin, t_reduce);
+
         // Phase 3: evaluate and record the node model.
+        let t_record = span_start::<R>();
         for (node_idx, demand) in scratch.demands.iter().enumerate() {
             let node = NodeId::from_raw(node_idx as u32);
             let physical = cloud.topology().node_physical_capacity(node);
@@ -638,6 +857,7 @@ impl SimDriver {
                 store.record(MetricId::HostCpuReadyMs, e, obs_time, sample.cpu_ready_ms);
             }
         }
+        span_end(rec, profile, SpanKind::ScrapeRecord, origin, t_record);
     }
 
     /// Record the Nova-database gauges. In the paper's deployment Nova's
@@ -1011,5 +1231,68 @@ mod tests {
         assert!(r.stats.departures > 0, "CI churn departs within 3 days");
         // Peak ≥ final.
         assert!(r.stats.peak_vm_count >= r.stats.final_vm_count);
+    }
+
+    #[test]
+    fn recorder_counters_agree_with_driver_stats() {
+        use sapsim_obs::{JsonlRecorder, ObsConfig};
+        let mut cfg = SimConfig::smoke_test();
+        cfg.seed = 14;
+        let mut rec = JsonlRecorder::new(ObsConfig {
+            ring_capacity: 1 << 20,
+            ..ObsConfig::default()
+        });
+        let r = SimDriver::new(cfg).unwrap().run_with_recorder(&mut rec);
+        let counters: std::collections::BTreeMap<_, _> = rec.counters().collect();
+        assert_eq!(counters["placements"], r.stats.placed);
+        assert_eq!(counters["scrapes"], r.stats.scrapes);
+        assert_eq!(counters["departures"], r.stats.departures);
+        assert_eq!(counters["placement_retries"], r.stats.placement_retries);
+        // Every placement was sampled at the default rate of 1.0 and the
+        // ring is large enough to hold them all.
+        let decisions = rec
+            .events()
+            .filter(|e| matches!(e, ObsEvent::Decision(_)))
+            .count() as u64;
+        assert_eq!(decisions, r.stats.placements_attempted);
+        assert_eq!(rec.dropped(), 0);
+        // The profile saw every scrape and its three sub-phases.
+        assert!(r.profile.enabled());
+        assert_eq!(r.profile.phase(SpanKind::Scrape).count, r.stats.scrapes);
+        assert_eq!(
+            r.profile.phase(SpanKind::ScrapeSample).count,
+            r.stats.scrapes
+        );
+        assert!(r.profile.wall_us() > 0);
+    }
+
+    #[test]
+    fn null_recorder_run_has_disabled_profile() {
+        let r = smoke(15);
+        assert!(!r.profile.enabled());
+        assert_eq!(r.profile.wall_us(), 0);
+        assert_eq!(r.profile.phase(SpanKind::Scrape).count, 0);
+    }
+
+    #[test]
+    fn decision_sampling_rate_zero_records_no_decisions() {
+        use sapsim_obs::{JsonlRecorder, ObsConfig};
+        let mut cfg = SimConfig::smoke_test();
+        cfg.seed = 16;
+        let mut rec = JsonlRecorder::new(ObsConfig {
+            decision_sample_rate: 0.0,
+            ..ObsConfig::default()
+        });
+        let r = SimDriver::new(cfg).unwrap().run_with_recorder(&mut rec);
+        assert!(r.stats.placed > 0);
+        assert_eq!(
+            rec.events()
+                .filter(|e| matches!(e, ObsEvent::Decision(_)))
+                .count(),
+            0
+        );
+        // Counters still accumulate — sampling only bounds the ring.
+        let counters: std::collections::BTreeMap<_, _> = rec.counters().collect();
+        assert_eq!(counters["placements"], r.stats.placed);
     }
 }

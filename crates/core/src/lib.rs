@@ -36,3 +36,8 @@ pub use cloud::{Cloud, PlacedVm, PlacementOutcome};
 pub use config::{PlacementGranularity, SimConfig};
 pub use driver::SimDriver;
 pub use result::{DriverStats, RunResult, VmUsageSummary};
+
+/// Re-export of the observability substrate so embedders can drive
+/// [`SimDriver::run_with_recorder`](crate::SimDriver) without naming the
+/// `sapsim-obs` crate themselves.
+pub use sapsim_obs as obs;

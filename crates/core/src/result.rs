@@ -2,6 +2,7 @@
 
 use crate::cloud::Cloud;
 use crate::config::SimConfig;
+use sapsim_obs::RunProfile;
 use sapsim_telemetry::{RunningStat, TsdbStore};
 use sapsim_workload::{VmId, VmSpec};
 use serde::{Deserialize, Serialize};
@@ -91,6 +92,11 @@ pub struct RunResult {
     pub stats: DriverStats,
     /// Final cloud state (topology + residency).
     pub cloud: Cloud,
+    /// Wall-clock profile of the event loop (empty unless the run used an
+    /// enabled recorder). Excluded from [`RunResult::canonical_bytes`]
+    /// exactly like [`SimConfig::threads`]: wall-clock time describes how
+    /// the run executed, not what it simulated.
+    pub profile: RunProfile,
 }
 
 impl RunResult {
@@ -103,10 +109,12 @@ impl RunResult {
     ///   fixed order (dense telemetry tables, `BTreeMap` fallbacks, the
     ///   spec-ordered placement list), so equal results always produce
     ///   equal bytes.
-    /// * **Execution-independent** — knobs that choose *how* a run
-    ///   executes rather than *what* it simulates (currently only
-    ///   [`SimConfig::threads`]) are normalized to their default, so runs
-    ///   that must be bit-identical across thread counts compare equal.
+    /// * **Execution-independent** — knobs and measurements that describe
+    ///   *how* a run executes rather than *what* it simulates are left
+    ///   out: [`SimConfig::threads`] is normalized to its default and the
+    ///   wall-clock [`RunResult::profile`] is omitted entirely, so runs
+    ///   that must be bit-identical across thread counts and recorder
+    ///   choices compare equal.
     ///
     /// The final cloud state is represented by the `(vm uid, node index)`
     /// placement list in id order; per-VM RNG internals are execution

@@ -1,0 +1,89 @@
+//! Minimal JSON emission.
+//!
+//! The recorder writes machine-readable JSON Lines without pulling serde
+//! into the simulator's dependency graph. Only the handful of shapes the
+//! event types need are supported: objects with string/number/array
+//! members, written in a fixed field order so the output is schema-stable
+//! and diffable.
+
+use std::fmt::Write as _;
+
+/// Append `s` as a JSON string literal (quoted, escaped).
+pub(crate) fn push_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Append a float. Rust's shortest-roundtrip `Display` for finite `f64`
+/// is always a valid JSON number; non-finite values (which JSON cannot
+/// represent) become `null`.
+pub(crate) fn push_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        let _ = write!(out, "{v}");
+    } else {
+        out.push_str("null");
+    }
+}
+
+/// Append an unsigned integer.
+pub(crate) fn push_u64(out: &mut String, v: u64) {
+    let _ = write!(out, "{v}");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn escaped(s: &str) -> String {
+        let mut out = String::new();
+        push_str(&mut out, s);
+        out
+    }
+
+    #[test]
+    fn strings_escape_control_and_quote_characters() {
+        assert_eq!(escaped("plain"), "\"plain\"");
+        assert_eq!(escaped("a\"b"), "\"a\\\"b\"");
+        assert_eq!(escaped("a\\b"), "\"a\\\\b\"");
+        assert_eq!(escaped("a\nb\tc"), "\"a\\nb\\tc\"");
+        assert_eq!(escaped("\u{1}"), "\"\\u0001\"");
+        // Escaped output round-trips through a real JSON parser.
+        let parsed: String = serde_json::from_str(&escaped("x\n\"\\\t\u{2}")).unwrap();
+        assert_eq!(parsed, "x\n\"\\\t\u{2}");
+    }
+
+    #[test]
+    fn floats_render_as_json_numbers_or_null() {
+        let render = |v: f64| {
+            let mut out = String::new();
+            push_f64(&mut out, v);
+            out
+        };
+        assert_eq!(render(1.5), "1.5");
+        assert_eq!(render(-3.0), "-3");
+        assert_eq!(render(f64::NAN), "null");
+        assert_eq!(render(f64::INFINITY), "null");
+        // Valid JSON either way.
+        assert!(serde_json::from_str::<serde_json::Value>(&render(0.1)).is_ok());
+    }
+
+    #[test]
+    fn integers_render_plainly() {
+        let mut out = String::new();
+        push_u64(&mut out, u64::MAX);
+        assert_eq!(out, "18446744073709551615");
+    }
+}

@@ -1,0 +1,47 @@
+//! # sapsim-obs — zero-cost structured observability
+//!
+//! The paper's contribution is *diagnostic*: it explains why vanilla
+//! Nova + DRS placements are inefficient (Sections 2.2, 5–6). A simulator
+//! that only emits end-of-run aggregates cannot answer "why did VM X land
+//! on node Y?" for any single decision. This crate supplies the recording
+//! substrate that turns the simulator into a research instrument:
+//!
+//! * [`Recorder`] — the sink trait. It carries a `const ENABLED` flag so
+//!   call sites can be written as `if R::ENABLED { … }` and monomorphize
+//!   to **nothing** when the [`NullRecorder`] is in use: the hot path and
+//!   the determinism contract (bit-identical `canonical_bytes()` with
+//!   observability on, off, or at any thread count) are untouched.
+//! * [`JsonlRecorder`] — a bounded, ring-buffered recorder of typed
+//!   [`ObsEvent`]s plus unbounded-but-tiny named counters, exportable as
+//!   JSON Lines ([`JsonlRecorder::write_jsonl`]) and as a Chrome
+//!   `chrome://tracing` trace ([`JsonlRecorder::write_chrome_trace`]).
+//! * [`DecisionRecord`] — the scheduler decision audit log entry: candidate
+//!   set size, per-filter rejection counts, per-weigher scores of the
+//!   top-k survivors, the chosen host, and retry depth.
+//! * [`RunProfile`] — aggregated wall-clock timing per event-loop phase
+//!   (scrape with its sample/reduce/record breakdown, DRS rounds, cross-BB
+//!   rounds, placements), carried on the driver's `RunResult` but excluded
+//!   from canonical serialization exactly like the `threads` knob.
+//!
+//! Decision sampling ([`ObsConfig::decision_sample_rate`]) hashes the VM
+//! uid through a SplitMix64 finalizer rather than drawing from any
+//! simulation RNG stream, so changing the rate can never perturb a run.
+//!
+//! The crate is intentionally dependency-free: JSON is emitted by a small
+//! hand-rolled writer ([`ObsEvent::write_json_line`]), which keeps the
+//! whole observability stack out of the dependency graph of the simulator
+//! core.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod event;
+mod json;
+mod profile;
+mod recorder;
+
+pub use event::{
+    DecisionOutcome, DecisionRecord, HostScore, ObsEvent, SpanKind, DECISION_TOP_K,
+};
+pub use profile::{PhaseStat, RunProfile};
+pub use recorder::{JsonlRecorder, NullRecorder, ObsConfig, Recorder};

@@ -1,0 +1,424 @@
+//! Recorder trait, the no-op recorder, and the ring-buffered JSONL
+//! recorder.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::io;
+
+use crate::event::{ObsEvent, SpanKind};
+use crate::json;
+
+/// Sink for observability events.
+///
+/// The trait carries a `const ENABLED` flag so instrumentation sites can
+/// be written as
+///
+/// ```ignore
+/// if R::ENABLED {
+///     rec.record(ObsEvent::Span { .. });
+/// }
+/// ```
+///
+/// and monomorphize to **nothing** for [`NullRecorder`]: with
+/// `ENABLED = false` the branch is statically dead and the event
+/// construction — including any clock reads guarding it — is compiled
+/// out. This is what keeps observability off the hot path when unused.
+pub trait Recorder {
+    /// Whether this recorder actually collects anything. Instrumentation
+    /// must gate all event-building work on this constant.
+    const ENABLED: bool;
+
+    /// Buffer one typed event.
+    fn record(&mut self, event: ObsEvent);
+
+    /// Add `delta` to the named monotonic counter.
+    fn counter_add(&mut self, name: &'static str, delta: u64);
+
+    /// Whether the decision for `vm_uid` should be recorded, per the
+    /// configured sample rate. Deterministic in `vm_uid`: the answer
+    /// never depends on call order, thread count, or any simulation RNG.
+    fn wants_decision(&mut self, vm_uid: u64) -> bool;
+}
+
+/// The disabled recorder: every method is a no-op and `ENABLED` is
+/// false, so instrumented code paths compile to exactly the
+/// uninstrumented code.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullRecorder;
+
+impl Recorder for NullRecorder {
+    const ENABLED: bool = false;
+
+    #[inline(always)]
+    fn record(&mut self, _event: ObsEvent) {}
+
+    #[inline(always)]
+    fn counter_add(&mut self, _name: &'static str, _delta: u64) {}
+
+    #[inline(always)]
+    fn wants_decision(&mut self, _vm_uid: u64) -> bool {
+        false
+    }
+}
+
+/// Knobs bounding what the [`JsonlRecorder`] collects.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ObsConfig {
+    /// Fraction of placement decisions to audit, in `[0, 1]`. Sampling
+    /// is a deterministic hash of the VM uid (SplitMix64 finalizer), so
+    /// the same VMs are sampled at the same rate regardless of thread
+    /// count or event interleaving — and the simulation RNG streams are
+    /// never touched.
+    pub decision_sample_rate: f64,
+    /// Maximum number of buffered events. On overflow the oldest event
+    /// is dropped and the drop is counted, so a full-region run stays
+    /// bounded no matter how long it is.
+    pub ring_capacity: usize,
+}
+
+impl Default for ObsConfig {
+    fn default() -> Self {
+        ObsConfig {
+            decision_sample_rate: 1.0,
+            ring_capacity: 65_536,
+        }
+    }
+}
+
+impl ObsConfig {
+    /// Check the knobs are usable: rate in `[0, 1]`, capacity nonzero.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(0.0..=1.0).contains(&self.decision_sample_rate) {
+            return Err(format!(
+                "decision sample rate must be in [0, 1], got {}",
+                self.decision_sample_rate
+            ));
+        }
+        if self.ring_capacity == 0 {
+            return Err("obs ring capacity must be at least 1".to_string());
+        }
+        Ok(())
+    }
+}
+
+/// SplitMix64 finalizer: a cheap, well-mixed 64-bit hash. Used to turn a
+/// VM uid into a uniform `[0, 1)` value for sampling without consuming
+/// any simulation randomness.
+fn splitmix64(uid: u64) -> u64 {
+    let mut z = uid.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Ring-buffered recorder that exports JSON Lines and Chrome traces.
+///
+/// Events are kept in a bounded `VecDeque`; when full, the oldest event
+/// is evicted and counted in [`JsonlRecorder::dropped`]. Counters are a
+/// small `BTreeMap` keyed by static names, so their export order is
+/// stable.
+#[derive(Debug, Clone)]
+pub struct JsonlRecorder {
+    config: ObsConfig,
+    ring: VecDeque<ObsEvent>,
+    dropped: u64,
+    counters: BTreeMap<&'static str, u64>,
+}
+
+impl Default for JsonlRecorder {
+    fn default() -> Self {
+        JsonlRecorder::new(ObsConfig::default())
+    }
+}
+
+impl JsonlRecorder {
+    /// New recorder with the given knobs.
+    pub fn new(config: ObsConfig) -> Self {
+        JsonlRecorder {
+            config,
+            ring: VecDeque::with_capacity(config.ring_capacity.min(4096)),
+            dropped: 0,
+            counters: BTreeMap::new(),
+        }
+    }
+
+    /// New recorder with [`ObsConfig::default`] knobs (sample everything,
+    /// 64k-event ring).
+    pub fn with_defaults() -> Self {
+        JsonlRecorder::default()
+    }
+
+    /// The knobs this recorder was built with.
+    pub fn config(&self) -> ObsConfig {
+        self.config
+    }
+
+    /// Buffered events, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &ObsEvent> {
+        self.ring.iter()
+    }
+
+    /// Counter values in name order.
+    pub fn counters(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        self.counters.iter().map(|(&name, &value)| (name, value))
+    }
+
+    /// Events evicted because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Number of buffered events.
+    pub fn len(&self) -> usize {
+        self.ring.len()
+    }
+
+    /// Whether no events are buffered.
+    pub fn is_empty(&self) -> bool {
+        self.ring.is_empty()
+    }
+
+    /// Write the full log as JSON Lines: one `meta` line, every buffered
+    /// event in order, then one `counter` line per counter.
+    pub fn write_jsonl(&self, out: &mut dyn io::Write) -> io::Result<()> {
+        let mut line = String::with_capacity(256);
+        line.push_str("{\"type\":\"meta\",\"version\":1,\"decision_sample_rate\":");
+        json::push_f64(&mut line, self.config.decision_sample_rate);
+        line.push_str(",\"ring_capacity\":");
+        json::push_u64(&mut line, self.config.ring_capacity as u64);
+        line.push_str(",\"events\":");
+        json::push_u64(&mut line, self.ring.len() as u64);
+        line.push_str(",\"dropped\":");
+        json::push_u64(&mut line, self.dropped);
+        line.push_str("}\n");
+        out.write_all(line.as_bytes())?;
+
+        for event in &self.ring {
+            line.clear();
+            event.write_json_line(&mut line);
+            line.push('\n');
+            out.write_all(line.as_bytes())?;
+        }
+
+        for (name, value) in &self.counters {
+            line.clear();
+            line.push_str("{\"type\":\"counter\",\"name\":");
+            json::push_str(&mut line, name);
+            line.push_str(",\"value\":");
+            json::push_u64(&mut line, *value);
+            line.push_str("}\n");
+            out.write_all(line.as_bytes())?;
+        }
+        Ok(())
+    }
+
+    /// Write the buffered spans as a Chrome `chrome://tracing` /
+    /// Perfetto-compatible JSON array of complete (`"ph":"X"`) events.
+    ///
+    /// Spans are sorted by start time ascending, then duration
+    /// descending, so `ts` is monotone and enclosing spans (e.g. a
+    /// scrape) precede their sub-phases (sample/reduce/record) that
+    /// start at the same instant.
+    pub fn write_chrome_trace(&self, out: &mut dyn io::Write) -> io::Result<()> {
+        let mut spans: Vec<(SpanKind, u64, u64)> = self
+            .ring
+            .iter()
+            .filter_map(|event| match event {
+                ObsEvent::Span { kind, ts_us, dur_us } => Some((*kind, *ts_us, *dur_us)),
+                ObsEvent::Decision(_) => None,
+            })
+            .collect();
+        spans.sort_by(|a, b| a.1.cmp(&b.1).then(b.2.cmp(&a.2)));
+
+        let mut body = String::with_capacity(64 + spans.len() * 96);
+        body.push('[');
+        for (i, (kind, ts_us, dur_us)) in spans.iter().enumerate() {
+            if i > 0 {
+                body.push(',');
+            }
+            body.push_str("\n{\"name\":");
+            json::push_str(&mut body, kind.name());
+            body.push_str(",\"cat\":\"sim\",\"ph\":\"X\",\"ts\":");
+            json::push_u64(&mut body, *ts_us);
+            body.push_str(",\"dur\":");
+            json::push_u64(&mut body, *dur_us);
+            body.push_str(",\"pid\":1,\"tid\":1}");
+        }
+        body.push_str("\n]\n");
+        out.write_all(body.as_bytes())
+    }
+}
+
+impl Recorder for JsonlRecorder {
+    const ENABLED: bool = true;
+
+    fn record(&mut self, event: ObsEvent) {
+        if self.ring.len() >= self.config.ring_capacity {
+            self.ring.pop_front();
+            self.dropped += 1;
+        }
+        self.ring.push_back(event);
+    }
+
+    fn counter_add(&mut self, name: &'static str, delta: u64) {
+        *self.counters.entry(name).or_insert(0) += delta;
+    }
+
+    fn wants_decision(&mut self, vm_uid: u64) -> bool {
+        let rate = self.config.decision_sample_rate;
+        if rate >= 1.0 {
+            return true;
+        }
+        if rate <= 0.0 {
+            return false;
+        }
+        // Top 53 bits of the hash → uniform f64 in [0, 1).
+        let unit = (splitmix64(vm_uid) >> 11) as f64 / (1u64 << 53) as f64;
+        unit < rate
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{DecisionOutcome, DecisionRecord};
+    use serde_json::Value;
+
+    fn span(kind: SpanKind, ts_us: u64, dur_us: u64) -> ObsEvent {
+        ObsEvent::Span { kind, ts_us, dur_us }
+    }
+
+    fn decision(vm_uid: u64) -> ObsEvent {
+        ObsEvent::Decision(DecisionRecord {
+            sim_time_ms: 0,
+            vm_uid,
+            candidates: 1,
+            retries: 0,
+            outcome: DecisionOutcome::Placed,
+            chosen_host: Some(0),
+            rejections: Vec::new(),
+            top_k: Vec::new(),
+        })
+    }
+
+    #[test]
+    fn config_validation_bounds_rate_and_capacity() {
+        assert!(ObsConfig::default().validate().is_ok());
+        let bad_rate = ObsConfig {
+            decision_sample_rate: 1.5,
+            ..ObsConfig::default()
+        };
+        assert!(bad_rate.validate().is_err());
+        let nan_rate = ObsConfig {
+            decision_sample_rate: f64::NAN,
+            ..ObsConfig::default()
+        };
+        assert!(nan_rate.validate().is_err());
+        let zero_ring = ObsConfig {
+            ring_capacity: 0,
+            ..ObsConfig::default()
+        };
+        assert!(zero_ring.validate().is_err());
+    }
+
+    #[test]
+    fn ring_evicts_oldest_and_counts_drops() {
+        let mut rec = JsonlRecorder::new(ObsConfig {
+            ring_capacity: 2,
+            ..ObsConfig::default()
+        });
+        rec.record(span(SpanKind::Scrape, 0, 1));
+        rec.record(span(SpanKind::Scrape, 1, 1));
+        rec.record(span(SpanKind::Scrape, 2, 1));
+        assert_eq!(rec.len(), 2);
+        assert_eq!(rec.dropped(), 1);
+        let first = rec.events().next().unwrap();
+        assert!(matches!(first, ObsEvent::Span { ts_us: 1, .. }));
+    }
+
+    #[test]
+    fn counters_accumulate_in_name_order() {
+        let mut rec = JsonlRecorder::with_defaults();
+        rec.counter_add("zeta", 1);
+        rec.counter_add("alpha", 2);
+        rec.counter_add("zeta", 3);
+        let got: Vec<_> = rec.counters().collect();
+        assert_eq!(got, vec![("alpha", 2), ("zeta", 4)]);
+    }
+
+    #[test]
+    fn sampling_is_deterministic_and_respects_extremes() {
+        let mut always = JsonlRecorder::new(ObsConfig {
+            decision_sample_rate: 1.0,
+            ..ObsConfig::default()
+        });
+        let mut never = JsonlRecorder::new(ObsConfig {
+            decision_sample_rate: 0.0,
+            ..ObsConfig::default()
+        });
+        let mut half = JsonlRecorder::new(ObsConfig {
+            decision_sample_rate: 0.5,
+            ..ObsConfig::default()
+        });
+        let mut sampled = 0u64;
+        for uid in 0..4096u64 {
+            assert!(always.wants_decision(uid));
+            assert!(!never.wants_decision(uid));
+            let first = half.wants_decision(uid);
+            // Same uid, same answer — independent of call order.
+            assert_eq!(first, half.wants_decision(uid));
+            sampled += u64::from(first);
+        }
+        // The finalizer hash is uniform: 0.5 should land near half.
+        assert!((1500..=2600).contains(&sampled), "sampled {sampled}/4096");
+    }
+
+    #[test]
+    fn jsonl_export_has_meta_events_and_counters() {
+        let mut rec = JsonlRecorder::with_defaults();
+        rec.record(span(SpanKind::Scrape, 5, 10));
+        rec.record(decision(7));
+        rec.counter_add("placements", 1);
+        let mut buf = Vec::new();
+        rec.write_jsonl(&mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let lines: Vec<Value> = text
+            .lines()
+            .map(|l| serde_json::from_str(l).expect("valid JSON line"))
+            .collect();
+        assert_eq!(lines.len(), 4);
+        assert_eq!(lines[0]["type"], "meta");
+        assert_eq!(lines[0]["version"], 1);
+        assert_eq!(lines[0]["events"], 2);
+        assert_eq!(lines[0]["dropped"], 0);
+        assert_eq!(lines[1]["type"], "span");
+        assert_eq!(lines[2]["type"], "decision");
+        assert_eq!(lines[3]["type"], "counter");
+        assert_eq!(lines[3]["name"], "placements");
+        assert_eq!(lines[3]["value"], 1);
+    }
+
+    #[test]
+    fn chrome_trace_is_sorted_and_skips_decisions() {
+        let mut rec = JsonlRecorder::with_defaults();
+        // Inserted out of order; parent and child share a start time.
+        rec.record(span(SpanKind::ScrapeSample, 100, 40));
+        rec.record(decision(1));
+        rec.record(span(SpanKind::Scrape, 100, 90));
+        rec.record(span(SpanKind::DrsRound, 50, 10));
+        let mut buf = Vec::new();
+        rec.write_chrome_trace(&mut buf).unwrap();
+        let trace: Value = serde_json::from_slice(&buf).unwrap();
+        let events = trace.as_array().unwrap();
+        assert_eq!(events.len(), 3, "decisions are not trace events");
+        let ts: Vec<u64> = events.iter().map(|e| e["ts"].as_u64().unwrap()).collect();
+        assert_eq!(ts, vec![50, 100, 100], "ts must be monotone");
+        // At equal ts the longer (enclosing) span comes first.
+        assert_eq!(events[1]["name"], "scrape");
+        assert_eq!(events[2]["name"], "scrape.sample");
+        for e in events {
+            assert_eq!(e["ph"], "X");
+            assert_eq!(e["cat"], "sim");
+            assert!(e["dur"].as_u64().is_some());
+        }
+    }
+}

@@ -38,7 +38,7 @@ pub use filter::{
     PurposeFilter, RamFilter,
 };
 pub use packing::{pack_all, BinPacker, PackingOutcome, PackingStrategy};
-pub use pipeline::{FilterScheduler, PipelineStats, ScheduleError};
+pub use pipeline::{FilterScheduler, PipelineStats, Ranking, ScheduleError};
 pub use policies::{PlacementPolicy, PolicyKind};
 pub use rebalance::{
     CrossBbRebalancer, DrsConfig, DrsRebalancer, HostLoad, Migration, NodeLoad, Rebalancer,

@@ -3,13 +3,15 @@
 use crate::filter::Filter;
 use crate::request::{HostView, PlacementRequest, RejectReason};
 use crate::weigher::Weigher;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fmt;
 
 /// Scheduling failure: no candidate survived filtering.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ScheduleError {
-    /// How many candidates each reason eliminated.
+    /// How many candidates each reason eliminated, sorted by count
+    /// descending, then by reason — a stable order, independent of hash
+    /// state.
     pub rejections: Vec<(RejectReason, usize)>,
 }
 
@@ -38,8 +40,51 @@ pub struct PipelineStats {
     pub scheduled: u64,
     /// Requests that failed outright.
     pub failed: u64,
-    /// Candidates eliminated, by reason.
-    pub rejections: HashMap<RejectReason, u64>,
+    /// Candidates eliminated, by reason. A `BTreeMap` so iteration (and
+    /// therefore every stats dump) has one deterministic order.
+    pub rejections: BTreeMap<RejectReason, u64>,
+}
+
+/// The structured result of one successful pipeline pass: the ranked
+/// survivors plus everything the filter and weigher stages learned on the
+/// way — enough to audit the decision without a second pass.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Ranking {
+    /// Surviving candidates as indices into the `hosts` slice passed to
+    /// [`FilterScheduler::rank`], best first.
+    pub order: Vec<usize>,
+    /// Combined (multiplier-weighted, normalized) score of each entry in
+    /// `order`, aligned index-for-index.
+    pub scores: Vec<f64>,
+    /// Per-weigher score contributions: for each configured weigher, its
+    /// name and the contribution it added to each entry of `order`
+    /// (aligned index-for-index). Summing column-wise reproduces
+    /// `scores`.
+    pub weigher_scores: Vec<(&'static str, Vec<f64>)>,
+    /// How many candidates each filter reason eliminated, in reason
+    /// order. Empty when every candidate survived.
+    pub rejections: Vec<(RejectReason, u32)>,
+    /// Size of the candidate set examined (survivors + eliminated).
+    pub candidates: usize,
+}
+
+impl Ranking {
+    /// The winning candidate (index into the original `hosts` slice).
+    ///
+    /// # Panics
+    /// Never: a `Ranking` is only constructed with at least one survivor.
+    pub fn best(&self) -> usize {
+        self.order[0]
+    }
+
+    /// The best `k` candidates with their combined scores, best first.
+    pub fn top_k(&self, k: usize) -> impl Iterator<Item = (usize, f64)> + '_ {
+        self.order
+            .iter()
+            .zip(&self.scores)
+            .take(k)
+            .map(|(&host, &score)| (host, score))
+    }
 }
 
 /// An OpenStack-Nova-style scheduler: a filter chain followed by a set of
@@ -93,7 +138,9 @@ impl FilterScheduler {
     }
 
     /// Run the pipeline: filter `hosts`, then rank the survivors
-    /// best-first. Returns indices into `hosts`.
+    /// best-first. The returned [`Ranking`] carries the order, the
+    /// combined and per-weigher scores, and the per-filter elimination
+    /// counts of this pass.
     ///
     /// Ranking follows Nova's weigher semantics: each weigher's raw scores
     /// are min-max normalized to `[0, 1]` across the surviving candidates,
@@ -103,12 +150,12 @@ impl FilterScheduler {
         &mut self,
         request: &PlacementRequest,
         hosts: &[HostView],
-    ) -> Result<Vec<usize>, ScheduleError> {
+    ) -> Result<Ranking, ScheduleError> {
         self.stats.requests += 1;
 
         // Filter stage.
         let mut survivors: Vec<usize> = Vec::with_capacity(hosts.len());
-        let mut rejections: HashMap<RejectReason, usize> = HashMap::new();
+        let mut rejections: BTreeMap<RejectReason, u32> = BTreeMap::new();
         'candidates: for (i, host) in hosts.iter().enumerate() {
             for f in &self.filters {
                 if let Err(reason) = f.check(request, host) {
@@ -122,36 +169,60 @@ impl FilterScheduler {
 
         if survivors.is_empty() {
             self.stats.failed += 1;
-            let mut rej: Vec<_> = rejections.into_iter().collect();
-            rej.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| format!("{:?}", a.0).cmp(&format!("{:?}", b.0))));
+            let mut rej: Vec<(RejectReason, usize)> = rejections
+                .into_iter()
+                .map(|(reason, n)| (reason, n as usize))
+                .collect();
+            rej.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
             return Err(ScheduleError { rejections: rej });
         }
 
-        // Weighing stage: min-max normalize each weigher across survivors.
+        // Weighing stage: min-max normalize each weigher across survivors,
+        // keeping each weigher's contribution vector for the audit log.
         let mut totals = vec![0.0f64; survivors.len()];
+        let mut contributions: Vec<(&'static str, Vec<f64>)> =
+            Vec::with_capacity(self.weighers.len());
         for (multiplier, weigher) in &self.weighers {
-            let raw: Vec<f64> = survivors
+            let mut scores: Vec<f64> = survivors
                 .iter()
                 .map(|&i| weigher.weigh(request, &hosts[i]))
                 .collect();
-            let lo = raw.iter().cloned().fold(f64::INFINITY, f64::min);
-            let hi = raw.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            let lo = scores.iter().cloned().fold(f64::INFINITY, f64::min);
+            let hi = scores.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
             let span = hi - lo;
-            for (t, r) in totals.iter_mut().zip(&raw) {
-                let norm = if span > 0.0 { (r - lo) / span } else { 0.0 };
-                *t += multiplier * norm;
+            for s in scores.iter_mut() {
+                let norm = if span > 0.0 { (*s - lo) / span } else { 0.0 };
+                *s = multiplier * norm;
             }
+            for (t, s) in totals.iter_mut().zip(&scores) {
+                *t += s;
+            }
+            contributions.push((weigher.name(), scores));
         }
 
-        let mut order: Vec<usize> = (0..survivors.len()).collect();
-        order.sort_by(|&a, &b| {
+        let mut perm: Vec<usize> = (0..survivors.len()).collect();
+        perm.sort_by(|&a, &b| {
             totals[b]
                 .partial_cmp(&totals[a])
                 .expect("weights are finite")
                 .then_with(|| survivors[a].cmp(&survivors[b]))
         });
+
+        let order: Vec<usize> = perm.iter().map(|&k| survivors[k]).collect();
+        let scores: Vec<f64> = perm.iter().map(|&k| totals[k]).collect();
+        let weigher_scores: Vec<(&'static str, Vec<f64>)> = contributions
+            .into_iter()
+            .map(|(name, contrib)| (name, perm.iter().map(|&k| contrib[k]).collect()))
+            .collect();
+
         self.stats.scheduled += 1;
-        Ok(order.into_iter().map(|k| survivors[k]).collect())
+        Ok(Ranking {
+            order,
+            scores,
+            weigher_scores,
+            rejections: rejections.into_iter().collect(),
+            candidates: hosts.len(),
+        })
     }
 
     /// Convenience: the single best candidate.
@@ -160,7 +231,7 @@ impl FilterScheduler {
         request: &PlacementRequest,
         hosts: &[HostView],
     ) -> Result<usize, ScheduleError> {
-        Ok(self.rank(request, hosts)?[0])
+        Ok(self.rank(request, hosts)?.best())
     }
 }
 
@@ -202,7 +273,8 @@ mod tests {
         ];
         let mut s = spread_scheduler();
         let ranked = s.rank(&req(2, 50), &hosts).unwrap();
-        assert_eq!(ranked, vec![1, 2, 0]);
+        assert_eq!(ranked.order, vec![1, 2, 0]);
+        assert_eq!(ranked.best(), 1);
     }
 
     #[test]
@@ -215,7 +287,7 @@ mod tests {
         ];
         let mut s = pack_scheduler();
         let ranked = s.rank(&req(2, 50), &hosts).unwrap();
-        assert_eq!(ranked, vec![0, 2, 1]);
+        assert_eq!(ranked.order, vec![0, 2, 1]);
     }
 
     #[test]
@@ -229,7 +301,53 @@ mod tests {
         ];
         let mut s = spread_scheduler();
         let ranked = s.rank(&req(4, 100), &hosts).unwrap();
-        assert_eq!(ranked, vec![2]);
+        assert_eq!(ranked.order, vec![2]);
+    }
+
+    #[test]
+    fn success_path_reports_candidates_and_eliminations() {
+        let mut disabled = host(0, Resources::new(100, 1000, 100), Resources::ZERO);
+        disabled.enabled = false;
+        let hosts = vec![
+            disabled,
+            host(1, Resources::new(1, 10, 1), Resources::ZERO), // too small
+            host(2, Resources::new(100, 1000, 100), Resources::ZERO),
+        ];
+        let mut s = spread_scheduler();
+        let ranked = s.rank(&req(4, 100), &hosts).unwrap();
+        assert_eq!(ranked.candidates, 3);
+        // One host disabled, one short on CPU — in stable reason order.
+        assert_eq!(
+            ranked.rejections,
+            vec![
+                (RejectReason::HostDisabled, 1),
+                (RejectReason::InsufficientCpu, 1),
+            ]
+        );
+    }
+
+    #[test]
+    fn per_weigher_scores_are_aligned_and_sum_to_totals() {
+        let hosts = vec![
+            host(0, Resources::new(100, 1000, 100), Resources::new(80, 800, 0)),
+            host(1, Resources::new(100, 1000, 100), Resources::new(10, 100, 0)),
+            host(2, Resources::new(100, 1000, 100), Resources::new(50, 500, 0)),
+        ];
+        let mut s = spread_scheduler();
+        let ranked = s.rank(&req(2, 50), &hosts).unwrap();
+        assert_eq!(ranked.weigher_scores.len(), 2);
+        assert_eq!(ranked.weigher_scores[0].0, "cpu");
+        assert_eq!(ranked.weigher_scores[1].0, "ram");
+        for (i, &total) in ranked.scores.iter().enumerate() {
+            let sum: f64 = ranked.weigher_scores.iter().map(|(_, c)| c[i]).sum();
+            assert!((sum - total).abs() < 1e-12, "column {i}: {sum} vs {total}");
+        }
+        // Scores are best-first, aligned with `order`.
+        assert!(ranked.scores.windows(2).all(|w| w[0] >= w[1]));
+        let top: Vec<_> = ranked.top_k(2).collect();
+        assert_eq!(top.len(), 2);
+        assert_eq!(top[0].0, ranked.order[0]);
+        assert_eq!(top[0].1, ranked.scores[0]);
     }
 
     #[test]
@@ -246,6 +364,28 @@ mod tests {
     }
 
     #[test]
+    fn error_rejections_sort_by_count_then_reason() {
+        // Two hosts short on CPU, one disabled → CPU first (higher count),
+        // and equal counts fall back to reason declaration order.
+        let mut disabled = host(0, Resources::new(100, 1000, 100), Resources::ZERO);
+        disabled.enabled = false;
+        let hosts = vec![
+            disabled,
+            host(1, Resources::new(1, 10, 1), Resources::ZERO),
+            host(2, Resources::new(1, 10, 1), Resources::ZERO),
+        ];
+        let mut s = spread_scheduler();
+        let err = s.rank(&req(4, 100), &hosts).unwrap_err();
+        assert_eq!(
+            err.rejections,
+            vec![
+                (RejectReason::InsufficientCpu, 2),
+                (RejectReason::HostDisabled, 1),
+            ]
+        );
+    }
+
+    #[test]
     fn empty_candidate_list_fails_cleanly() {
         let mut s = spread_scheduler();
         let err = s.rank(&req(1, 1), &[]).unwrap_err();
@@ -259,7 +399,7 @@ mod tests {
             host(1, Resources::new(10, 100, 10), Resources::ZERO),
         ];
         let mut s = spread_scheduler();
-        assert_eq!(s.rank(&req(1, 1), &hosts).unwrap(), vec![0, 1]);
+        assert_eq!(s.rank(&req(1, 1), &hosts).unwrap().order, vec![0, 1]);
     }
 
     #[test]
@@ -282,7 +422,7 @@ mod tests {
         );
         let r1 = s1.rank(&req(1, 1), &mk(1)).unwrap();
         let r2 = s2.rank(&req(1, 1), &mk(2)).unwrap();
-        assert_eq!(r1, r2);
+        assert_eq!(r1.order, r2.order);
     }
 
     #[test]
@@ -308,6 +448,9 @@ mod tests {
             host(1, Resources::new(1, 1, 1), Resources::ZERO),
         ];
         let mut s = FilterScheduler::new(vec![Box::new(ComputeStatusFilter)], vec![]);
-        assert_eq!(s.rank(&req(0, 0), &hosts).unwrap(), vec![0, 1]);
+        let ranked = s.rank(&req(0, 0), &hosts).unwrap();
+        assert_eq!(ranked.order, vec![0, 1]);
+        assert!(ranked.weigher_scores.is_empty());
+        assert_eq!(ranked.scores, vec![0.0, 0.0]);
     }
 }

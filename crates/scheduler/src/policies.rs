@@ -10,7 +10,7 @@ use crate::filter::{
     AvailabilityZoneFilter, ComputeFilter, ComputeStatusFilter, DiskFilter, Filter,
     PurposeFilter, RamFilter,
 };
-use crate::pipeline::{FilterScheduler, PipelineStats, ScheduleError};
+use crate::pipeline::{FilterScheduler, PipelineStats, Ranking, ScheduleError};
 use crate::request::{HostView, PlacementRequest};
 use crate::weigher::{
     ContentionWeigher, CpuWeigher, LifetimeAffinityWeigher, RamWeigher, Weigher,
@@ -134,13 +134,14 @@ impl PlacementPolicy {
         self.kind
     }
 
-    /// Rank candidates for one request (best first). See
+    /// Rank candidates for one request (best first), with the full
+    /// per-filter and per-weigher audit detail. See
     /// [`FilterScheduler::rank`].
     pub fn rank(
         &mut self,
         request: &PlacementRequest,
         hosts: &[HostView],
-    ) -> Result<Vec<usize>, ScheduleError> {
+    ) -> Result<Ranking, ScheduleError> {
         match request.purpose {
             BbPurpose::Hana => self.hana.rank(request, hosts),
             _ => self.general.rank(request, hosts),
@@ -190,11 +191,11 @@ mod tests {
             Resources::with_memory_gib(2, 8, 1),
             BbPurpose::GeneralPurpose,
         );
-        let best_gp = p.rank(&gp, &hosts_gradient()).unwrap()[0];
+        let best_gp = p.rank(&gp, &hosts_gradient()).unwrap().best();
         assert_eq!(best_gp, 3, "GP goes to the emptiest host");
 
         let hana = PlacementRequest::new(2, Resources::with_memory_gib(2, 8, 1), BbPurpose::Hana);
-        let best_hana = p.rank(&hana, &hana_hosts_gradient()).unwrap()[0];
+        let best_hana = p.rank(&hana, &hana_hosts_gradient()).unwrap().best();
         assert_eq!(best_hana, 0, "HANA goes to the fullest fitting host");
     }
 
@@ -202,7 +203,7 @@ mod tests {
     fn spread_policy_spreads_hana_too() {
         let mut p = PlacementPolicy::new(PolicyKind::Spread);
         let hana = PlacementRequest::new(2, Resources::with_memory_gib(2, 8, 1), BbPurpose::Hana);
-        let best = p.rank(&hana, &hana_hosts_gradient()).unwrap()[0];
+        let best = p.rank(&hana, &hana_hosts_gradient()).unwrap().best();
         assert_eq!(best, 3);
     }
 
@@ -214,7 +215,7 @@ mod tests {
             Resources::with_memory_gib(2, 8, 1),
             BbPurpose::GeneralPurpose,
         );
-        let best = p.rank(&gp, &hosts_gradient()).unwrap()[0];
+        let best = p.rank(&gp, &hosts_gradient()).unwrap().best();
         assert_eq!(best, 0);
     }
 
@@ -229,7 +230,7 @@ mod tests {
             Resources::with_memory_gib(2, 8, 1),
             BbPurpose::GeneralPurpose,
         );
-        let best = p.rank(&gp, &hosts).unwrap()[0];
+        let best = p.rank(&gp, &hosts).unwrap().best();
         assert_ne!(best, 3, "the contended host loses despite being emptiest");
         assert_eq!(best, 2, "the next-emptiest quiet host wins");
     }
@@ -248,7 +249,7 @@ mod tests {
             BbPurpose::GeneralPurpose,
         )
         .with_lifetime_hint(1.0);
-        let best = p.rank(&gp, &hosts).unwrap()[0];
+        let best = p.rank(&gp, &hosts).unwrap().best();
         assert_eq!(best, 2, "short-lived VM joins the short-lived cohort");
     }
 

@@ -112,7 +112,10 @@ impl HostView {
 }
 
 /// Why a filter eliminated a candidate.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+///
+/// The derived `Ord` follows declaration order and gives every rejection
+/// report (stats dumps, error messages, audit logs) one stable ordering.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum RejectReason {
     /// Candidate disabled / in maintenance.
     HostDisabled,
@@ -126,6 +129,21 @@ pub enum RejectReason {
     InsufficientMemory,
     /// Insufficient disk capacity.
     InsufficientDisk,
+}
+
+impl RejectReason {
+    /// Stable snake-case identifier, used as the label in machine-readable
+    /// output (observability counters, JSONL decision logs).
+    pub const fn label(self) -> &'static str {
+        match self {
+            RejectReason::HostDisabled => "host_disabled",
+            RejectReason::WrongAz => "wrong_az",
+            RejectReason::WrongPurpose => "wrong_purpose",
+            RejectReason::InsufficientCpu => "insufficient_cpu",
+            RejectReason::InsufficientMemory => "insufficient_memory",
+            RejectReason::InsufficientDisk => "insufficient_disk",
+        }
+    }
 }
 
 impl fmt::Display for RejectReason {
@@ -212,5 +230,16 @@ mod tests {
             RejectReason::InsufficientMemory.to_string(),
             "insufficient memory capacity"
         );
+        assert_eq!(RejectReason::WrongAz.label(), "wrong_az");
+        assert_eq!(
+            RejectReason::InsufficientMemory.label(),
+            "insufficient_memory"
+        );
+    }
+
+    #[test]
+    fn reject_reasons_order_by_declaration() {
+        assert!(RejectReason::HostDisabled < RejectReason::WrongAz);
+        assert!(RejectReason::InsufficientCpu < RejectReason::InsufficientDisk);
     }
 }

@@ -75,9 +75,16 @@ proptest! {
             .collect();
         match scheduler.rank(&request, &hosts) {
             Ok(ranked) => {
-                let mut sorted = ranked.clone();
+                let mut sorted = ranked.order.clone();
                 sorted.sort_unstable();
                 prop_assert_eq!(sorted, feasible);
+                prop_assert_eq!(ranked.candidates, hosts.len());
+                let eliminated: u32 = ranked.rejections.iter().map(|&(_, n)| n).sum();
+                prop_assert_eq!(
+                    eliminated as usize + ranked.order.len(),
+                    hosts.len(),
+                    "every candidate is either ranked or accounted for"
+                );
             }
             Err(_) => prop_assert!(feasible.is_empty()),
         }

@@ -63,6 +63,36 @@ fn format_value(v: f64) -> String {
     }
 }
 
+/// Render observability recorder counters (placements, retries,
+/// migrations, rejections-by-reason, …) as Prometheus counter families.
+///
+/// Each `(name, value)` pair becomes one single-sample family named
+/// `sapsim_<name>` with the name sanitized to the Prometheus metric
+/// charset (every character outside `[A-Za-z0-9_]` maps to `_`).
+/// Iteration order is preserved, so an ordered input (e.g. a recorder's
+/// name-sorted counters) renders a stable page.
+pub fn render_counters<'a, I>(counters: I) -> String
+where
+    I: IntoIterator<Item = (&'a str, u64)>,
+{
+    let mut out = String::new();
+    for (name, value) in counters {
+        let mut metric = String::with_capacity("sapsim_".len() + name.len());
+        metric.push_str("sapsim_");
+        for c in name.chars() {
+            metric.push(if c.is_ascii_alphanumeric() || c == '_' {
+                c
+            } else {
+                '_'
+            });
+        }
+        let _ = writeln!(out, "# HELP {metric} Simulator event counter");
+        let _ = writeln!(out, "# TYPE {metric} counter");
+        let _ = writeln!(out, "{metric} {value}");
+    }
+    out
+}
+
 /// Render only one metric family (for targeted scrape endpoints).
 pub fn render_family(store: &TsdbStore, metric: MetricId) -> String {
     let mut out = String::new();
@@ -167,5 +197,27 @@ mod tests {
     #[test]
     fn empty_store_renders_empty_page() {
         assert!(render_exposition(&TsdbStore::new(30)).is_empty());
+    }
+
+    #[test]
+    fn counters_render_as_prometheus_counter_families() {
+        let page = render_counters([("placements", 812u64), ("drs_migrations", 40)]);
+        assert!(page.contains("# HELP sapsim_placements Simulator event counter\n"));
+        assert!(page.contains("# TYPE sapsim_placements counter\n"));
+        assert!(page.contains("\nsapsim_placements 812\n"));
+        assert!(page.contains("sapsim_drs_migrations 40\n"));
+        // Input order is preserved.
+        assert!(page.find("sapsim_placements").unwrap() < page.find("sapsim_drs_migrations").unwrap());
+    }
+
+    #[test]
+    fn counter_names_are_sanitized_to_the_metric_charset() {
+        let page = render_counters([("scrape.sample-time", 1u64)]);
+        assert!(page.contains("sapsim_scrape_sample_time 1\n"));
+    }
+
+    #[test]
+    fn no_counters_render_empty() {
+        assert!(render_counters(std::iter::empty::<(&str, u64)>()).is_empty());
     }
 }

@@ -17,7 +17,9 @@
 //! * [`summary`] — percentile/mean/max helpers used by the contention and
 //!   ready-time analyses (Figures 8 and 9).
 //! * [`exposition`] — Prometheus text-format rendering of the latest
-//!   samples, matching how the paper's exporters serve these metrics.
+//!   samples, matching how the paper's exporters serve these metrics, plus
+//!   counter-family rendering for the observability recorder's event
+//!   counters.
 //!
 //! The store is deliberately simple (sorted `Vec` per series, no
 //! compression): runs are bounded (30 days) and the analysis layer consumes

@@ -1,0 +1,183 @@
+//! Integration: the observability stack is purely observational — enabling
+//! it, at any sampling rate and any thread count, never changes what the
+//! simulation computes — and its exports honor their stable schemas.
+
+use sapsim_core::obs::{JsonlRecorder, ObsConfig, SpanKind};
+use sapsim_core::{SimConfig, SimDriver};
+use serde_json::Value;
+
+fn cfg(seed: u64) -> SimConfig {
+    SimConfig {
+        scale: 0.02,
+        days: 2,
+        seed,
+        warmup_days: 0,
+        ..SimConfig::default()
+    }
+}
+
+fn recorded_run(seed: u64, threads: usize, config: ObsConfig) -> (Vec<u8>, JsonlRecorder) {
+    let mut c = cfg(seed);
+    c.threads = threads;
+    let mut rec = JsonlRecorder::new(config);
+    let result = SimDriver::new(c).expect("valid").run_with_recorder(&mut rec);
+    (result.canonical_bytes(), rec)
+}
+
+/// The determinism contract of the whole PR: a `NullRecorder` run, a fully
+/// sampled `JsonlRecorder` run, a decision-sampling-off run, and runs at 1
+/// and 8 scrape threads all serialize to byte-identical canonical results.
+#[test]
+fn recording_never_perturbs_the_simulation() {
+    let baseline = SimDriver::new(cfg(31)).expect("valid").run().canonical_bytes();
+    assert!(!baseline.is_empty());
+
+    for threads in [1usize, 8] {
+        for rate in [1.0f64, 0.0] {
+            let config = ObsConfig {
+                decision_sample_rate: rate,
+                ..ObsConfig::default()
+            };
+            let (bytes, rec) = recorded_run(31, threads, config);
+            assert!(
+                bytes == baseline,
+                "recorded run (threads={threads}, sample rate={rate}) diverged \
+                 from the unrecorded baseline ({} vs {} bytes)",
+                bytes.len(),
+                baseline.len(),
+            );
+            if rate == 1.0 {
+                assert!(!rec.is_empty(), "a fully sampled run records events");
+            }
+        }
+    }
+}
+
+/// Decision records are a pure function of the run: two identically
+/// configured runs emit byte-identical decision lines (spans carry wall
+/// clock and legitimately differ).
+#[test]
+fn decision_log_is_deterministic() {
+    let decisions = |seed: u64| -> Vec<String> {
+        let (_, rec) = recorded_run(seed, 1, ObsConfig::default());
+        let mut out = Vec::new();
+        rec.write_jsonl(&mut out).expect("write");
+        String::from_utf8(out)
+            .expect("utf8")
+            .lines()
+            .filter(|l| l.contains("\"type\":\"decision\""))
+            .map(str::to_string)
+            .collect()
+    };
+    let a = decisions(31);
+    let b = decisions(31);
+    assert!(!a.is_empty());
+    assert_eq!(a, b, "identical configs emit identical decision lines");
+    assert_ne!(a, decisions(32), "different seeds diverge");
+}
+
+/// Golden-schema check for the JSONL export: every line parses, the meta
+/// line leads, every record type and span kind is from the stable v1
+/// vocabulary, and decision records carry every audit field.
+#[test]
+fn jsonl_export_honors_the_v1_schema() {
+    let (_, rec) = recorded_run(33, 1, ObsConfig::default());
+    let mut out = Vec::new();
+    rec.write_jsonl(&mut out).expect("write");
+    let text = String::from_utf8(out).expect("utf8");
+
+    let lines: Vec<Value> = text
+        .lines()
+        .map(|l| serde_json::from_str(l).expect("every line is valid JSON"))
+        .collect();
+    assert!(lines.len() > 1);
+    assert_eq!(lines[0]["type"], "meta");
+    assert_eq!(lines[0]["version"], 1);
+    assert_eq!(lines[0]["events"].as_u64().unwrap(), rec.len() as u64);
+
+    let kinds: Vec<&str> = SpanKind::ALL.iter().map(|k| k.name()).collect();
+    let (mut spans, mut decisions, mut counters) = (0u64, 0u64, 0u64);
+    for v in &lines[1..] {
+        match v["type"].as_str().expect("typed record") {
+            "span" => {
+                spans += 1;
+                assert!(kinds.contains(&v["kind"].as_str().unwrap()));
+                assert!(v["ts_us"].is_u64());
+                assert!(v["dur_us"].is_u64());
+            }
+            "decision" => {
+                decisions += 1;
+                for field in [
+                    "sim_time_ms",
+                    "vm_uid",
+                    "candidates",
+                    "retries",
+                    "outcome",
+                    "rejections",
+                    "top_k",
+                ] {
+                    assert!(!v[field].is_null(), "decision field {field} present");
+                }
+                let outcome = v["outcome"].as_str().unwrap();
+                assert!(["placed", "fragmented", "no_candidate"].contains(&outcome));
+                if outcome == "placed" {
+                    assert!(v["chosen_host"].is_u64());
+                    assert!(!v["top_k"].as_array().unwrap().is_empty());
+                }
+            }
+            "counter" => {
+                counters += 1;
+                assert!(v["name"].is_string());
+                assert!(v["value"].is_u64());
+            }
+            other => panic!("unknown record type {other:?}"),
+        }
+    }
+    assert!(spans > 0, "a run emits spans");
+    assert!(decisions > 0, "a fully sampled run emits decisions");
+    assert!(counters > 0, "a run emits counters");
+}
+
+/// The Chrome export is valid JSON with monotonically non-decreasing `ts`
+/// and complete-event fields throughout.
+#[test]
+fn chrome_trace_is_valid_and_time_ordered() {
+    let (_, rec) = recorded_run(34, 1, ObsConfig::default());
+    let mut out = Vec::new();
+    rec.write_chrome_trace(&mut out).expect("write");
+    let trace: Value = serde_json::from_slice(&out).expect("trace is valid JSON");
+    let events = trace.as_array().expect("top-level array");
+    assert!(!events.is_empty());
+
+    let mut last_ts = 0u64;
+    for e in events {
+        assert_eq!(e["ph"], "X");
+        assert_eq!(e["cat"], "sim");
+        assert!(e["name"].is_string());
+        assert!(e["dur"].is_u64());
+        let ts = e["ts"].as_u64().expect("ts");
+        assert!(ts >= last_ts, "ts is monotone non-decreasing");
+        last_ts = ts;
+    }
+}
+
+/// The bounded ring drops the oldest events but keeps counting, and the
+/// meta line reports the loss.
+#[test]
+fn ring_overflow_is_reported_not_silent() {
+    let config = ObsConfig {
+        ring_capacity: 16,
+        ..ObsConfig::default()
+    };
+    let (_, rec) = recorded_run(35, 1, config);
+    assert_eq!(rec.len(), 16, "ring is capped at its capacity");
+    assert!(rec.dropped() > 0, "a full run overflows a 16-slot ring");
+
+    let mut out = Vec::new();
+    rec.write_jsonl(&mut out).expect("write");
+    let meta: Value =
+        serde_json::from_str(String::from_utf8(out).expect("utf8").lines().next().unwrap())
+            .expect("meta line");
+    assert_eq!(meta["events"].as_u64().unwrap(), 16);
+    assert_eq!(meta["dropped"].as_u64().unwrap(), rec.dropped());
+}
