@@ -77,18 +77,12 @@ fn packing(c: &mut Criterion) {
         PackingStrategy::FirstFitDecreasing,
     ] {
         g.bench_function(format!("pack_all_2000_{strategy:?}"), |b| {
-            b.iter(|| {
-                pack_all(
-                    black_box(&items),
-                    bin,
-                    strategy,
-                    ResourceKind::Memory,
-                )
-            })
+            b.iter(|| pack_all(black_box(&items), bin, strategy, ResourceKind::Memory))
         });
     }
     let views = host_views(1024, 9);
-    let packer = BinPacker::new(PackingStrategy::BestFit, ResourceKind::Memory);
+    let packer = BinPacker::new(PackingStrategy::BestFit, ResourceKind::Memory)
+        .expect("BestFit is an online strategy");
     let req = Resources::with_memory_gib(4, 32, 100);
     g.bench_function("binpacker_choose_1024_hosts", |b| {
         b.iter(|| packer.choose(black_box(&req), black_box(&views)))

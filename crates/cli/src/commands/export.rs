@@ -8,8 +8,8 @@ use std::io::{BufWriter, Write};
 
 /// Execute the subcommand.
 pub fn run(argv: &[String], out: &mut dyn Write) -> Result<(), String> {
-    let parsed = Parsed::parse(argv, SIM_VALUE_OPTIONS, SIM_BOOL_FLAGS)
-        .map_err(|e| e.to_string())?;
+    let parsed =
+        Parsed::parse(argv, SIM_VALUE_OPTIONS, SIM_BOOL_FLAGS).map_err(|e| e.to_string())?;
     let [path] = parsed.positionals() else {
         return Err("export requires exactly one output file argument".into());
     };

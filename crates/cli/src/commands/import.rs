@@ -13,7 +13,9 @@ pub fn run(argv: &[String], out: &mut dyn Write) -> Result<(), String> {
     let [path] = parsed.positionals() else {
         return Err("import requires exactly one input file argument".into());
     };
-    let days: usize = parsed.get_parsed("days", 30usize).map_err(|e| e.to_string())?;
+    let days: usize = parsed
+        .get_parsed("days", 30usize)
+        .map_err(|e| e.to_string())?;
 
     let file = File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
     let (store, loaded) = TraceReader::new()

@@ -8,7 +8,7 @@ pub mod tables;
 
 use crate::args::Parsed;
 use sapsim_core::obs::{JsonlRecorder, ObsConfig};
-use sapsim_core::{PlacementGranularity, RunResult, SimConfig, SimDriver};
+use sapsim_core::{FaultSpec, PlacementGranularity, RunResult, SimConfig, SimDriver};
 use sapsim_scheduler::PolicyKind;
 use std::fs::File;
 use std::io::{BufWriter, Write};
@@ -26,6 +26,7 @@ pub const SIM_VALUE_OPTIONS: &[&str] = &[
     "obs-chrome",
     "obs-sample",
     "obs-ring",
+    "faults",
 ];
 /// Boolean flags shared by `simulate` and `export`.
 pub const SIM_BOOL_FLAGS: &[&str] = &["no-drs", "cross-bb", "no-warmup"];
@@ -33,7 +34,9 @@ pub const SIM_BOOL_FLAGS: &[&str] = &["no-drs", "cross-bb", "no-warmup"];
 /// Build a [`SimConfig`] from parsed CLI arguments.
 pub fn sim_config_from(parsed: &Parsed) -> Result<SimConfig, String> {
     let mut cfg = SimConfig {
-        scale: parsed.get_parsed("scale", 0.05).map_err(|e| e.to_string())?,
+        scale: parsed
+            .get_parsed("scale", 0.05)
+            .map_err(|e| e.to_string())?,
         days: parsed.get_parsed("days", 5u64).map_err(|e| e.to_string())?,
         seed: parsed.get_parsed("seed", 0u64).map_err(|e| e.to_string())?,
         gp_cpu_overcommit: parsed
@@ -63,8 +66,23 @@ pub fn sim_config_from(parsed: &Parsed) -> Result<SimConfig, String> {
     if parsed.flag("no-warmup") {
         cfg.warmup_days = 0;
     }
+    if let Some(spec) = parsed.get("faults") {
+        cfg.faults = parse_fault_spec(spec)?;
+    }
     cfg.validate()?;
     Ok(cfg)
+}
+
+/// Parse `--faults`: either a path to a JSON spec file or an inline
+/// `key=value,...` list (see [`sapsim_core::FaultSpec::parse_inline`]).
+fn parse_fault_spec(spec: &str) -> Result<FaultSpec, String> {
+    if std::path::Path::new(spec).is_file() {
+        let text = std::fs::read_to_string(spec)
+            .map_err(|e| format!("cannot read fault spec {spec}: {e}"))?;
+        FaultSpec::from_json_str(&text).map_err(|e| format!("fault spec {spec}: {e}"))
+    } else {
+        FaultSpec::parse_inline(spec).map_err(|e| format!("--faults: {e}"))
+    }
 }
 
 /// Observability export destinations and recorder knobs, parsed from the
@@ -138,10 +156,14 @@ pub fn run_with_obs(
     if let Some(path) = &obs.chrome_path {
         let file = File::create(path).map_err(|e| format!("cannot create {path}: {e}"))?;
         let mut sink = BufWriter::new(file);
-        rec.write_chrome_trace(&mut sink).map_err(|e| e.to_string())?;
-        sink.flush().map_err(|e| e.to_string())?;
-        writeln!(out, "obs: wrote Chrome trace to {path} (open via chrome://tracing)")
+        rec.write_chrome_trace(&mut sink)
             .map_err(|e| e.to_string())?;
+        sink.flush().map_err(|e| e.to_string())?;
+        writeln!(
+            out,
+            "obs: wrote Chrome trace to {path} (open via chrome://tracing)"
+        )
+        .map_err(|e| e.to_string())?;
     }
     Ok(result)
 }
@@ -199,6 +221,42 @@ mod tests {
     }
 
     #[test]
+    fn inline_fault_spec_maps_through() {
+        let cfg = sim_config_from(&parse(&[
+            "--faults",
+            "fail=6.0,downtime=12,straggler=0.2,slowdown=0.7,dropout=3.0",
+        ]))
+        .unwrap();
+        assert_eq!(cfg.faults.host_fail_rate_per_month, 6.0);
+        assert_eq!(cfg.faults.host_downtime_hours, 12.0);
+        assert_eq!(cfg.faults.straggler_fraction, 0.2);
+        assert_eq!(cfg.faults.dropout_rate_per_month, 3.0);
+        assert!(!cfg.faults.is_none());
+        // No flag at all leaves the fault layer inert.
+        assert!(sim_config_from(&parse(&[])).unwrap().faults.is_none());
+    }
+
+    #[test]
+    fn fault_spec_file_maps_through() {
+        let dir = std::env::temp_dir().join("sapsim-cli-mod-faults");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("spec.json");
+        std::fs::write(&path, r#"{"host_fail_rate_per_month": 2.5}"#).unwrap();
+        let cfg = sim_config_from(&parse(&["--faults", path.to_str().unwrap()])).unwrap();
+        assert_eq!(cfg.faults.host_fail_rate_per_month, 2.5);
+        assert_eq!(
+            cfg.faults.evac_retry_limit,
+            FaultSpec::none().evac_retry_limit
+        );
+    }
+
+    #[test]
+    fn bad_fault_specs_are_rejected() {
+        assert!(sim_config_from(&parse(&["--faults", "bogus-key=1"])).is_err());
+        assert!(sim_config_from(&parse(&["--faults", "fail=-2"])).is_err());
+    }
+
+    #[test]
     fn no_obs_flags_means_no_recorder() {
         assert!(obs_args_from(&parse(&[])).unwrap().is_none());
     }
@@ -211,7 +269,10 @@ mod tests {
         assert_eq!(obs.jsonl_path.as_deref(), Some("run.jsonl"));
         assert!(obs.chrome_path.is_none());
         let defaults = ObsConfig::default();
-        assert_eq!(obs.config.decision_sample_rate, defaults.decision_sample_rate);
+        assert_eq!(
+            obs.config.decision_sample_rate,
+            defaults.decision_sample_rate
+        );
         assert_eq!(obs.config.ring_capacity, defaults.ring_capacity);
     }
 

@@ -32,6 +32,7 @@ struct Summary {
     retries_total: u64,
     retries_max: u64,
     candidates_total: u64,
+    faults: BTreeMap<String, u64>,
     counters: Vec<(String, u64)>,
 }
 
@@ -42,14 +43,14 @@ pub fn run(argv: &[String], out: &mut dyn Write) -> Result<(), String> {
         return Err("usage: sapsim obs summary <FILE.jsonl> [--prom]".into());
     };
     if action != "summary" {
-        return Err(format!("unknown obs action `{action}` (expected `summary`)"));
+        return Err(format!(
+            "unknown obs action `{action}` (expected `summary`)"
+        ));
     }
-    let text =
-        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     let summary = summarize(&text)?;
     if parsed.flag("prom") {
-        let page =
-            render_counters(summary.counters.iter().map(|(name, v)| (name.as_str(), *v)));
+        let page = render_counters(summary.counters.iter().map(|(name, v)| (name.as_str(), *v)));
         write!(out, "{page}").map_err(|e| e.to_string())?;
         return Ok(());
     }
@@ -97,10 +98,12 @@ fn summarize(text: &str) -> Result<Summary, String> {
                     }
                 }
             }
+            Some("fault") => {
+                let kind = v["kind"].as_str().unwrap_or("?").to_string();
+                *s.faults.entry(kind).or_insert(0) += 1;
+            }
             Some("counter") => {
-                if let (Some(name), Some(value)) =
-                    (v["name"].as_str(), v["value"].as_u64())
-                {
+                if let (Some(name), Some(value)) = (v["name"].as_str(), v["value"].as_u64()) {
                     s.counters.push((name.to_string(), value));
                 }
             }
@@ -168,6 +171,13 @@ fn render(s: &Summary, out: &mut dyn Write) -> std::io::Result<()> {
         }
     }
 
+    if !s.faults.is_empty() {
+        writeln!(out, "\nfault events:")?;
+        for (kind, count) in &s.faults {
+            writeln!(out, "  {kind}: {count}")?;
+        }
+    }
+
     if !s.counters.is_empty() {
         writeln!(out, "\ncounters:")?;
         for (name, value) in &s.counters {
@@ -190,6 +200,12 @@ mod tests {
         "\"retries\":1,\"outcome\":\"placed\",\"chosen_host\":3,",
         "\"rejections\":{\"insufficient_cpu\":2,\"wrong_az\":8},\"top_k\":[]}\n",
         "{\"type\":\"counter\",\"name\":\"placements\",\"value\":812}\n",
+        "{\"type\":\"fault\",\"kind\":\"host_fail\",\"sim_time_ms\":500,",
+        "\"node\":3,\"vm_uid\":null}\n",
+        "{\"type\":\"fault\",\"kind\":\"evac_replaced\",\"sim_time_ms\":500,",
+        "\"node\":5,\"vm_uid\":42}\n",
+        "{\"type\":\"fault\",\"kind\":\"host_fail\",\"sim_time_ms\":900,",
+        "\"node\":7,\"vm_uid\":null}\n",
     );
 
     #[test]
@@ -197,12 +213,17 @@ mod tests {
         let s = summarize(LOG).unwrap();
         assert_eq!(s.meta, Some((1.0, 65536, 4, 0)));
         let scrape = &s.spans["scrape"];
-        assert_eq!((scrape.count, scrape.total_us, scrape.max_us), (2, 300, 200));
+        assert_eq!(
+            (scrape.count, scrape.total_us, scrape.max_us),
+            (2, 300, 200)
+        );
         assert_eq!(s.decisions, 1);
         assert_eq!(s.outcomes["placed"], 1);
         assert_eq!(s.rejections["wrong_az"], 8);
         assert_eq!(s.retries_total, 1);
         assert_eq!(s.counters, vec![("placements".to_string(), 812)]);
+        assert_eq!(s.faults["host_fail"], 2);
+        assert_eq!(s.faults["evac_replaced"], 1);
     }
 
     #[test]
@@ -229,6 +250,8 @@ mod tests {
         assert!(text.contains("placed: 1"));
         assert!(text.contains("wrong_az: 8"));
         assert!(text.contains("placements: 812"));
+        assert!(text.contains("fault events:"));
+        assert!(text.contains("host_fail: 2"));
     }
 
     #[test]

@@ -8,8 +8,8 @@ use std::io::Write;
 
 /// Execute the subcommand.
 pub fn run(argv: &[String], out: &mut dyn Write) -> Result<(), String> {
-    let parsed = Parsed::parse(argv, SIM_VALUE_OPTIONS, SIM_BOOL_FLAGS)
-        .map_err(|e| e.to_string())?;
+    let parsed =
+        Parsed::parse(argv, SIM_VALUE_OPTIONS, SIM_BOOL_FLAGS).map_err(|e| e.to_string())?;
     if !parsed.positionals().is_empty() {
         return Err("simulate takes no positional arguments".into());
     }
@@ -75,10 +75,47 @@ pub fn run(argv: &[String], out: &mut dyn Write) -> Result<(), String> {
     )
     .map_err(w)?;
 
-    writeln!(out, "\nthe paper's headline findings on this run:").map_err(w)?;
-    writeln!(out, "  {}", utilization_cdf(&result, VmResource::Cpu).summary_line()).map_err(w)?;
-    writeln!(out, "  {}", utilization_cdf(&result, VmResource::Memory).summary_line())
+    if !result.config.faults.is_none() || !s.faults.is_zero() {
+        let f = &s.faults;
+        writeln!(out, "\nfaults:").map_err(w)?;
+        writeln!(
+            out,
+            "  host failures: {} ({} recovered), {} straggler nodes",
+            f.host_failures, f.host_recoveries, f.straggler_nodes
+        )
         .map_err(w)?;
+        writeln!(
+            out,
+            "  evacuations: {} ({} replaced, {} retries, {} lost, {} still pending, peak queue {})",
+            f.evacuated,
+            f.evac_replaced,
+            f.evac_retries,
+            f.evac_lost,
+            f.evac_pending_end,
+            f.evac_pending_peak
+        )
+        .map_err(w)?;
+        writeln!(
+            out,
+            "  telemetry: {} dropout windows, {} samples dropped",
+            f.dropout_windows, f.dropped_samples
+        )
+        .map_err(w)?;
+    }
+
+    writeln!(out, "\nthe paper's headline findings on this run:").map_err(w)?;
+    writeln!(
+        out,
+        "  {}",
+        utilization_cdf(&result, VmResource::Cpu).summary_line()
+    )
+    .map_err(w)?;
+    writeln!(
+        out,
+        "  {}",
+        utilization_cdf(&result, VmResource::Memory).summary_line()
+    )
+    .map_err(w)?;
     let agg = contention_aggregate(&result);
     writeln!(
         out,
@@ -90,7 +127,11 @@ pub fn run(argv: &[String], out: &mut dyn Write) -> Result<(), String> {
     .map_err(w)?;
 
     if result.profile.enabled() {
-        writeln!(out, "\nevent-loop profile (wall clock, not simulation time):").map_err(w)?;
+        writeln!(
+            out,
+            "\nevent-loop profile (wall clock, not simulation time):"
+        )
+        .map_err(w)?;
         writeln!(
             out,
             "  {:<16} {:>10} {:>12} {:>10} {:>10}",

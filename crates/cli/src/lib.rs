@@ -48,6 +48,10 @@ SIMULATION OPTIONS (simulate, export):
     --cross-bb           enable the cross-building-block rebalancer
     --overcommit <F>     general-purpose vCPU:pCPU ratio    [default: 4.0]
     --no-warmup          skip the 7-day pre-observation ramp
+    --faults <SPEC>      inject deterministic faults: a JSON spec file, or
+                         inline key=value pairs (fail, downtime, straggler,
+                         slowdown, dropout, dropout-hours, retries, backoff),
+                         e.g. --faults fail=6.0,downtime=12,dropout=2.0
 
 OBSERVABILITY OPTIONS (simulate, export):
     --obs-out <FILE>     write the decision/span event log as JSON Lines

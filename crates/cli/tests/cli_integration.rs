@@ -129,6 +129,70 @@ fn simulate_with_obs_writes_logs_and_profile() {
 }
 
 #[test]
+fn simulate_with_faults_prints_the_fault_summary() {
+    // 30 failures/month over 1 day ≈ probability 1.0 per node: the fault
+    // section is guaranteed to report activity.
+    let text = run_capture(&[
+        "simulate",
+        "--scale",
+        "0.02",
+        "--days",
+        "1",
+        "--no-warmup",
+        "--seed",
+        "3",
+        "--faults",
+        "fail=30.0,downtime=2,straggler=0.5,slowdown=0.6,dropout=15.0,dropout-hours=3",
+    ])
+    .unwrap();
+    assert!(text.contains("faults:"), "{text}");
+    assert!(text.contains("host failures:"), "{text}");
+    assert!(text.contains("evacuations:"), "{text}");
+    assert!(text.contains("dropout windows"), "{text}");
+    assert!(
+        !text.contains("host failures: 0 "),
+        "failures occurred: {text}"
+    );
+}
+
+#[test]
+fn simulate_rejects_bad_fault_specs() {
+    let err = run_capture(&["simulate", "--faults", "no-such-key=1"]).unwrap_err();
+    assert!(err.contains("faults"), "{err}");
+    let err = run_capture(&["simulate", "--faults", "slowdown=0"]).unwrap_err();
+    assert!(err.contains("slowdown"), "{err}");
+}
+
+#[test]
+fn obs_summary_roundtrips_fault_events() {
+    let dir = std::env::temp_dir();
+    let jsonl = dir.join(format!("sapsim-cli-faults-{}.jsonl", std::process::id()));
+    let jsonl_str = jsonl.to_str().expect("utf8 path");
+
+    run_capture(&[
+        "simulate",
+        "--scale",
+        "0.02",
+        "--days",
+        "1",
+        "--no-warmup",
+        "--seed",
+        "3",
+        "--faults",
+        "fail=30.0,downtime=2",
+        "--obs-out",
+        jsonl_str,
+    ])
+    .unwrap();
+
+    let summary = run_capture(&["obs", "summary", jsonl_str]).unwrap();
+    assert!(summary.contains("fault events:"), "{summary}");
+    assert!(summary.contains("host_fail:"), "{summary}");
+
+    std::fs::remove_file(&jsonl).expect("cleanup");
+}
+
+#[test]
 fn obs_knobs_without_output_error() {
     let err = run_capture(&["simulate", "--obs-sample", "0.5"]).unwrap_err();
     assert!(err.contains("--obs-out"), "{err}");

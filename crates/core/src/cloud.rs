@@ -336,8 +336,8 @@ impl Cloud {
             if self.topo.node(nid).state != NodeState::Active {
                 continue;
             }
-            let free = self.node_virtual_cap[nid.index()]
-                .saturating_sub(&self.node_alloc[nid.index()]);
+            let free =
+                self.node_virtual_cap[nid.index()].saturating_sub(&self.node_alloc[nid.index()]);
             if !free.fits(resources) {
                 continue;
             }
@@ -395,6 +395,40 @@ impl Cloud {
             departure,
             movable: spec.class != WorkloadClass::Hana,
         });
+        self.vm_count += 1;
+    }
+
+    /// Re-admit a previously [`remove`](Cloud::remove)d VM onto `node` —
+    /// the restart half of a fault evacuation. Unlike [`place`](Cloud::place)
+    /// this preserves the VM's demand-model state and RNG stream, so the
+    /// restarted VM keeps drawing the same usage trajectory it would have
+    /// on its failed host. Same capacity contract as `place`: the caller
+    /// must have verified fit through the scheduling pipeline; violations
+    /// panic.
+    pub fn readmit(&mut self, mut vm: PlacedVm, node: NodeId) {
+        let free =
+            self.node_virtual_cap[node.index()].saturating_sub(&self.node_alloc[node.index()]);
+        assert!(
+            free.fits(&vm.resources),
+            "readmission on {node} violates capacity: free={free}, request={}",
+            vm.resources
+        );
+        self.node_alloc[node.index()] += vm.resources;
+        self.node_vms[node.index()].push(vm.id);
+        self.node_departure_sum_ms[node.index()] += vm.departure.as_millis() as f64;
+        let bb = self.topo.node(node).bb;
+        self.bb_alloc[bb.index()] += vm.resources;
+        let idx = vm.id.raw() as usize;
+        if idx >= self.vm_slots.len() {
+            self.vm_slots.resize_with(idx + 1, || None);
+        }
+        assert!(
+            self.vm_slots[idx].is_none(),
+            "duplicate readmission of {}",
+            vm.id
+        );
+        vm.node = node;
+        self.vm_slots[idx] = Some(vm);
         self.vm_count += 1;
     }
 
@@ -525,7 +559,10 @@ impl Cloud {
             node_sum[vm.node.index()] += vm.resources;
             bb_sum[self.topo.node(vm.node).bb.index()] += vm.resources;
             if !self.node_vms[vm.node.index()].contains(&vm.id) {
-                return Err(format!("{} missing from residency list of {}", vm.id, vm.node));
+                return Err(format!(
+                    "{} missing from residency list of {}",
+                    vm.id, vm.node
+                ));
             }
         }
         for (i, expect) in node_sum.iter().enumerate() {
@@ -619,6 +656,44 @@ mod tests {
         assert!(cloud.bb_allocated(BbId::from_raw(0)).is_zero());
         cloud.verify_accounting(&specs).unwrap();
         assert!(cloud.remove(VmId(0)).is_none());
+    }
+
+    #[test]
+    fn readmit_restores_accounting_and_preserves_vm_state() {
+        let (mut cloud, mut specs) = tiny_cloud();
+        let s = spec(0, 4, 32, 10);
+        let from = cloud.topology().bbs()[0].nodes[0];
+        let to = cloud.topology().bbs()[0].nodes[1];
+        specs.push(s.clone());
+        cloud.place(0, &s, from, SimRng::seed_from(1));
+        let before = cloud.vm(VmId(0)).unwrap().clone();
+
+        // Fault evacuation: remove off the failing host, readmit elsewhere.
+        let vm = cloud.remove(VmId(0)).unwrap();
+        cloud.readmit(vm, to);
+        assert_eq!(cloud.vm_count(), 1);
+        assert!(cloud.node_allocated(from).is_zero());
+        assert_eq!(cloud.node_allocated(to).cpu_cores, 4);
+        assert_eq!(cloud.vms_on_node(to), &[VmId(0)]);
+        let after = cloud.vm(VmId(0)).unwrap();
+        assert_eq!(after.node, to);
+        assert_eq!(after.departure, before.departure);
+        assert_eq!(after.resources, before.resources);
+        cloud.verify_accounting(&specs).unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "violates capacity")]
+    fn readmit_enforces_capacity() {
+        let (mut cloud, _) = tiny_cloud();
+        let s = spec(0, 4, 32, 10);
+        let filler = spec(1, 1, 768, 10);
+        let n0 = cloud.topology().bbs()[0].nodes[0];
+        let n1 = cloud.topology().bbs()[0].nodes[1];
+        cloud.place(0, &s, n0, SimRng::seed_from(1));
+        cloud.place(1, &filler, n1, SimRng::seed_from(2));
+        let vm = cloud.remove(VmId(0)).unwrap();
+        cloud.readmit(vm, n1);
     }
 
     #[test]
@@ -746,7 +821,10 @@ mod tests {
         assert!((at0 - 20.0).abs() < 0.01);
         assert!((at10 - 10.0).abs() < 0.01);
         assert_eq!(
-            cloud.node_mean_remaining_lifetime_days(cloud.topology().bbs()[0].nodes[1], SimTime::ZERO),
+            cloud.node_mean_remaining_lifetime_days(
+                cloud.topology().bbs()[0].nodes[1],
+                SimTime::ZERO
+            ),
             0.0
         );
     }

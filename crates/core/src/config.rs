@@ -1,5 +1,6 @@
 //! Simulation configuration.
 
+use sapsim_faults::FaultSpec;
 use sapsim_scheduler::{DrsConfig, PolicyKind};
 use sapsim_sim::SimDuration;
 use serde::{Deserialize, Serialize};
@@ -91,6 +92,13 @@ pub struct SimConfig {
     /// Ignored without the feature.
     #[serde(default)]
     pub threads: usize,
+    /// Fault injection: abrupt host failures (with evacuation through the
+    /// normal scheduling pipeline), straggler nodes, and telemetry
+    /// dropouts. Defaults to [`FaultSpec::none`], which is a behavioural
+    /// no-op and is skipped when serialized so pre-fault configs and
+    /// canonical bytes are unchanged.
+    #[serde(default, skip_serializing_if = "FaultSpec::is_none")]
+    pub faults: FaultSpec,
 }
 
 impl Default for SimConfig {
@@ -117,6 +125,7 @@ impl Default for SimConfig {
             maintenance_duration: SimDuration::from_hours(18),
             warmup_days: 7,
             threads: 0,
+            faults: FaultSpec::none(),
         }
     }
 }
@@ -181,6 +190,7 @@ impl SimConfig {
                 self.reserve_bb_fraction
             ));
         }
+        self.faults.validate()?;
         Ok(())
     }
 }
@@ -211,14 +221,45 @@ mod tests {
     #[test]
     fn validation_rejects_nonsense() {
         let broken = [
-            SimConfig { days: 0, ..SimConfig::default() },
-            SimConfig { scale: 0.0, ..SimConfig::default() },
-            SimConfig { scale: 1.5, ..SimConfig::default() },
-            SimConfig { scrape_interval: SimDuration::ZERO, ..SimConfig::default() },
-            SimConfig { gp_cpu_overcommit: 0.0, ..SimConfig::default() },
-            SimConfig { reserve_bb_fraction: 0.95, ..SimConfig::default() },
-            SimConfig { resize_probability: 1.5, ..SimConfig::default() },
-            SimConfig { maintenance_rate_per_month: -1.0, ..SimConfig::default() },
+            SimConfig {
+                days: 0,
+                ..SimConfig::default()
+            },
+            SimConfig {
+                scale: 0.0,
+                ..SimConfig::default()
+            },
+            SimConfig {
+                scale: 1.5,
+                ..SimConfig::default()
+            },
+            SimConfig {
+                scrape_interval: SimDuration::ZERO,
+                ..SimConfig::default()
+            },
+            SimConfig {
+                gp_cpu_overcommit: 0.0,
+                ..SimConfig::default()
+            },
+            SimConfig {
+                reserve_bb_fraction: 0.95,
+                ..SimConfig::default()
+            },
+            SimConfig {
+                resize_probability: 1.5,
+                ..SimConfig::default()
+            },
+            SimConfig {
+                maintenance_rate_per_month: -1.0,
+                ..SimConfig::default()
+            },
+            SimConfig {
+                faults: FaultSpec {
+                    host_fail_rate_per_month: -1.0,
+                    ..FaultSpec::none()
+                },
+                ..SimConfig::default()
+            },
         ];
         for (i, c) in broken.iter().enumerate() {
             assert!(c.validate().is_err(), "config {i} should be rejected");
@@ -237,6 +278,29 @@ mod tests {
             ..SimConfig::default()
         };
         assert!(ok.validate().is_ok());
+    }
+
+    #[test]
+    fn fault_free_config_serializes_like_the_pre_fault_format() {
+        let json = serde_json::to_string(&SimConfig::default()).expect("serializes");
+        assert!(
+            !json.contains("faults"),
+            "FaultSpec::none() must vanish from serialized configs: {json}"
+        );
+        let back: SimConfig = serde_json::from_str(&json).expect("deserializes");
+        assert_eq!(back, SimConfig::default());
+
+        let faulty = SimConfig {
+            faults: FaultSpec {
+                host_fail_rate_per_month: 1.0,
+                ..FaultSpec::none()
+            },
+            ..SimConfig::default()
+        };
+        let json = serde_json::to_string(&faulty).expect("serializes");
+        assert!(json.contains("host_fail_rate_per_month"));
+        let back: SimConfig = serde_json::from_str(&json).expect("deserializes");
+        assert_eq!(back, faulty);
     }
 
     #[test]

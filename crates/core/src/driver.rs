@@ -1,19 +1,21 @@
 //! The simulation driver: builds the world, runs the event loop, records
 //! telemetry, and produces a [`RunResult`].
 
-use crate::cloud::{Cloud, PlacementOutcome};
+use crate::cloud::{Cloud, PlacedVm, PlacementOutcome};
 use crate::config::{PlacementGranularity, SimConfig};
 use crate::hypervisor::{self, NodeDemand};
-use crate::result::{DriverStats, RunResult, VmUsageSummary};
+use crate::result::{DriverStats, FaultStats, RunResult, VmUsageSummary};
+use rand::Rng;
+use sapsim_faults::FaultPlan;
 use sapsim_obs::{
-    DecisionOutcome, DecisionRecord, HostScore, NullRecorder, ObsEvent, Recorder, RunProfile,
-    SpanKind, DECISION_TOP_K,
+    DecisionOutcome, DecisionRecord, FaultEventKind, HostScore, NullRecorder, ObsEvent, Recorder,
+    RunProfile, SpanKind, DECISION_TOP_K,
 };
 use sapsim_scheduler::{
     HostLoad, PlacementPolicy, PlacementRequest, Ranking, Rebalancer, RejectReason, VmLoad,
 };
 use sapsim_sim::par::join_chunks2;
-use sapsim_sim::{SimRng, SimTime, Simulation};
+use sapsim_sim::{SimDuration, SimRng, SimTime, Simulation};
 use sapsim_telemetry::{EntityRef, MetricId, RunningStat, TsdbStore};
 use sapsim_topology::{
     paper_region_custom, BbId, BbPurpose, DcId, NodeId, PresetScale, TopologyBuilder,
@@ -21,7 +23,6 @@ use sapsim_topology::{
 use sapsim_workload::{
     paper_flavor_catalog, GeneratorConfig, VmId, VmSpec, WorkloadClass, WorkloadGenerator,
 };
-use rand::Rng;
 use std::time::Instant;
 
 /// Events of the cloud simulation.
@@ -46,6 +47,22 @@ enum Event {
     MaintenanceStart(NodeId),
     /// A node leaves maintenance.
     MaintenanceEnd(NodeId),
+    /// A node drops dead (abrupt failure from the fault plan); residents
+    /// are evacuated through the normal scheduling pipeline.
+    HostFail(NodeId),
+    /// A failed node rejoins the fleet.
+    HostRecover(NodeId),
+    /// Retry the re-placement of a VM waiting in the pending-evacuation
+    /// queue (bounded exponential backoff).
+    EvacRetry(VmId),
+}
+
+/// A VM displaced by a host failure that found no capacity yet: it waits
+/// in the driver's pending queue between backoff retries, preserving its
+/// demand-model state for the eventual restart.
+struct PendingEvac {
+    vm: PlacedVm,
+    retries: u32,
 }
 
 /// Start a wall-clock span — `None` (no clock read at all) when the
@@ -73,7 +90,11 @@ fn span_end<R: Recorder>(
         let dur_us = start.elapsed().as_micros() as u64;
         let ts_us = start.duration_since(origin).as_micros() as u64;
         profile.add(kind, dur_us);
-        rec.record(ObsEvent::Span { kind, ts_us, dur_us });
+        rec.record(ObsEvent::Span {
+            kind,
+            ts_us,
+            dur_us,
+        });
     }
 }
 
@@ -176,14 +197,11 @@ impl SimDriver {
                     .bbs
                     .iter()
                     .copied()
-                    .filter(|&bb| {
-                        cloud.topology().bb(bb).purpose == BbPurpose::GeneralPurpose
-                    })
+                    .filter(|&bb| cloud.topology().bb(bb).purpose == BbPurpose::GeneralPurpose)
                     .collect();
                 // Round, but always hold at least one block back when the
                 // DC has enough general-purpose blocks to spare one.
-                let mut count =
-                    (gp_bbs.len() as f64 * cfg.reserve_bb_fraction).round() as usize;
+                let mut count = (gp_bbs.len() as f64 * cfg.reserve_bb_fraction).round() as usize;
                 if count == 0 && gp_bbs.len() >= 4 {
                     count = 1;
                 }
@@ -284,19 +302,44 @@ impl SimDriver {
         // has a window inside the observation period, uniformly placed.
         if cfg.maintenance_rate_per_month > 0.0 {
             let mut mrng = root_rng.split("maintenance");
-            let prob =
-                (cfg.maintenance_rate_per_month * cfg.days as f64 / 30.0).clamp(0.0, 1.0);
+            let prob = (cfg.maintenance_rate_per_month * cfg.days as f64 / 30.0).clamp(0.0, 1.0);
             let obs_span_ms = (horizon - warmup).as_millis() as f64;
             for node in cloud.topology().nodes() {
                 if !mrng.gen_bool(prob) {
                     continue;
                 }
                 let frac: f64 = mrng.gen_range(0.05..0.85);
-                let start = warmup
-                    + sapsim_sim::SimDuration::from_millis((obs_span_ms * frac) as u64);
+                let start =
+                    warmup + sapsim_sim::SimDuration::from_millis((obs_span_ms * frac) as u64);
                 sim.schedule_at(start, Event::MaintenanceStart(node.id));
             }
         }
+        // Unplanned faults: the plan is drawn from its own lineage-split
+        // RNG stream, so enabling faults never reshuffles workload,
+        // placement, or maintenance draws (and `FaultSpec::none()`
+        // consumes no randomness at all). Failure and recovery events are
+        // scheduled up front; the handlers guard on node state so the
+        // interleaving with planned maintenance stays well-defined.
+        let fault_plan = FaultPlan::generate(
+            &cfg.faults,
+            cloud.topology().nodes().len(),
+            warmup,
+            horizon,
+            &root_rng,
+        );
+        for hf in &fault_plan.host_failures {
+            let node = NodeId::from_raw(hf.node);
+            sim.schedule_at(hf.at, Event::HostFail(node));
+            if let Some(t) = hf.recover_at {
+                sim.schedule_at(t, Event::HostRecover(node));
+            }
+        }
+        stats.faults.straggler_nodes = fault_plan.straggler_count() as u64;
+        stats.faults.dropout_windows = fault_plan.dropout_window_count() as u64;
+        // VMs displaced by a failure that found no immediate capacity;
+        // drained by retries, departures, or the retry limit.
+        let mut pending: Vec<PendingEvac> = Vec::new();
+
         // Tiny scaled-down deployments may lack a dedicated CI farm; CI
         // executors then run in the general pool, as they would before an
         // operator carves one out.
@@ -366,6 +409,14 @@ impl SimDriver {
                         if R::ENABLED {
                             rec.counter_add("departures", 1);
                         }
+                    } else if let Some(pos) = pending.iter().position(|p| p.vm.id == id) {
+                        // The VM's lifetime ended while it was waiting for
+                        // re-placement after a host failure.
+                        pending.remove(pos);
+                        stats.departures += 1;
+                        if R::ENABLED {
+                            rec.counter_add("departures", 1);
+                        }
                     }
                 }
                 Event::VmResize(id) => {
@@ -392,6 +443,8 @@ impl SimDriver {
                         now,
                         warmup,
                         &mut scratch,
+                        &fault_plan,
+                        &mut stats.faults,
                         rec,
                         &mut profile,
                         run_start,
@@ -429,35 +482,207 @@ impl SimDriver {
                     sim.schedule_after(cfg.cross_bb_interval, Event::CrossBbRound);
                 }
                 Event::MaintenanceStart(node) => {
-                    // Silence the node first so the evacuation targets
-                    // exclude it, then move everything off. A stuck VM
-                    // (pinned, or no sibling capacity) aborts the window
-                    // and the node returns to service.
-                    cloud.set_node_state(node, sapsim_topology::NodeState::Maintenance);
-                    match cloud.evacuate_node(node) {
-                        Ok(moved) => {
-                            stats.maintenance_windows += 1;
-                            stats.evacuations += moved;
-                            if R::ENABLED {
-                                rec.counter_add("evacuations", moved);
+                    if cloud.topology().node(node).state != sapsim_topology::NodeState::Active {
+                        // The node is already down (failed): planned
+                        // maintenance cannot start and the window lapses.
+                        stats.maintenance_aborted += 1;
+                    } else {
+                        // Silence the node first so the evacuation targets
+                        // exclude it, then move everything off. A stuck VM
+                        // (pinned, or no sibling capacity) aborts the window
+                        // and the node returns to service.
+                        cloud.set_node_state(node, sapsim_topology::NodeState::Maintenance);
+                        match cloud.evacuate_node(node) {
+                            Ok(moved) => {
+                                stats.maintenance_windows += 1;
+                                stats.evacuations += moved;
+                                if R::ENABLED {
+                                    rec.counter_add("evacuations", moved);
+                                }
+                                sim.schedule_after(
+                                    cfg.maintenance_duration,
+                                    Event::MaintenanceEnd(node),
+                                );
                             }
-                            sim.schedule_after(
-                                cfg.maintenance_duration,
-                                Event::MaintenanceEnd(node),
-                            );
-                        }
-                        Err(_stuck) => {
-                            stats.maintenance_aborted += 1;
-                            cloud.set_node_state(node, sapsim_topology::NodeState::Active);
+                            Err(_stuck) => {
+                                stats.maintenance_aborted += 1;
+                                cloud.set_node_state(node, sapsim_topology::NodeState::Active);
+                            }
                         }
                     }
                 }
                 Event::MaintenanceEnd(node) => {
-                    cloud.set_node_state(node, sapsim_topology::NodeState::Active);
+                    if cloud.topology().node(node).state == sapsim_topology::NodeState::Maintenance
+                    {
+                        cloud.set_node_state(node, sapsim_topology::NodeState::Active);
+                    }
+                }
+                Event::HostFail(node) => {
+                    if cloud.topology().node(node).state != sapsim_topology::NodeState::Active {
+                        // Already out of service (maintenance window in
+                        // progress): the drawn failure is skipped rather
+                        // than stacked on top.
+                        continue;
+                    }
+                    cloud.set_node_state(node, sapsim_topology::NodeState::Failed);
+                    stats.faults.host_failures += 1;
+                    if R::ENABLED {
+                        rec.counter_add("host_failures", 1);
+                        rec.record(ObsEvent::Fault {
+                            kind: FaultEventKind::HostFail,
+                            sim_time_ms: now.as_millis(),
+                            node: node.index() as u32,
+                            vm_uid: None,
+                        });
+                    }
+                    // Unlike planned maintenance there is no "abort":
+                    // every resident is forcibly displaced, and whatever
+                    // cannot restart immediately joins the pending queue.
+                    let residents: Vec<VmId> = cloud.vms_on_node(node).to_vec();
+                    for id in residents {
+                        let vm = cloud.remove(id).expect("resident VM exists");
+                        stats.faults.evacuated += 1;
+                        if R::ENABLED {
+                            rec.counter_add("fault_evacuations", 1);
+                        }
+                        match Self::evac_target(
+                            &cloud,
+                            &mut policy,
+                            cfg,
+                            &specs,
+                            &vm_az,
+                            ci_farm_exists,
+                            &vm,
+                            now,
+                        ) {
+                            Some(target) => {
+                                cloud.readmit(vm, target);
+                                stats.faults.evac_replaced += 1;
+                                if R::ENABLED {
+                                    rec.counter_add("fault_evac_replaced", 1);
+                                    rec.record(ObsEvent::Fault {
+                                        kind: FaultEventKind::EvacReplaced,
+                                        sim_time_ms: now.as_millis(),
+                                        node: target.index() as u32,
+                                        vm_uid: Some(id.raw()),
+                                    });
+                                }
+                            }
+                            None => {
+                                if R::ENABLED {
+                                    rec.record(ObsEvent::Fault {
+                                        kind: FaultEventKind::EvacPending,
+                                        sim_time_ms: now.as_millis(),
+                                        node: node.index() as u32,
+                                        vm_uid: Some(id.raw()),
+                                    });
+                                }
+                                pending.push(PendingEvac { vm, retries: 0 });
+                                stats.faults.evac_pending_peak =
+                                    stats.faults.evac_pending_peak.max(pending.len() as u64);
+                                sim.schedule_after(
+                                    SimDuration::from_secs(cfg.faults.evac_retry_backoff_secs),
+                                    Event::EvacRetry(id),
+                                );
+                            }
+                        }
+                    }
+                }
+                Event::HostRecover(node) => {
+                    if cloud.topology().node(node).state == sapsim_topology::NodeState::Failed {
+                        cloud.set_node_state(node, sapsim_topology::NodeState::Active);
+                        stats.faults.host_recoveries += 1;
+                        if R::ENABLED {
+                            rec.counter_add("host_recoveries", 1);
+                            rec.record(ObsEvent::Fault {
+                                kind: FaultEventKind::HostRecover,
+                                sim_time_ms: now.as_millis(),
+                                node: node.index() as u32,
+                                vm_uid: None,
+                            });
+                        }
+                    }
+                }
+                Event::EvacRetry(id) => {
+                    let Some(pos) = pending.iter().position(|p| p.vm.id == id) else {
+                        // Already re-placed, departed, or given up on.
+                        continue;
+                    };
+                    if pending[pos].vm.departure <= now {
+                        // Lifetime ran out while waiting; the regular
+                        // departure event (if any remains) will find
+                        // nothing and count nothing.
+                        pending.remove(pos);
+                        stats.departures += 1;
+                        if R::ENABLED {
+                            rec.counter_add("departures", 1);
+                        }
+                        continue;
+                    }
+                    let target = Self::evac_target(
+                        &cloud,
+                        &mut policy,
+                        cfg,
+                        &specs,
+                        &vm_az,
+                        ci_farm_exists,
+                        &pending[pos].vm,
+                        now,
+                    );
+                    match target {
+                        Some(node) => {
+                            let entry = pending.remove(pos);
+                            cloud.readmit(entry.vm, node);
+                            stats.faults.evac_replaced += 1;
+                            if R::ENABLED {
+                                rec.counter_add("fault_evac_replaced", 1);
+                                rec.record(ObsEvent::Fault {
+                                    kind: FaultEventKind::EvacReplaced,
+                                    sim_time_ms: now.as_millis(),
+                                    node: node.index() as u32,
+                                    vm_uid: Some(id.raw()),
+                                });
+                            }
+                        }
+                        None if pending[pos].retries < cfg.faults.evac_retry_limit => {
+                            pending[pos].retries += 1;
+                            stats.faults.evac_retries += 1;
+                            if R::ENABLED {
+                                rec.counter_add("fault_evac_retries", 1);
+                                rec.record(ObsEvent::Fault {
+                                    kind: FaultEventKind::EvacRetry,
+                                    sim_time_ms: now.as_millis(),
+                                    node: pending[pos].vm.node.index() as u32,
+                                    vm_uid: Some(id.raw()),
+                                });
+                            }
+                            // Bounded exponential backoff: double per
+                            // attempt, capped so the shift stays sane.
+                            let shift = pending[pos].retries.min(10);
+                            sim.schedule_after(
+                                SimDuration::from_secs(cfg.faults.evac_retry_backoff_secs << shift),
+                                Event::EvacRetry(id),
+                            );
+                        }
+                        None => {
+                            let entry = pending.remove(pos);
+                            stats.faults.evac_lost += 1;
+                            if R::ENABLED {
+                                rec.counter_add("fault_evac_lost", 1);
+                                rec.record(ObsEvent::Fault {
+                                    kind: FaultEventKind::EvacLost,
+                                    sim_time_ms: now.as_millis(),
+                                    node: entry.vm.node.index() as u32,
+                                    vm_uid: Some(id.raw()),
+                                });
+                            }
+                        }
+                    }
                 }
             }
         }
 
+        stats.faults.evac_pending_end = pending.len() as u64;
         stats.final_vm_count = cloud.vm_count();
         debug_assert!(cloud.verify_accounting(&specs).is_ok());
 
@@ -564,9 +789,7 @@ impl SimDriver {
             for &candidate in &ranked.order {
                 let node = match cfg.granularity {
                     PlacementGranularity::BuildingBlock => {
-                        match cloud
-                            .choose_node_within_bb(BbId::from_raw(candidate as u32), &new)
-                        {
+                        match cloud.choose_node_within_bb(BbId::from_raw(candidate as u32), &new) {
                             Some(n) => n,
                             None => continue,
                         }
@@ -610,8 +833,7 @@ impl SimDriver {
         // The lifetime-aware extension assumes the operator can predict
         // lifetime (e.g. from the flavor's history); we grant it the true
         // residual lifetime, an upper bound on what prediction can achieve.
-        request = request
-            .with_lifetime_hint((spec.lifetime - spec.age_at_arrival).as_days_f64());
+        request = request.with_lifetime_hint((spec.lifetime - spec.age_at_arrival).as_days_f64());
 
         let views = cloud.host_views(cfg.granularity, now);
         let ranked = match policy.rank(&request, &views) {
@@ -692,6 +914,55 @@ impl SimDriver {
         PlacementOutcome::Fragmented
     }
 
+    /// Choose a restart target for a VM displaced by a host failure.
+    ///
+    /// The evacuation goes through the *normal* pipeline — same purpose
+    /// rules (with the CI-farm downgrade), same AZ pin, residual-lifetime
+    /// hint, the full filter/weigher rank, Nova-style greedy walk — so a
+    /// fault-injected run exercises exactly the scheduler under test. No
+    /// decision record is emitted: the audit log (and the
+    /// `decisions == placements_attempted` invariant) stays reserved for
+    /// arrival placements.
+    #[allow(clippy::too_many_arguments)]
+    fn evac_target(
+        cloud: &Cloud,
+        policy: &mut PlacementPolicy,
+        cfg: &SimConfig,
+        specs: &[VmSpec],
+        vm_az: &[sapsim_topology::AzId],
+        ci_farm_exists: bool,
+        vm: &PlacedVm,
+        now: SimTime,
+    ) -> Option<NodeId> {
+        let spec = &specs[vm.spec_index];
+        let mut purpose = spec.class.required_bb_purpose();
+        if purpose == BbPurpose::CiFarm && !ci_farm_exists {
+            purpose = BbPurpose::GeneralPurpose;
+        }
+        let residual_days = if vm.departure > now {
+            (vm.departure - now).as_days_f64()
+        } else {
+            0.0
+        };
+        let request = PlacementRequest::new(vm.id.raw(), vm.resources, purpose)
+            .in_az(vm_az[vm.spec_index])
+            .with_lifetime_hint(residual_days);
+        let views = cloud.host_views(cfg.granularity, now);
+        let ranked = policy.rank(&request, &views).ok()?;
+        for &candidate in &ranked.order {
+            match cfg.granularity {
+                PlacementGranularity::BuildingBlock => {
+                    let bb = BbId::from_raw(candidate as u32);
+                    if let Some(n) = cloud.choose_node_within_bb(bb, &vm.resources) {
+                        return Some(n);
+                    }
+                }
+                PlacementGranularity::Node => return Some(NodeId::from_raw(candidate as u32)),
+            }
+        }
+        None
+    }
+
     /// Build the audit-log entry for a decision whose rank pass succeeded.
     fn decision_from(
         ranked: &Ranking,
@@ -758,6 +1029,8 @@ impl SimDriver {
         now: SimTime,
         warmup: SimTime,
         scratch: &mut DriverScratch,
+        plan: &FaultPlan,
+        faults: &mut FaultStats,
         rec: &mut R,
         profile: &mut RunProfile,
         origin: Instant,
@@ -780,9 +1053,7 @@ impl SimDriver {
             vm_stats,
             cfg.threads,
             |offset, slots, summaries| {
-                for (i, (slot, summary)) in
-                    slots.iter_mut().zip(summaries.iter_mut()).enumerate()
-                {
+                for (i, (slot, summary)) in slots.iter_mut().zip(summaries.iter_mut()).enumerate() {
                     let Some(vm) = slot.as_mut() else { continue };
                     debug_assert_eq!(vm.spec_index, offset + i, "slot table is id-indexed");
                     let spec = &specs[vm.spec_index];
@@ -795,9 +1066,8 @@ impl SimDriver {
                     let current = vm.resources;
                     vm.last_cpu_demand_cores = cpu_ratio * current.cpu_cores as f64;
                     vm.last_mem_used_mib = mem_ratio * current.memory_mib as f64;
-                    vm.last_disk_used_gib = hypervisor::vm_disk_fill_fraction(
-                        age.as_days_f64(),
-                    ) * spec.resources.disk_gib as f64;
+                    vm.last_disk_used_gib = hypervisor::vm_disk_fill_fraction(age.as_days_f64())
+                        * spec.resources.disk_gib as f64;
                     if recording {
                         summary.cpu_ratio.push(cpu_ratio);
                         summary.mem_ratio.push(mem_ratio);
@@ -828,7 +1098,15 @@ impl SimDriver {
         for (node_idx, demand) in scratch.demands.iter().enumerate() {
             let node = NodeId::from_raw(node_idx as u32);
             let physical = cloud.topology().node_physical_capacity(node);
-            let sample = hypervisor::sample_node(&physical, demand, interval.as_millis());
+            // Straggler nodes run at degraded pCPU throughput for the
+            // whole run; healthy nodes get factor 1.0, which reproduces
+            // the plain model bit-for-bit.
+            let sample = hypervisor::sample_node_with_throughput(
+                &physical,
+                demand,
+                interval.as_millis(),
+                plan.throughput(node_idx),
+            );
             cloud.set_node_contention(node, sample.cpu_contention_pct);
             if !recording {
                 continue;
@@ -840,8 +1118,19 @@ impl SimDriver {
                 store.rollup_days(),
             );
             if cloud.topology().node(node).state != sapsim_topology::NodeState::Active {
-                // Under maintenance: the exporter loses the host — the
-                // white (missing) cells of the paper's heatmaps.
+                // Under maintenance or failed: the exporter loses the
+                // host — the white (missing) cells of the paper's
+                // heatmaps.
+                continue;
+            }
+            if plan.is_dropped_out(node_idx, now) {
+                // Telemetry dropout: the node is healthy and the scrape
+                // ran (demand models advanced, contention hints set), but
+                // the sample never reached the TSDB.
+                faults.dropped_samples += 1;
+                if R::ENABLED {
+                    rec.counter_add("fault_dropped_samples", 1);
+                }
                 continue;
             }
             let e = EntityRef::Node(node_idx as u32);
@@ -850,10 +1139,20 @@ impl SimDriver {
             store.record_rolled(MetricId::HostNetTxKbps, e, obs_time, sample.net_tx_kbps);
             store.record_rolled(MetricId::HostNetRxKbps, e, obs_time, sample.net_rx_kbps);
             store.record_rolled(MetricId::HostDiskUsageGb, e, obs_time, sample.disk_usage_gb);
-            store.record_rolled(MetricId::HostCpuContentionPct, e, obs_time, sample.cpu_contention_pct);
+            store.record_rolled(
+                MetricId::HostCpuContentionPct,
+                e,
+                obs_time,
+                sample.cpu_contention_pct,
+            );
             store.record_rolled(MetricId::HostCpuReadyMs, e, obs_time, sample.cpu_ready_ms);
             if cfg.record_raw_host_series {
-                store.record(MetricId::HostCpuContentionPct, e, obs_time, sample.cpu_contention_pct);
+                store.record(
+                    MetricId::HostCpuContentionPct,
+                    e,
+                    obs_time,
+                    sample.cpu_contention_pct,
+                );
                 store.record(MetricId::HostCpuReadyMs, e, obs_time, sample.cpu_ready_ms);
             }
         }
@@ -917,6 +1216,14 @@ impl SimDriver {
             let bb = BbId::from_raw(bb_idx as u32);
             Self::recycle_loads(&mut scratch.node_loads, &mut scratch.vm_load_pool);
             for &nid in &cloud.topology().bb(bb).nodes {
+                if cloud.topology().node(nid).state != sapsim_topology::NodeState::Active {
+                    // A failed or in-maintenance node is empty (its VMs
+                    // were evacuated) — but an empty host is exactly what
+                    // the rebalancer finds most attractive, so it must not
+                    // be offered as a migration target while out of
+                    // service.
+                    continue;
+                }
                 let physical = cloud.topology().node_physical_capacity(nid);
                 let mut vms = scratch.vm_load_pool.pop().unwrap_or_default();
                 for &vmid in cloud.vms_on_node(nid) {
@@ -1175,7 +1482,11 @@ mod tests {
         cfg.days = 5;
         cfg.resize_probability = 0.25;
         let r = SimDriver::new(cfg).unwrap().run();
-        assert!(r.stats.resizes_attempted > 10, "attempted = {}", r.stats.resizes_attempted);
+        assert!(
+            r.stats.resizes_attempted > 10,
+            "attempted = {}",
+            r.stats.resizes_attempted
+        );
         assert_eq!(
             r.stats.resizes_attempted,
             r.stats.resizes_in_place + r.stats.resizes_migrated + r.stats.resizes_failed
@@ -1192,7 +1503,10 @@ mod tests {
                 }
             }
         }
-        assert!(seen_doubled, "at least one applied resize survives the window");
+        assert!(
+            seen_doubled,
+            "at least one applied resize survives the window"
+        );
         r.cloud.verify_accounting(&r.specs).unwrap();
     }
 
@@ -1294,5 +1608,114 @@ mod tests {
         // Counters still accumulate — sampling only bounds the ring.
         let counters: std::collections::BTreeMap<_, _> = rec.counters().collect();
         assert_eq!(counters["placements"], r.stats.placed);
+    }
+
+    fn faulty_cfg(seed: u64) -> SimConfig {
+        let mut cfg = SimConfig::smoke_test();
+        cfg.seed = seed;
+        cfg.faults = sapsim_faults::FaultSpec {
+            host_fail_rate_per_month: 10.0, // prob 1.0 over 3 days: every node fails
+            host_downtime_hours: 6.0,
+            straggler_fraction: 0.25,
+            straggler_slowdown: 0.6,
+            dropout_rate_per_month: 6.0,
+            dropout_duration_hours: 4.0,
+            ..sapsim_faults::FaultSpec::none()
+        };
+        cfg
+    }
+
+    #[test]
+    fn fault_free_spec_is_a_behavioural_noop() {
+        let baseline = smoke(17);
+        let mut cfg = SimConfig::smoke_test();
+        cfg.seed = 17;
+        cfg.faults = sapsim_faults::FaultSpec::none(); // explicit none == untouched default
+        let explicit = SimDriver::new(cfg).unwrap().run();
+        assert!(explicit.stats.faults.is_zero());
+        let bytes = baseline.canonical_bytes();
+        assert_eq!(bytes, explicit.canonical_bytes());
+        // The fault layer is also invisible on the wire when unused.
+        assert!(!String::from_utf8_lossy(&bytes).contains("\"faults\""));
+    }
+
+    #[test]
+    fn host_failures_evacuate_through_the_pipeline_and_conserve_vms() {
+        let r = SimDriver::new(faulty_cfg(18)).unwrap().run();
+        let f = &r.stats.faults;
+        assert!(f.host_failures > 0, "every node should fail once");
+        assert!(f.host_recoveries > 0, "6 h downtime fits inside the run");
+        assert!(f.evacuated > 0, "failures hit occupied nodes");
+        // Evacuation conserves VMs: everything ever placed is either still
+        // resident, departed, lost to the retry limit, or still pending.
+        assert_eq!(
+            r.stats.placed,
+            r.stats.final_vm_count as u64 + r.stats.departures + f.evac_lost + f.evac_pending_end,
+            "VM conservation: placed == resident + departed + lost + pending"
+        );
+        // No VM is ever left on a node that is out of service.
+        for node in r.cloud.topology().nodes() {
+            if node.state != sapsim_topology::NodeState::Active {
+                assert!(
+                    r.cloud.vms_on_node(node.id).is_empty(),
+                    "{} is {:?} but still hosts VMs",
+                    node.id,
+                    node.state
+                );
+            }
+        }
+        r.cloud.verify_accounting(&r.specs).unwrap();
+    }
+
+    #[test]
+    fn faulty_runs_are_deterministic() {
+        let a = SimDriver::new(faulty_cfg(19)).unwrap().run();
+        let b = SimDriver::new(faulty_cfg(19)).unwrap().run();
+        assert_eq!(a.stats, b.stats);
+        assert_eq!(a.canonical_bytes(), b.canonical_bytes());
+    }
+
+    #[test]
+    fn dropouts_punch_gaps_into_the_telemetry() {
+        let r = SimDriver::new(faulty_cfg(20)).unwrap().run();
+        assert!(r.stats.faults.dropout_windows > 0);
+        assert!(r.stats.faults.dropped_samples > 0);
+        // Dropped scrapes never reach the store: some node-day has fewer
+        // samples than the full cadence even though the node was healthy.
+        let full_day = 86_400 / r.config.scrape_interval.as_secs();
+        let gap_seen = r
+            .store
+            .rollups_of(MetricId::HostCpuUtilPct)
+            .iter()
+            .any(|(_, rollup)| {
+                (0..rollup.num_days()).any(|d| {
+                    let count = rollup.day(d).map(|c| c.stat.count).unwrap_or(0);
+                    count > 0 && count < full_day
+                })
+            });
+        assert!(gap_seen, "dropout gaps appear in the telemetry");
+    }
+
+    #[test]
+    fn stragglers_degrade_but_never_help() {
+        let mut cfg = SimConfig::smoke_test();
+        cfg.seed = 21;
+        cfg.faults.straggler_fraction = 1.0;
+        cfg.faults.straggler_slowdown = 0.5;
+        let slow = SimDriver::new(cfg).unwrap().run();
+        assert!(slow.stats.faults.straggler_nodes > 0);
+        let baseline = smoke(21);
+        let ready_sum = |r: &RunResult| -> f64 {
+            r.store
+                .rollups_of(MetricId::HostCpuReadyMs)
+                .iter()
+                .flat_map(|(_, rollup)| rollup.daily_means())
+                .flatten()
+                .sum()
+        };
+        assert!(
+            ready_sum(&slow) >= ready_sum(&baseline),
+            "halved throughput cannot reduce CPU-ready"
+        );
     }
 }

@@ -114,8 +114,24 @@ pub fn contention_fraction(rho: f64) -> f64 {
 /// * `demand` — aggregated VM demand.
 /// * `interval_ms` — sampling interval length in milliseconds.
 pub fn sample_node(physical: &Resources, demand: &NodeDemand, interval_ms: u64) -> NodeSample {
+    sample_node_with_throughput(physical, demand, interval_ms, 1.0)
+}
+
+/// [`sample_node`] for a node whose pCPUs deliver only `throughput ∈ (0, 1]`
+/// of their nominal rate — the fault layer's straggler model (failing DIMMs,
+/// thermal throttling, a noisy firmware neighbor). Degraded throughput
+/// shrinks the effective capacity `C_eff`, so the same VM demand produces
+/// more unserved work: higher CPU-ready, higher contention, and a
+/// utilization ceiling below the healthy one. `throughput = 1.0` is exactly
+/// [`sample_node`] (multiplying by 1.0 is IEEE-exact).
+pub fn sample_node_with_throughput(
+    physical: &Resources,
+    demand: &NodeDemand,
+    interval_ms: u64,
+    throughput: f64,
+) -> NodeSample {
     let pcpus = physical.cpu_cores as f64;
-    let c_eff = CPU_EFFICIENCY * pcpus;
+    let c_eff = CPU_EFFICIENCY * pcpus * throughput;
     let d = demand.cpu_demand_cores.max(0.0);
 
     let served = d.min(c_eff);
@@ -141,7 +157,11 @@ pub fn sample_node(physical: &Resources, demand: &NodeDemand, interval_ms: u64) 
         (demand.disk_used_gib + HYPERVISOR_DISK_OVERHEAD_GIB).min(physical.disk_gib as f64);
 
     NodeSample {
-        cpu_util_pct: if pcpus > 0.0 { served / pcpus * 100.0 } else { 0.0 },
+        cpu_util_pct: if pcpus > 0.0 {
+            served / pcpus * 100.0
+        } else {
+            0.0
+        },
         cpu_contention_pct: contention * 100.0,
         cpu_ready_ms,
         mem_usage_pct: if mem_total > 0.0 {
@@ -274,6 +294,27 @@ mod tests {
         assert!(s.net_tx_kbps < 0.05 * line_rate_kbps);
         assert!(s.net_rx_kbps > s.net_tx_kbps, "RX > TX asymmetry");
         assert!(s.net_rx_kbps < 0.05 * line_rate_kbps);
+    }
+
+    #[test]
+    fn straggler_throughput_inflates_ready_and_contention() {
+        let demand = NodeDemand {
+            cpu_demand_cores: 40.0, // rho ≈ 0.85 on a healthy 48-core node
+            ..Default::default()
+        };
+        let healthy = sample_node(&gp_node(), &demand, 300_000);
+        let degraded = sample_node_with_throughput(&gp_node(), &demand, 300_000, 0.6);
+        // The same demand on 60% throughput overshoots capacity:
+        // 40 > 0.98 × 48 × 0.6 ≈ 28.2 cores.
+        assert!(degraded.cpu_ready_ms > healthy.cpu_ready_ms);
+        assert!(degraded.cpu_contention_pct > healthy.cpu_contention_pct);
+        // Served CPU is capped by the degraded capacity (util counts
+        // against nominal cores, so it tops out below the healthy cap).
+        assert!(degraded.cpu_util_pct < healthy.cpu_util_pct);
+        assert!((degraded.cpu_util_pct - CPU_EFFICIENCY * 0.6 * 100.0).abs() < 1e-9);
+        // Full throughput is bit-identical to the plain model.
+        let full = sample_node_with_throughput(&gp_node(), &demand, 300_000, 1.0);
+        assert_eq!(full, healthy);
     }
 
     #[test]

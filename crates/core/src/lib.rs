@@ -35,7 +35,12 @@ mod result;
 pub use cloud::{Cloud, PlacedVm, PlacementOutcome};
 pub use config::{PlacementGranularity, SimConfig};
 pub use driver::SimDriver;
-pub use result::{DriverStats, RunResult, VmUsageSummary};
+pub use result::{DriverStats, FaultStats, RunResult, VmUsageSummary};
+
+/// Re-export of the fault-injection layer: the spec travels on
+/// [`SimConfig::faults`](crate::SimConfig), so embedders configuring faults
+/// need the types without naming the `sapsim-faults` crate themselves.
+pub use sapsim_faults::{FaultPlan, FaultSpec};
 
 /// Re-export of the observability substrate so embedders can drive
 /// [`SimDriver::run_with_recorder`](crate::SimDriver) without naming the

@@ -64,6 +64,47 @@ pub struct DriverStats {
     pub peak_vm_count: usize,
     /// VM count at window end.
     pub final_vm_count: usize,
+    /// Fault-injection counters. All-zero (and skipped when serialized)
+    /// unless the run had a non-empty fault plan, so pre-fault output
+    /// stays byte-identical.
+    #[serde(default, skip_serializing_if = "FaultStats::is_zero")]
+    pub faults: FaultStats,
+}
+
+/// Counters describing the injected faults and their consequences.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultStats {
+    /// Abrupt host failures applied (a planned failure on a node already
+    /// out of service is skipped and not counted).
+    pub host_failures: u64,
+    /// Failed hosts that rejoined the fleet within the run.
+    pub host_recoveries: u64,
+    /// VMs displaced from failing hosts.
+    pub evacuated: u64,
+    /// Displaced VMs re-placed through the scheduling pipeline
+    /// (immediately or after retries).
+    pub evac_replaced: u64,
+    /// Retry attempts consumed by the pending-evacuation queue.
+    pub evac_retries: u64,
+    /// Largest pending-evacuation queue observed.
+    pub evac_pending_peak: u64,
+    /// Evacuations still pending when the run ended.
+    pub evac_pending_end: u64,
+    /// Evacuations abandoned after exhausting the retry budget.
+    pub evac_lost: u64,
+    /// Nodes running with degraded pCPU throughput.
+    pub straggler_nodes: u64,
+    /// Telemetry dropout windows in the fault plan.
+    pub dropout_windows: u64,
+    /// Node scrape samples suppressed by dropout windows.
+    pub dropped_samples: u64,
+}
+
+impl FaultStats {
+    /// True when no fault machinery left any trace in this run.
+    pub fn is_zero(&self) -> bool {
+        *self == FaultStats::default()
+    }
 }
 
 impl DriverStats {
@@ -163,5 +204,30 @@ mod tests {
             ..Default::default()
         };
         assert!((s.placement_success_rate() - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_fault_stats_vanish_from_serialized_stats() {
+        let clean = serde_json::to_string(&DriverStats::default()).expect("serializes");
+        assert!(
+            !clean.contains("faults"),
+            "fault-free stats must serialize exactly like the pre-fault format: {clean}"
+        );
+        // The pre-fault wire format (no `faults` key) still deserializes.
+        let back: DriverStats = serde_json::from_str(&clean).expect("deserializes");
+        assert!(back.faults.is_zero());
+
+        let faulty = DriverStats {
+            faults: FaultStats {
+                host_failures: 2,
+                evacuated: 5,
+                ..FaultStats::default()
+            },
+            ..DriverStats::default()
+        };
+        let json = serde_json::to_string(&faulty).expect("serializes");
+        assert!(json.contains("\"host_failures\":2"));
+        let back: DriverStats = serde_json::from_str(&json).expect("deserializes");
+        assert_eq!(back, faulty);
     }
 }

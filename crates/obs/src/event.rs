@@ -134,6 +134,37 @@ pub struct DecisionRecord {
     pub top_k: Vec<HostScore>,
 }
 
+/// One step in the life of an injected fault or its evacuation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultEventKind {
+    /// A host dropped dead (abrupt failure).
+    HostFail,
+    /// A failed host rejoined the fleet.
+    HostRecover,
+    /// A displaced VM was re-placed through the scheduling pipeline.
+    EvacReplaced,
+    /// A displaced VM found no capacity and joined the pending queue.
+    EvacPending,
+    /// A pending evacuation retried and failed again (backoff continues).
+    EvacRetry,
+    /// A pending evacuation exhausted its retry budget and was abandoned.
+    EvacLost,
+}
+
+impl FaultEventKind {
+    /// Stable snake-case name used in the JSONL export.
+    pub const fn name(self) -> &'static str {
+        match self {
+            FaultEventKind::HostFail => "host_fail",
+            FaultEventKind::HostRecover => "host_recover",
+            FaultEventKind::EvacReplaced => "evac_replaced",
+            FaultEventKind::EvacPending => "evac_pending",
+            FaultEventKind::EvacRetry => "evac_retry",
+            FaultEventKind::EvacLost => "evac_lost",
+        }
+    }
+}
+
 /// A typed observability event, as buffered by the
 /// [`JsonlRecorder`](crate::JsonlRecorder).
 #[derive(Debug, Clone, PartialEq)]
@@ -151,6 +182,19 @@ pub enum ObsEvent {
     },
     /// One scheduler decision.
     Decision(DecisionRecord),
+    /// One fault-injection step.
+    Fault {
+        /// What happened.
+        kind: FaultEventKind,
+        /// Simulation time of the event, in milliseconds.
+        sim_time_ms: u64,
+        /// Node index — the failing/recovering host, or for evacuation
+        /// events the VM's node (destination for
+        /// [`FaultEventKind::EvacReplaced`], the lost host otherwise).
+        node: u32,
+        /// The affected VM's uid; `None` for host-level events.
+        vm_uid: Option<u64>,
+    },
 }
 
 impl ObsEvent {
@@ -158,7 +202,11 @@ impl ObsEvent {
     /// stable v1 schema.
     pub fn write_json_line(&self, out: &mut String) {
         match self {
-            ObsEvent::Span { kind, ts_us, dur_us } => {
+            ObsEvent::Span {
+                kind,
+                ts_us,
+                dur_us,
+            } => {
                 out.push_str("{\"type\":\"span\",\"kind\":");
                 json::push_str(out, kind.name());
                 out.push_str(",\"ts_us\":");
@@ -213,6 +261,25 @@ impl ObsEvent {
                     out.push_str("}}");
                 }
                 out.push_str("]}");
+            }
+            ObsEvent::Fault {
+                kind,
+                sim_time_ms,
+                node,
+                vm_uid,
+            } => {
+                out.push_str("{\"type\":\"fault\",\"kind\":");
+                json::push_str(out, kind.name());
+                out.push_str(",\"sim_time_ms\":");
+                json::push_u64(out, *sim_time_ms);
+                out.push_str(",\"node\":");
+                json::push_u64(out, *node as u64);
+                out.push_str(",\"vm_uid\":");
+                match vm_uid {
+                    Some(uid) => json::push_u64(out, *uid),
+                    None => out.push_str("null"),
+                }
+                out.push('}');
             }
         }
     }
@@ -280,6 +347,44 @@ mod tests {
         assert_eq!(v["top_k"][0]["score"], 1.5);
         assert_eq!(v["top_k"][0]["weights"]["cpu"], 0.5);
         assert_eq!(v["top_k"][0]["weights"]["ram"], 1.0);
+    }
+
+    #[test]
+    fn fault_event_encodes_all_fields() {
+        let v = line(&ObsEvent::Fault {
+            kind: FaultEventKind::EvacReplaced,
+            sim_time_ms: 777,
+            node: 13,
+            vm_uid: Some(99),
+        });
+        assert_eq!(v["type"], "fault");
+        assert_eq!(v["kind"], "evac_replaced");
+        assert_eq!(v["sim_time_ms"], 777);
+        assert_eq!(v["node"], 13);
+        assert_eq!(v["vm_uid"], 99);
+
+        let v = line(&ObsEvent::Fault {
+            kind: FaultEventKind::HostFail,
+            sim_time_ms: 0,
+            node: 2,
+            vm_uid: None,
+        });
+        assert_eq!(v["kind"], "host_fail");
+        assert!(v["vm_uid"].is_null());
+    }
+
+    #[test]
+    fn fault_kinds_have_unique_stable_names() {
+        let kinds = [
+            FaultEventKind::HostFail,
+            FaultEventKind::HostRecover,
+            FaultEventKind::EvacReplaced,
+            FaultEventKind::EvacPending,
+            FaultEventKind::EvacRetry,
+            FaultEventKind::EvacLost,
+        ];
+        let names: std::collections::BTreeSet<_> = kinds.iter().map(|k| k.name()).collect();
+        assert_eq!(names.len(), kinds.len());
     }
 
     #[test]

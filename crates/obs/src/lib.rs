@@ -41,7 +41,7 @@ mod profile;
 mod recorder;
 
 pub use event::{
-    DecisionOutcome, DecisionRecord, HostScore, ObsEvent, SpanKind, DECISION_TOP_K,
+    DecisionOutcome, DecisionRecord, FaultEventKind, HostScore, ObsEvent, SpanKind, DECISION_TOP_K,
 };
 pub use profile::{PhaseStat, RunProfile};
 pub use recorder::{JsonlRecorder, NullRecorder, ObsConfig, Recorder};

@@ -223,8 +223,12 @@ impl JsonlRecorder {
             .ring
             .iter()
             .filter_map(|event| match event {
-                ObsEvent::Span { kind, ts_us, dur_us } => Some((*kind, *ts_us, *dur_us)),
-                ObsEvent::Decision(_) => None,
+                ObsEvent::Span {
+                    kind,
+                    ts_us,
+                    dur_us,
+                } => Some((*kind, *ts_us, *dur_us)),
+                ObsEvent::Decision(_) | ObsEvent::Fault { .. } => None,
             })
             .collect();
         spans.sort_by(|a, b| a.1.cmp(&b.1).then(b.2.cmp(&a.2)));
@@ -284,7 +288,11 @@ mod tests {
     use serde_json::Value;
 
     fn span(kind: SpanKind, ts_us: u64, dur_us: u64) -> ObsEvent {
-        ObsEvent::Span { kind, ts_us, dur_us }
+        ObsEvent::Span {
+            kind,
+            ts_us,
+            dur_us,
+        }
     }
 
     fn decision(vm_uid: u64) -> ObsEvent {

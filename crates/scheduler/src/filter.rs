@@ -206,11 +206,7 @@ mod tests {
 
     #[test]
     fn capacity_filters_check_free_not_total() {
-        let h = host(
-            0,
-            Resources::new(10, 1000, 100),
-            Resources::new(8, 900, 95),
-        );
+        let h = host(0, Resources::new(10, 1000, 100), Resources::new(8, 900, 95));
         assert!(ComputeFilter.check(&req(2, 1, 1), &h).is_ok());
         assert_eq!(
             ComputeFilter.check(&req(3, 1, 1), &h),

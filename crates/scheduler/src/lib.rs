@@ -33,16 +33,15 @@ mod request;
 mod weigher;
 
 pub use filter::{
-    default_filters,
-    AvailabilityZoneFilter, ComputeFilter, ComputeStatusFilter, DiskFilter, Filter,
-    PurposeFilter, RamFilter,
+    default_filters, AvailabilityZoneFilter, ComputeFilter, ComputeStatusFilter, DiskFilter,
+    Filter, PurposeFilter, RamFilter,
 };
-pub use packing::{pack_all, BinPacker, PackingOutcome, PackingStrategy};
+pub use packing::{pack_all, BinPacker, OfflineStrategyError, PackingOutcome, PackingStrategy};
 pub use pipeline::{FilterScheduler, PipelineStats, Ranking, ScheduleError};
 pub use policies::{PlacementPolicy, PolicyKind};
 pub use rebalance::{
-    CrossBbRebalancer, DrsConfig, DrsRebalancer, HostLoad, Migration, NodeLoad, Rebalancer,
-    RebalanceReport, VmLoad,
+    CrossBbRebalancer, DrsConfig, DrsRebalancer, HostLoad, Migration, NodeLoad, RebalanceReport,
+    Rebalancer, VmLoad,
 };
 pub use request::{HostView, PlacementRequest, RejectReason};
 pub use weigher::{

@@ -13,6 +13,26 @@
 use crate::request::HostView;
 use sapsim_topology::{ResourceKind, Resources};
 use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// An offline (decreasing) strategy was handed to the online
+/// [`BinPacker`], which processes items one at a time and cannot pre-sort
+/// them. Use [`pack_all`] for the decreasing variants.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OfflineStrategyError(pub PackingStrategy);
+
+impl fmt::Display for OfflineStrategyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:?} is an offline strategy; the online BinPacker cannot pre-sort items \
+             (use pack_all)",
+            self.0
+        )
+    }
+}
+
+impl std::error::Error for OfflineStrategyError {}
 
 /// The classic heuristics.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -48,14 +68,25 @@ impl PackingStrategy {
         )
     }
 
-    /// The online rule this strategy applies per item.
-    fn online_rule(self) -> PackingStrategy {
+    /// The online rule this strategy applies per item. Collapsing the
+    /// decreasing variants here (rather than at each use site) means the
+    /// per-item dispatch below is exhaustive — no `unreachable!()` on the
+    /// hot path.
+    fn online_rule(self) -> OnlineRule {
         match self {
-            PackingStrategy::FirstFitDecreasing => PackingStrategy::FirstFit,
-            PackingStrategy::BestFitDecreasing => PackingStrategy::BestFit,
-            other => other,
+            PackingStrategy::FirstFit | PackingStrategy::FirstFitDecreasing => OnlineRule::First,
+            PackingStrategy::BestFit | PackingStrategy::BestFitDecreasing => OnlineRule::Best,
+            PackingStrategy::WorstFit => OnlineRule::Worst,
         }
     }
+}
+
+/// The per-item placement rule after offline pre-sorting is factored out.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum OnlineRule {
+    First,
+    Best,
+    Worst,
 }
 
 /// An online bin-packing chooser over host views.
@@ -70,16 +101,21 @@ pub struct BinPacker {
 }
 
 impl BinPacker {
-    /// A packer using `strategy` on `dimension`.
-    pub fn new(strategy: PackingStrategy, dimension: ResourceKind) -> Self {
-        assert!(
-            !strategy.is_decreasing(),
-            "decreasing variants are offline; use pack_all"
-        );
-        BinPacker {
+    /// A packer using `strategy` on `dimension`. The decreasing variants
+    /// are offline-only and are rejected with a typed error instead of a
+    /// panic, so callers wiring a strategy from config can surface the
+    /// mistake gracefully.
+    pub fn new(
+        strategy: PackingStrategy,
+        dimension: ResourceKind,
+    ) -> Result<Self, OfflineStrategyError> {
+        if strategy.is_decreasing() {
+            return Err(OfflineStrategyError(strategy));
+        }
+        Ok(BinPacker {
             strategy,
             dimension,
-        }
+        })
     }
 
     /// Pick a host for `request` among `hosts`, honoring every dimension
@@ -92,19 +128,18 @@ impl BinPacker {
                 continue;
             }
             let remaining = h.free().get(self.dimension) - request.get(self.dimension);
-            match self.strategy {
-                PackingStrategy::FirstFit => return Some(i),
-                PackingStrategy::BestFit => {
+            match self.strategy.online_rule() {
+                OnlineRule::First => return Some(i),
+                OnlineRule::Best => {
                     if best.is_none_or(|(_, r)| remaining < r) {
                         best = Some((i, remaining));
                     }
                 }
-                PackingStrategy::WorstFit => {
+                OnlineRule::Worst => {
                     if best.is_none_or(|(_, r)| remaining > r) {
                         best = Some((i, remaining));
                     }
                 }
-                _ => unreachable!("constructor rejects offline strategies"),
             }
         }
         best.map(|(i, _)| i)
@@ -146,7 +181,10 @@ pub fn pack_all(
             items[b]
                 .get(dimension)
                 .partial_cmp(&items[a].get(dimension))
-                .expect("resource quantities are finite")
+                // A NaN quantity (impossible for well-formed resources)
+                // degrades to "equal" and the index tiebreak keeps the
+                // sort deterministic, instead of panicking mid-pack.
+                .unwrap_or(std::cmp::Ordering::Equal)
                 .then(a.cmp(&b))
         });
     }
@@ -170,21 +208,20 @@ pub fn pack_all(
             }
             let remaining = free.get(dimension) - item.get(dimension);
             match rule {
-                PackingStrategy::FirstFit => {
+                OnlineRule::First => {
                     chosen = Some((b, remaining));
                     break;
                 }
-                PackingStrategy::BestFit => {
+                OnlineRule::Best => {
                     if chosen.is_none_or(|(_, r)| remaining < r) {
                         chosen = Some((b, remaining));
                     }
                 }
-                PackingStrategy::WorstFit => {
+                OnlineRule::Worst => {
                     if chosen.is_none_or(|(_, r)| remaining > r) {
                         chosen = Some((b, remaining));
                     }
                 }
-                _ => unreachable!(),
             }
         }
         let b = match chosen {
@@ -225,7 +262,7 @@ mod tests {
             host(1, cap(10), Resources::ZERO),
             host(2, cap(10), Resources::ZERO),
         ];
-        let p = BinPacker::new(PackingStrategy::FirstFit, ResourceKind::Memory);
+        let p = BinPacker::new(PackingStrategy::FirstFit, ResourceKind::Memory).unwrap();
         assert_eq!(p.choose(&mem(2), &hosts), Some(1));
         assert_eq!(p.choose(&mem(1), &hosts), Some(0));
     }
@@ -237,7 +274,7 @@ mod tests {
             host(1, cap(10), Resources::with_memory_gib(0, 7, 0)), // 3 free
             host(2, cap(10), Resources::with_memory_gib(0, 5, 0)), // 5 free
         ];
-        let p = BinPacker::new(PackingStrategy::BestFit, ResourceKind::Memory);
+        let p = BinPacker::new(PackingStrategy::BestFit, ResourceKind::Memory).unwrap();
         assert_eq!(p.choose(&mem(3), &hosts), Some(1));
         assert_eq!(p.choose(&mem(4), &hosts), Some(2));
     }
@@ -248,7 +285,7 @@ mod tests {
             host(0, cap(10), Resources::with_memory_gib(0, 2, 0)),
             host(1, cap(10), Resources::with_memory_gib(0, 7, 0)),
         ];
-        let p = BinPacker::new(PackingStrategy::WorstFit, ResourceKind::Memory);
+        let p = BinPacker::new(PackingStrategy::WorstFit, ResourceKind::Memory).unwrap();
         assert_eq!(p.choose(&mem(1), &hosts), Some(0));
     }
 
@@ -257,15 +294,21 @@ mod tests {
         let mut h0 = host(0, cap(10), Resources::ZERO);
         h0.enabled = false;
         let hosts = vec![h0, host(1, cap(2), Resources::ZERO)];
-        let p = BinPacker::new(PackingStrategy::FirstFit, ResourceKind::Memory);
+        let p = BinPacker::new(PackingStrategy::FirstFit, ResourceKind::Memory).unwrap();
         assert_eq!(p.choose(&mem(5), &hosts), None);
         assert_eq!(p.choose(&mem(2), &hosts), Some(1));
     }
 
     #[test]
-    #[should_panic(expected = "offline")]
     fn online_packer_rejects_decreasing() {
-        let _ = BinPacker::new(PackingStrategy::FirstFitDecreasing, ResourceKind::Memory);
+        for strategy in [
+            PackingStrategy::FirstFitDecreasing,
+            PackingStrategy::BestFitDecreasing,
+        ] {
+            let err = BinPacker::new(strategy, ResourceKind::Memory).unwrap_err();
+            assert_eq!(err, OfflineStrategyError(strategy));
+            assert!(err.to_string().contains("offline"), "{err}");
+        }
     }
 
     #[test]
@@ -274,7 +317,12 @@ mod tests {
         // b0 (4 free) → b1; 4 fits b0 exactly → b0; 3→b1 (5+3=8);
         // 2→b1 (8+2=10). Two perfectly full bins.
         let items: Vec<Resources> = [6, 5, 4, 3, 2].iter().map(|&g| mem(g)).collect();
-        let out = pack_all(&items, cap(10), PackingStrategy::FirstFit, ResourceKind::Memory);
+        let out = pack_all(
+            &items,
+            cap(10),
+            PackingStrategy::FirstFit,
+            ResourceKind::Memory,
+        );
         assert_eq!(out.bin_count(), 2);
         assert_eq!(out.unplaced, 0);
         assert_eq!(
@@ -289,7 +337,12 @@ mod tests {
         // space: [4,4],[4,6],[6],[6] = 4 bins. FFD sorts to 6,6,6,4,4,4 and
         // pairs them: [6,4]×3 = 3 bins.
         let items: Vec<Resources> = [4, 4, 4, 6, 6, 6].iter().map(|&g| mem(g)).collect();
-        let ff = pack_all(&items, cap(10), PackingStrategy::FirstFit, ResourceKind::Memory);
+        let ff = pack_all(
+            &items,
+            cap(10),
+            PackingStrategy::FirstFit,
+            ResourceKind::Memory,
+        );
         let ffd = pack_all(
             &items,
             cap(10),
@@ -304,7 +357,12 @@ mod tests {
     #[test]
     fn oversized_items_are_reported_unplaced() {
         let items = vec![mem(20), mem(5)];
-        let out = pack_all(&items, cap(10), PackingStrategy::BestFit, ResourceKind::Memory);
+        let out = pack_all(
+            &items,
+            cap(10),
+            PackingStrategy::BestFit,
+            ResourceKind::Memory,
+        );
         assert_eq!(out.unplaced, 1);
         assert_eq!(out.assignments[0], None);
         assert_eq!(out.assignments[1], Some(0));
@@ -318,7 +376,12 @@ mod tests {
             Resources::with_memory_gib(2, 1, 1),
             Resources::with_memory_gib(2, 1, 1),
         ];
-        let out = pack_all(&items, capacity, PackingStrategy::FirstFit, ResourceKind::Memory);
+        let out = pack_all(
+            &items,
+            capacity,
+            PackingStrategy::FirstFit,
+            ResourceKind::Memory,
+        );
         assert_eq!(out.bin_count(), 2, "CPU forces a second bin");
     }
 

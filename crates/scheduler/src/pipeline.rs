@@ -204,7 +204,11 @@ impl FilterScheduler {
         perm.sort_by(|&a, &b| {
             totals[b]
                 .partial_cmp(&totals[a])
-                .expect("weights are finite")
+                // Weigher totals are finite by construction; if a custom
+                // weigher ever emits NaN, treat the pair as tied and fall
+                // through to the index tiebreak instead of panicking in
+                // the middle of a run.
+                .unwrap_or(std::cmp::Ordering::Equal)
                 .then_with(|| survivors[a].cmp(&survivors[b]))
         });
 
@@ -267,9 +271,21 @@ mod tests {
     #[test]
     fn spreading_prefers_the_emptiest_host() {
         let hosts = vec![
-            host(0, Resources::new(100, 1000, 100), Resources::new(80, 800, 0)),
-            host(1, Resources::new(100, 1000, 100), Resources::new(10, 100, 0)),
-            host(2, Resources::new(100, 1000, 100), Resources::new(50, 500, 0)),
+            host(
+                0,
+                Resources::new(100, 1000, 100),
+                Resources::new(80, 800, 0),
+            ),
+            host(
+                1,
+                Resources::new(100, 1000, 100),
+                Resources::new(10, 100, 0),
+            ),
+            host(
+                2,
+                Resources::new(100, 1000, 100),
+                Resources::new(50, 500, 0),
+            ),
         ];
         let mut s = spread_scheduler();
         let ranked = s.rank(&req(2, 50), &hosts).unwrap();
@@ -281,9 +297,21 @@ mod tests {
     fn negative_multiplier_bin_packs() {
         // The fullest host that still fits wins — the HANA strategy.
         let hosts = vec![
-            host(0, Resources::new(100, 1000, 100), Resources::new(80, 800, 0)),
-            host(1, Resources::new(100, 1000, 100), Resources::new(10, 100, 0)),
-            host(2, Resources::new(100, 1000, 100), Resources::new(50, 500, 0)),
+            host(
+                0,
+                Resources::new(100, 1000, 100),
+                Resources::new(80, 800, 0),
+            ),
+            host(
+                1,
+                Resources::new(100, 1000, 100),
+                Resources::new(10, 100, 0),
+            ),
+            host(
+                2,
+                Resources::new(100, 1000, 100),
+                Resources::new(50, 500, 0),
+            ),
         ];
         let mut s = pack_scheduler();
         let ranked = s.rank(&req(2, 50), &hosts).unwrap();
@@ -329,9 +357,21 @@ mod tests {
     #[test]
     fn per_weigher_scores_are_aligned_and_sum_to_totals() {
         let hosts = vec![
-            host(0, Resources::new(100, 1000, 100), Resources::new(80, 800, 0)),
-            host(1, Resources::new(100, 1000, 100), Resources::new(10, 100, 0)),
-            host(2, Resources::new(100, 1000, 100), Resources::new(50, 500, 0)),
+            host(
+                0,
+                Resources::new(100, 1000, 100),
+                Resources::new(80, 800, 0),
+            ),
+            host(
+                1,
+                Resources::new(100, 1000, 100),
+                Resources::new(10, 100, 0),
+            ),
+            host(
+                2,
+                Resources::new(100, 1000, 100),
+                Resources::new(50, 500, 0),
+            ),
         ];
         let mut s = spread_scheduler();
         let ranked = s.rank(&req(2, 50), &hosts).unwrap();
@@ -407,9 +447,21 @@ mod tests {
         // Doubling all free capacities must not change the ranking.
         let mk = |scale: u32| {
             vec![
-                host(0, Resources::new(100 * scale, 1000, 100), Resources::new(30 * scale, 0, 0)),
-                host(1, Resources::new(100 * scale, 1000, 100), Resources::new(70 * scale, 0, 0)),
-                host(2, Resources::new(100 * scale, 1000, 100), Resources::new(50 * scale, 0, 0)),
+                host(
+                    0,
+                    Resources::new(100 * scale, 1000, 100),
+                    Resources::new(30 * scale, 0, 0),
+                ),
+                host(
+                    1,
+                    Resources::new(100 * scale, 1000, 100),
+                    Resources::new(70 * scale, 0, 0),
+                ),
+                host(
+                    2,
+                    Resources::new(100 * scale, 1000, 100),
+                    Resources::new(50 * scale, 0, 0),
+                ),
             ]
         };
         let mut s1 = FilterScheduler::new(

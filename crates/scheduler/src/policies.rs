@@ -7,14 +7,12 @@
 //! kinds are the baselines and extensions the evaluation compares.
 
 use crate::filter::{
-    AvailabilityZoneFilter, ComputeFilter, ComputeStatusFilter, DiskFilter, Filter,
-    PurposeFilter, RamFilter,
+    AvailabilityZoneFilter, ComputeFilter, ComputeStatusFilter, DiskFilter, Filter, PurposeFilter,
+    RamFilter,
 };
 use crate::pipeline::{FilterScheduler, PipelineStats, Ranking, ScheduleError};
 use crate::request::{HostView, PlacementRequest};
-use crate::weigher::{
-    ContentionWeigher, CpuWeigher, LifetimeAffinityWeigher, RamWeigher, Weigher,
-};
+use crate::weigher::{ContentionWeigher, CpuWeigher, LifetimeAffinityWeigher, RamWeigher, Weigher};
 use sapsim_topology::BbPurpose;
 use serde::{Deserialize, Serialize};
 
@@ -99,9 +97,7 @@ impl PlacementPolicy {
             PolicyKind::PackMemory => {
                 FilterScheduler::new(standard_filters(), pack_memory_weighers())
             }
-            PolicyKind::PaperDefault => {
-                FilterScheduler::new(standard_filters(), spread_weighers())
-            }
+            PolicyKind::PaperDefault => FilterScheduler::new(standard_filters(), spread_weighers()),
             PolicyKind::ContentionAware => {
                 let mut w = spread_weighers();
                 // The contention signal outranks raw free capacity: a host

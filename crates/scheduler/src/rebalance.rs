@@ -164,8 +164,8 @@ impl Rebalancer {
             let hot_util = work[hot].cpu_utilization();
             let cool_util = work[cool].cpu_utilization();
             let half_gap_cores = (hot_util - cool_util) / 2.0 * work[hot].cpu_capacity;
-            let mem_room = work[cool].mem_capacity_mib * self.config.mem_ceiling
-                - work[cool].mem_used();
+            let mem_room =
+                work[cool].mem_capacity_mib * self.config.mem_ceiling - work[cool].mem_used();
             let candidate = work[hot]
                 .vms
                 .iter()

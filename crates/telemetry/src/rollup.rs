@@ -157,6 +157,45 @@ impl DailyRollup {
         }
         max
     }
+
+    /// Number of days that received at least one sample.
+    pub fn days_with_data(&self) -> usize {
+        self.days.iter().filter(|c| c.stat.count > 0).count()
+    }
+
+    /// Number of days with no samples at all — the white cells of the
+    /// paper's heatmaps (maintenance windows, host failures, telemetry
+    /// dropouts).
+    pub fn gap_days(&self) -> usize {
+        self.num_days() - self.days_with_data()
+    }
+
+    /// Fraction of days with data, in `[0, 1]`. An empty window (zero
+    /// days) counts as fully covered.
+    pub fn coverage(&self) -> f64 {
+        if self.days.is_empty() {
+            1.0
+        } else {
+            self.days_with_data() as f64 / self.num_days() as f64
+        }
+    }
+
+    /// Length of the longest run of consecutive empty days — how long the
+    /// series was dark at a stretch, which distinguishes a multi-day
+    /// outage from scattered missing samples.
+    pub fn longest_gap_days(&self) -> usize {
+        let mut longest = 0usize;
+        let mut run = 0usize;
+        for c in &self.days {
+            if c.stat.count == 0 {
+                run += 1;
+                longest = longest.max(run);
+            } else {
+                run = 0;
+            }
+        }
+        longest
+    }
 }
 
 #[cfg(test)]
@@ -240,5 +279,38 @@ mod tests {
         let mut r = DailyRollup::new(2);
         r.push(SimTime::from_days(1), 7.0);
         assert_eq!(r.daily_means(), vec![None, Some(7.0)]);
+    }
+
+    #[test]
+    fn gap_accounting_counts_empty_days() {
+        let mut r = DailyRollup::new(5);
+        // Data on days 0 and 3; days 1-2 and 4 are dark.
+        r.push(SimTime::ZERO, 1.0);
+        r.push(SimTime::from_days(3), 2.0);
+        assert_eq!(r.days_with_data(), 2);
+        assert_eq!(r.gap_days(), 3);
+        assert!((r.coverage() - 0.4).abs() < 1e-12);
+        assert_eq!(r.longest_gap_days(), 2, "days 1-2 are the longest run");
+    }
+
+    #[test]
+    fn gap_accounting_edge_cases() {
+        // Fully dark window.
+        let dark = DailyRollup::new(3);
+        assert_eq!(dark.days_with_data(), 0);
+        assert_eq!(dark.gap_days(), 3);
+        assert_eq!(dark.coverage(), 0.0);
+        assert_eq!(dark.longest_gap_days(), 3);
+        // Fully covered window.
+        let mut full = DailyRollup::new(2);
+        full.push(SimTime::ZERO, 1.0);
+        full.push(SimTime::from_days(1), 1.0);
+        assert_eq!(full.gap_days(), 0);
+        assert_eq!(full.coverage(), 1.0);
+        assert_eq!(full.longest_gap_days(), 0);
+        // Zero-day window: vacuously covered, no division by zero.
+        let empty = DailyRollup::new(0);
+        assert_eq!(empty.coverage(), 1.0);
+        assert_eq!(empty.longest_gap_days(), 0);
     }
 }

@@ -122,6 +122,10 @@ pub enum NodeState {
     /// Temporarily out of service (planned maintenance); VMs must be
     /// evacuated before entering this state.
     Maintenance,
+    /// Abruptly down (unplanned host failure injected by the fault
+    /// layer); resident VMs are evacuated through the normal scheduling
+    /// pipeline and the node is silent in telemetry until it recovers.
+    Failed,
 }
 
 /// A physical hypervisor host (VMware ESXi in the paper).
@@ -327,7 +331,11 @@ impl Topology {
     /// Total number of hypervisor nodes in a DC (the paper's Table 5
     /// "Number of Hypervisors" column).
     pub fn dc_node_count(&self, dc: DcId) -> usize {
-        self.dc(dc).bbs.iter().map(|&bb| self.bb(bb).nodes.len()).sum()
+        self.dc(dc)
+            .bbs
+            .iter()
+            .map(|&bb| self.bb(bb).nodes.len())
+            .sum()
     }
 
     /// Aggregate physical capacity of the whole inventory.

@@ -1,0 +1,92 @@
+//! Integration: golden regression snapshots of the paper tables.
+//!
+//! Fixed-seed runs render Tables 1, 2, and 5 and compare them *exactly*
+//! against snapshots under `tests/golden/`. Any behavioural drift in the
+//! workload generator, the scheduler, or the averaging math shows up as a
+//! byte diff here, with the full rendered table in the failure message.
+//!
+//! Blessing: when a snapshot file does not exist yet, the test writes the
+//! current rendering and passes (with a note on stderr). Delete a
+//! snapshot and re-run to re-bless after an intentional change; the diff
+//! then shows up in version control where it belongs.
+
+use sapsim_analysis::classify::{render_table1, render_table2, table1_by_vcpu, table2_by_ram};
+use sapsim_analysis::tables::render_table5;
+use sapsim_core::{RunResult, SimConfig, SimDriver};
+use std::path::PathBuf;
+
+/// The reference run every snapshot is rendered from: small, fast, and
+/// seeded — the same configuration the determinism suite pins down.
+fn reference_run() -> RunResult {
+    let cfg = SimConfig {
+        scale: 0.02,
+        days: 2,
+        seed: 0,
+        warmup_days: 0,
+        ..SimConfig::default()
+    };
+    SimDriver::new(cfg).expect("valid reference config").run()
+}
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("golden")
+        .join(name)
+}
+
+/// Compare `rendered` against the named snapshot, blessing it on first
+/// run.
+fn assert_matches_golden(name: &str, rendered: &str) {
+    let path = golden_path(name);
+    match std::fs::read_to_string(&path) {
+        Ok(expected) => {
+            assert!(
+                rendered == expected,
+                "{name} drifted from its golden snapshot.\n\
+                 --- expected ({}) ---\n{expected}\n--- got ---\n{rendered}\n\
+                 If the change is intentional, delete the snapshot and re-run to re-bless.",
+                path.display(),
+            );
+        }
+        Err(_) => {
+            std::fs::create_dir_all(path.parent().expect("golden dir")).expect("create golden dir");
+            std::fs::write(&path, rendered).expect("write golden snapshot");
+            eprintln!("blessed new golden snapshot: {}", path.display());
+        }
+    }
+}
+
+#[test]
+fn table1_matches_golden_snapshot() {
+    let run = reference_run();
+    assert_matches_golden(
+        "table1_vcpu_classes.txt",
+        &render_table1(&table1_by_vcpu(&run)),
+    );
+}
+
+#[test]
+fn table2_matches_golden_snapshot() {
+    let run = reference_run();
+    assert_matches_golden(
+        "table2_ram_classes.txt",
+        &render_table2(&table2_by_ram(&run)),
+    );
+}
+
+#[test]
+fn table5_matches_golden_snapshot() {
+    // Table 5 is static (the paper's DC overview), so this snapshot also
+    // guards the hard-coded figures against accidental edits.
+    assert_matches_golden("table5_dc_overview.txt", &render_table5());
+}
+
+#[test]
+fn reference_run_is_stable_for_snapshotting() {
+    // The snapshots above are only as good as the reference run's
+    // determinism: render twice, from two fresh runs, and require
+    // identical text.
+    let a = render_table1(&table1_by_vcpu(&reference_run()));
+    let b = render_table1(&table1_by_vcpu(&reference_run()));
+    assert_eq!(a, b);
+}

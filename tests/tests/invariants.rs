@@ -1,0 +1,149 @@
+//! Integration: simulation invariants under fault injection.
+//!
+//! A seed sweep with every fault kind enabled, asserting the properties
+//! that must hold on *any* run regardless of seed: capacity conservation,
+//! no VM resident on an out-of-service node, and VM-count conservation
+//! through the evacuation machinery (placed = resident + departed + lost
+//! + pending, always).
+
+use sapsim_core::{FaultSpec, SimConfig, SimDriver};
+use sapsim_topology::NodeState;
+
+/// Every fault kind switched on, aggressively enough that a 2-day run at
+/// 2 % scale sees failures, stragglers, and dropouts on most seeds.
+fn busy_faults() -> FaultSpec {
+    FaultSpec {
+        host_fail_rate_per_month: 15.0,
+        host_downtime_hours: 12.0,
+        straggler_fraction: 0.25,
+        straggler_slowdown: 0.6,
+        dropout_rate_per_month: 6.0,
+        dropout_duration_hours: 6.0,
+        ..FaultSpec::none()
+    }
+}
+
+fn cfg(seed: u64, faults: FaultSpec) -> SimConfig {
+    SimConfig {
+        scale: 0.02,
+        days: 2,
+        seed,
+        warmup_days: 0,
+        faults,
+        ..SimConfig::default()
+    }
+}
+
+fn assert_invariants(run: &sapsim_core::RunResult, label: &str) {
+    // Capacity conservation: the cloud's internal double-entry
+    // bookkeeping (per-node and per-BB allocation sums, residency lists,
+    // virtual capacity bounds) balances exactly.
+    run.cloud
+        .verify_accounting(&run.specs)
+        .unwrap_or_else(|e| panic!("{label}: accounting violated: {e}"));
+
+    // No VM is resident on a node that is out of service, and no node
+    // holds more than its virtual capacity.
+    for node in run.cloud.topology().nodes() {
+        let resident = run.cloud.vms_on_node(node.id);
+        if node.state != NodeState::Active {
+            assert!(
+                resident.is_empty(),
+                "{label}: {} is {:?} but hosts {} VMs",
+                node.id,
+                node.state,
+                resident.len()
+            );
+        }
+        let cap = run.cloud.topology().node_virtual_capacity(node.id);
+        let alloc = run.cloud.node_allocated(node.id);
+        assert!(
+            cap.fits(&alloc),
+            "{label}: {} allocation {alloc} exceeds capacity {cap}",
+            node.id
+        );
+    }
+
+    // VM conservation: everything ever placed is still resident, departed
+    // normally, was lost to the evacuation retry limit, or is still
+    // waiting in the pending-evacuation queue.
+    let s = &run.stats;
+    assert_eq!(
+        s.placed,
+        s.final_vm_count as u64 + s.departures + s.faults.evac_lost + s.faults.evac_pending_end,
+        "{label}: VM conservation (placed {} != resident {} + departed {} \
+         + lost {} + pending {})",
+        s.placed,
+        s.final_vm_count,
+        s.departures,
+        s.faults.evac_lost,
+        s.faults.evac_pending_end,
+    );
+
+    // Evacuation ledger: each displaced VM resolves at most once (the
+    // remainder departed while waiting in the pending queue, which folds
+    // into `departures`).
+    assert!(
+        s.faults.evac_replaced + s.faults.evac_lost + s.faults.evac_pending_end
+            <= s.faults.evacuated,
+        "{label}: more evacuation outcomes ({} + {} + {}) than evacuations ({})",
+        s.faults.evac_replaced,
+        s.faults.evac_lost,
+        s.faults.evac_pending_end,
+        s.faults.evacuated,
+    );
+    assert!(
+        s.faults.evac_pending_end <= s.faults.evac_pending_peak,
+        "{label}: pending queue ends above its recorded peak"
+    );
+}
+
+#[test]
+fn invariants_hold_across_a_seed_sweep_with_faults() {
+    let mut total_failures = 0u64;
+    let mut total_evacuated = 0u64;
+    for seed in 0..6 {
+        let run = SimDriver::new(cfg(seed, busy_faults()))
+            .expect("valid config")
+            .run();
+        assert_invariants(&run, &format!("seed {seed}"));
+        total_failures += run.stats.faults.host_failures;
+        total_evacuated += run.stats.faults.evacuated;
+    }
+    // The sweep genuinely exercised the fault machinery.
+    assert!(total_failures > 0, "no host failures across 6 seeds");
+    assert!(total_evacuated > 0, "no evacuations across 6 seeds");
+}
+
+#[test]
+fn invariants_hold_without_faults_too() {
+    // Control: the same assertions on fault-free runs, so a future
+    // invariant regression is attributable to the fault layer only if
+    // this control stays green.
+    for seed in [0, 3] {
+        let run = SimDriver::new(cfg(seed, FaultSpec::none()))
+            .expect("valid config")
+            .run();
+        assert!(
+            run.stats.faults.is_zero(),
+            "seed {seed}: phantom fault stats"
+        );
+        assert_invariants(&run, &format!("no-fault seed {seed}"));
+    }
+}
+
+#[test]
+fn failed_nodes_recover_and_rejoin() {
+    // With 12 h downtime inside a 48 h window, recoveries must occur and
+    // recovered nodes are Active again at the end unless they failed in
+    // the final half-day.
+    let run = SimDriver::new(cfg(1, busy_faults())).expect("valid").run();
+    let f = &run.stats.faults;
+    assert!(f.host_failures > 0);
+    assert!(
+        f.host_recoveries <= f.host_failures,
+        "recoveries ({}) cannot exceed failures ({})",
+        f.host_recoveries,
+        f.host_failures
+    );
+}
