@@ -4,12 +4,17 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::Rng;
+use sapsim_core::{Cloud, PlacementGranularity};
 use sapsim_scheduler::{
     pack_all, BinPacker, HostLoad, HostView, PackingStrategy, PlacementPolicy, PlacementRequest,
-    PolicyKind, Rebalancer, VmLoad,
+    PolicyKind, RankOptions, Ranking, Rebalancer, VmLoad,
 };
-use sapsim_sim::SimRng;
-use sapsim_topology::{AzId, BbId, BbPurpose, NodeId, ResourceKind, Resources};
+use sapsim_sim::{SimDuration, SimRng, SimTime};
+use sapsim_topology::{
+    paper_region_custom, AzId, BbId, BbPurpose, NodeId, PresetScale, ResourceKind, Resources,
+    TopologyBuilder,
+};
+use sapsim_workload::{Archetype, UsageModel, VmId, VmSpec, WorkloadClass};
 use std::hint::black_box;
 
 fn host_views(n: usize, seed: u64) -> Vec<HostView> {
@@ -54,6 +59,136 @@ fn pipeline(c: &mut Criterion) {
                 b.iter(|| policy.rank(black_box(&request), black_box(views)).unwrap())
             },
         );
+    }
+    g.finish();
+}
+
+/// A full-scale region (the paper's 1,823 nodes) with two small VMs on
+/// every node, so host views carry realistic allocation, lifetime, and
+/// bucket structure. Returns the cloud plus one extra reserved slot for
+/// the churn benchmark's transient VM.
+fn populated_cloud() -> (Cloud, Vec<VmSpec>) {
+    let (topo, _dc_a, _dc_b) = paper_region_custom(PresetScale::Full, 7, &TopologyBuilder::new());
+    let nodes: Vec<NodeId> = topo.nodes().iter().map(|n| n.id).collect();
+    let mut cloud = Cloud::new(topo);
+    let mut specs = Vec::with_capacity(nodes.len() * 2);
+    for i in 0..nodes.len() {
+        for j in 0..2u64 {
+            let id = (i as u64) * 2 + j;
+            specs.push(bench_spec(id));
+        }
+    }
+    cloud.reserve_vm_slots(specs.len() + 1);
+    for (i, s) in specs.iter().enumerate() {
+        cloud.place(i, s, nodes[i / 2], SimRng::seed_from(i as u64));
+    }
+    (cloud, specs)
+}
+
+fn bench_spec(id: u64) -> VmSpec {
+    let mut rng = SimRng::seed_from(id);
+    VmSpec {
+        id: VmId(id),
+        flavor_index: 0,
+        flavor_name: "bench".into(),
+        resources: Resources::with_memory_gib(4, 32, 50),
+        archetype: Archetype::GenericService,
+        class: WorkloadClass::GeneralPurpose,
+        usage: UsageModel::draw(Archetype::GenericService, &mut rng),
+        arrival: SimTime::ZERO,
+        age_at_arrival: SimDuration::ZERO,
+        lifetime: SimDuration::from_days(10 + id % 200),
+        resize: None,
+    }
+}
+
+/// The incremental placement hot path at production scale: a cold
+/// from-scratch view rebuild plus full rank (what every decision paid
+/// before the cache) against the warm cached path (dirty-row refresh,
+/// indexed candidate pruning, top-k partial ranking) — both with and
+/// without per-iteration churn dirtying a row.
+fn placement_hot_path(c: &mut Criterion) {
+    let mut g = c.benchmark_group("placement_hot_path");
+    let request = PlacementRequest::new(
+        u64::MAX,
+        Resources::with_memory_gib(4, 32, 50),
+        BbPurpose::GeneralPurpose,
+    );
+    let (mut cloud, specs) = populated_cloud();
+    let now = SimTime::from_days(1);
+    let churn_node = cloud.topology().bbs()[0].nodes[0];
+    let churn_spec = bench_spec(specs.len() as u64);
+    for granularity in [
+        PlacementGranularity::Node,
+        PlacementGranularity::BuildingBlock,
+    ] {
+        let label = match granularity {
+            PlacementGranularity::Node => "node",
+            PlacementGranularity::BuildingBlock => "bb",
+        };
+        g.bench_function(format!("cold_full_rank_{label}"), |b| {
+            let mut policy = PlacementPolicy::new(PolicyKind::PaperDefault);
+            b.iter(|| {
+                let views = cloud.host_views(granularity, now);
+                policy
+                    .rank(black_box(&request), black_box(&views))
+                    .unwrap()
+                    .best()
+            })
+        });
+        g.bench_function(format!("warm_cached_rank_{label}"), |b| {
+            let mut policy = PlacementPolicy::new(PolicyKind::PaperDefault);
+            let mut out = Ranking::default();
+            cloud.host_views_cached(granularity, now); // prime the cache
+            b.iter(|| {
+                let (views, index) = cloud.host_views_cached(granularity, now);
+                policy
+                    .rank_into(
+                        black_box(&request),
+                        views,
+                        RankOptions {
+                            index: Some(index),
+                            top_k: 5,
+                            count_stats: false,
+                        },
+                        &mut out,
+                    )
+                    .unwrap();
+                black_box(out.best())
+            })
+        });
+        g.bench_function(format!("warm_cached_rank_after_churn_{label}"), |b| {
+            let mut policy = PlacementPolicy::new(PolicyKind::PaperDefault);
+            let mut out = Ranking::default();
+            cloud.host_views_cached(granularity, now); // prime the cache
+            let mut seed = 0u64;
+            b.iter(|| {
+                // Dirty exactly one row, as a steady-state churn
+                // placement would, then rank through the refresh.
+                cloud.place(
+                    specs.len(),
+                    &churn_spec,
+                    churn_node,
+                    SimRng::seed_from(seed),
+                );
+                seed += 1;
+                cloud.remove(churn_spec.id);
+                let (views, index) = cloud.host_views_cached(granularity, now);
+                policy
+                    .rank_into(
+                        black_box(&request),
+                        views,
+                        RankOptions {
+                            index: Some(index),
+                            top_k: 5,
+                            count_stats: false,
+                        },
+                        &mut out,
+                    )
+                    .unwrap();
+                black_box(out.best())
+            })
+        });
     }
     g.finish();
 }
@@ -116,5 +251,5 @@ fn drs(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, pipeline, packing, drs);
+criterion_group!(benches, pipeline, placement_hot_path, packing, drs);
 criterion_main!(benches);

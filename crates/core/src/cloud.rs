@@ -2,7 +2,8 @@
 
 use crate::config::PlacementGranularity;
 use crate::hypervisor;
-use sapsim_scheduler::HostView;
+use crate::viewcache::{HostViewCache, WorldRefs};
+use sapsim_scheduler::{CandidateIndex, HostView};
 use sapsim_sim::{SimRng, SimTime, MILLIS_PER_DAY};
 use sapsim_topology::{BbId, NodeId, NodeState, Resources, Topology};
 use sapsim_workload::{UsageState, VmId, VmSpec, WorkloadClass};
@@ -100,6 +101,13 @@ pub struct Cloud {
     /// persistently light columns of the heatmaps — but the scheduler
     /// never offers them. Ordered set for deterministic iteration.
     reserved_bbs: BTreeSet<BbId>,
+    /// Incrementally maintained host-view snapshots (both granularities)
+    /// with their candidate indices. Every mutator above marks the
+    /// entries it touches; [`host_views_cached`](Cloud::host_views_cached)
+    /// refreshes only those. Pure acceleration state: never serialized,
+    /// never observable — [`host_views`](Cloud::host_views) remains the
+    /// from-scratch oracle the cache is tested against.
+    view_cache: HostViewCache,
 }
 
 impl Cloud {
@@ -129,6 +137,7 @@ impl Cloud {
             vm_slots: Vec::new(),
             vm_count: 0,
             reserved_bbs: BTreeSet::new(),
+            view_cache: HostViewCache::new(),
         }
     }
 
@@ -145,10 +154,18 @@ impl Cloud {
     /// Mark a building block as capacity reserve: it stays in telemetry
     /// but is never offered to the placement pipeline.
     pub fn set_bb_reserved(&mut self, bb: BbId, reserved: bool) {
-        if reserved {
-            self.reserved_bbs.insert(bb);
+        let changed = if reserved {
+            self.reserved_bbs.insert(bb)
         } else {
-            self.reserved_bbs.remove(&bb);
+            self.reserved_bbs.remove(&bb)
+        };
+        if changed {
+            // A reservation flip changes the `enabled` bit of the block
+            // and of every node in it.
+            self.view_cache.mark_bb_entry(bb.index());
+            for &n in &self.topo.bb(bb).nodes {
+                self.view_cache.mark_node_entry(n.index());
+            }
         }
     }
 
@@ -159,7 +176,9 @@ impl Cloud {
 
     /// Change a node's operational state (maintenance transitions).
     pub fn set_node_state(&mut self, node: NodeId, state: NodeState) {
+        let bb = self.topo.node(node).bb;
         self.topo.node_mut(node).state = state;
+        self.view_cache.mark_node(node.index(), bb.index());
     }
 
     /// Evacuate every VM off `node` to other nodes of the same building
@@ -241,7 +260,17 @@ impl Cloud {
     /// Update the cached contention hint for a node (called by the driver
     /// after each scrape).
     pub fn set_node_contention(&mut self, node: NodeId, pct: f64) {
-        self.node_contention[node.index()] = pct;
+        let i = node.index();
+        // The scrape re-reports every node each interval, mostly with an
+        // unchanged value; dirtying only on change keeps per-placement
+        // refreshes proportional to what actually moved. (A NaN never
+        // compares equal, so a pathological sample still dirties.)
+        if self.node_contention[i] == pct {
+            return;
+        }
+        self.node_contention[i] = pct;
+        let bb = self.topo.node(node).bb;
+        self.view_cache.mark_node(i, bb.index());
     }
 
     /// Most recent contention of a node (percent).
@@ -262,6 +291,11 @@ impl Cloud {
     /// Build the candidate views for the initial-placement scheduler at
     /// the requested granularity. Views are ordered by arena index, so
     /// returned candidate indices map directly to `BbId`/`NodeId` raws.
+    ///
+    /// This is the from-scratch build — O(hosts) per call. The hot path
+    /// is [`host_views_cached`](Cloud::host_views_cached), which must
+    /// return field-for-field identical views; this method stays as the
+    /// oracle that equivalence tests and benches compare against.
     pub fn host_views(&self, granularity: PlacementGranularity, now: SimTime) -> Vec<HostView> {
         match granularity {
             PlacementGranularity::BuildingBlock => self
@@ -326,6 +360,53 @@ impl Cloud {
         }
     }
 
+    /// The incrementally maintained equivalent of
+    /// [`host_views`](Cloud::host_views), plus the matching purpose×AZ
+    /// [`CandidateIndex`] for bucket pruning in the filter stage.
+    ///
+    /// Only the entries dirtied by mutations since the previous call are
+    /// rebuilt (plus a cheap `now`-dependent lifetime recomputation), so
+    /// the per-decision cost is proportional to what changed rather than
+    /// to fleet size. The returned views are field-for-field identical to
+    /// a fresh `host_views` build — `RunResult::canonical_bytes()`
+    /// equivalence across both paths is pinned by the integration suites.
+    pub fn host_views_cached(
+        &mut self,
+        granularity: PlacementGranularity,
+        now: SimTime,
+    ) -> (&[HostView], &CandidateIndex) {
+        // Destructure so the cache can be borrowed mutably while the
+        // bookkeeping arrays it reads stay immutably borrowed.
+        let Cloud {
+            topo,
+            node_virtual_cap,
+            node_alloc,
+            node_vms,
+            node_contention,
+            node_departure_sum_ms,
+            bb_virtual_cap,
+            bb_alloc,
+            reserved_bbs,
+            view_cache,
+            ..
+        } = self;
+        let world = WorldRefs {
+            topo: &*topo,
+            node_virtual_cap: &node_virtual_cap[..],
+            node_alloc: &node_alloc[..],
+            node_vms: &node_vms[..],
+            node_contention: &node_contention[..],
+            node_departure_sum_ms: &node_departure_sum_ms[..],
+            bb_virtual_cap: &bb_virtual_cap[..],
+            bb_alloc: &bb_alloc[..],
+            reserved_bbs: &*reserved_bbs,
+        };
+        match granularity {
+            PlacementGranularity::Node => view_cache.refresh_node(&world, now),
+            PlacementGranularity::BuildingBlock => view_cache.refresh_bb(&world, now),
+        }
+    }
+
     /// Pick a node for `resources` inside `bb` the way VMware's initial
     /// placement does: the active node with the lowest CPU allocation
     /// ratio that fits. Returns `None` when the block is fragmented
@@ -373,6 +454,7 @@ impl Cloud {
         self.node_departure_sum_ms[node.index()] += departure.as_millis() as f64;
         let bb = self.topo.node(node).bb;
         self.bb_alloc[bb.index()] += spec.resources;
+        self.view_cache.mark_node(node.index(), bb.index());
         let idx = spec.id.raw() as usize;
         if idx >= self.vm_slots.len() {
             self.vm_slots.resize_with(idx + 1, || None);
@@ -418,6 +500,7 @@ impl Cloud {
         self.node_departure_sum_ms[node.index()] += vm.departure.as_millis() as f64;
         let bb = self.topo.node(node).bb;
         self.bb_alloc[bb.index()] += vm.resources;
+        self.view_cache.mark_node(node.index(), bb.index());
         let idx = vm.id.raw() as usize;
         if idx >= self.vm_slots.len() {
             self.vm_slots.resize_with(idx + 1, || None);
@@ -443,6 +526,7 @@ impl Cloud {
         self.node_departure_sum_ms[node.index()] -= vm.departure.as_millis() as f64;
         let bb = self.topo.node(node).bb;
         self.bb_alloc[bb.index()] -= vm.resources;
+        self.view_cache.mark_node(node.index(), bb.index());
         Some(vm)
     }
 
@@ -475,6 +559,8 @@ impl Cloud {
         let to_bb = self.topo.node(to).bb;
         self.bb_alloc[to_bb.index()] += resources;
 
+        self.view_cache.mark_node(from.index(), from_bb.index());
+        self.view_cache.mark_node(to.index(), to_bb.index());
         self.vm_mut(id).expect("checked above").node = to;
         true
     }
@@ -496,6 +582,7 @@ impl Cloud {
         self.node_alloc[node.index()] = after;
         let bb = self.topo.node(node).bb;
         self.bb_alloc[bb.index()] = self.bb_alloc[bb.index()].saturating_sub(&old) + new;
+        self.view_cache.mark_node(node.index(), bb.index());
         self.vm_mut(id).expect("checked above").resources = new;
         true
     }
@@ -529,6 +616,8 @@ impl Cloud {
         let to_bb = self.topo.node(to).bb;
         self.bb_alloc[to_bb.index()] += new;
 
+        self.view_cache.mark_node(from.index(), from_bb.index());
+        self.view_cache.mark_node(to.index(), to_bb.index());
         let vm = self.vm_mut(id).expect("checked above");
         vm.node = to;
         vm.resources = new;
@@ -877,6 +966,93 @@ mod tests {
             "failed resize leaves state unchanged"
         );
         cloud.verify_accounting(&specs).unwrap();
+    }
+
+    fn assert_cache_coherent(cloud: &mut Cloud, now: SimTime) {
+        for granularity in [
+            PlacementGranularity::Node,
+            PlacementGranularity::BuildingBlock,
+        ] {
+            let naive = cloud.host_views(granularity, now);
+            let (cached, index) = cloud.host_views_cached(granularity, now);
+            assert_eq!(cached, &naive[..], "{granularity:?} views diverged");
+            assert_eq!(index.len(), naive.len());
+            for bucket in index.buckets() {
+                let expect = bucket
+                    .hosts
+                    .iter()
+                    .filter(|&&h| !naive[h as usize].enabled)
+                    .count() as u32;
+                assert_eq!(
+                    bucket.disabled, expect,
+                    "{granularity:?} bucket disabled count drift"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cached_views_track_every_mutator() {
+        let (mut cloud, _) = tiny_cloud();
+        let nodes = cloud.topology().bbs()[0].nodes.clone();
+        let mut now = SimTime::ZERO;
+        assert_cache_coherent(&mut cloud, now);
+
+        cloud.place(0, &spec(0, 4, 32, 20), nodes[0], SimRng::seed_from(1));
+        assert_cache_coherent(&mut cloud, now);
+
+        // Time-only advance: no dirty entries, but the lifetime column
+        // must still follow `now`.
+        now = SimTime::from_days(1);
+        assert_cache_coherent(&mut cloud, now);
+
+        cloud.set_node_contention(nodes[1], 35.0);
+        cloud.migrate(VmId(0), nodes[2]);
+        assert_cache_coherent(&mut cloud, now);
+
+        cloud.set_node_state(nodes[2], NodeState::Failed);
+        assert_cache_coherent(&mut cloud, now);
+        cloud.set_node_state(nodes[2], NodeState::Active);
+
+        cloud.resize_in_place(VmId(0), Resources::with_memory_gib(8, 64, 10));
+        cloud.resize_to_node(VmId(0), Resources::with_memory_gib(2, 16, 10), nodes[1]);
+        assert_cache_coherent(&mut cloud, now);
+
+        cloud.set_bb_reserved(BbId::from_raw(0), true);
+        assert_cache_coherent(&mut cloud, now);
+        cloud.set_bb_reserved(BbId::from_raw(0), false);
+
+        cloud.remove(VmId(0));
+        now = SimTime::from_days(2);
+        assert_cache_coherent(&mut cloud, now);
+    }
+
+    #[test]
+    fn cached_index_tracks_reservation_and_state_disabling() {
+        let (mut cloud, _) = tiny_cloud();
+        let now = SimTime::ZERO;
+        // Prime both layers.
+        assert_cache_coherent(&mut cloud, now);
+
+        // Reserving the only block disables the BB entry and all nodes.
+        cloud.set_bb_reserved(BbId::from_raw(0), true);
+        {
+            let (views, index) = cloud.host_views_cached(PlacementGranularity::Node, now);
+            assert!(views.iter().all(|v| !v.enabled));
+            assert_eq!(index.buckets().iter().map(|b| b.disabled).sum::<u32>(), 3);
+        }
+        cloud.set_bb_reserved(BbId::from_raw(0), false);
+        assert_cache_coherent(&mut cloud, now);
+
+        // A failed node disables its node entry; the block stays enabled
+        // while any sibling is active.
+        let node = cloud.topology().bbs()[0].nodes[0];
+        cloud.set_node_state(node, NodeState::Failed);
+        {
+            let (views, _) = cloud.host_views_cached(PlacementGranularity::BuildingBlock, now);
+            assert!(views[0].enabled, "one failed node must not disable the BB");
+        }
+        assert_cache_coherent(&mut cloud, now);
     }
 
     #[test]

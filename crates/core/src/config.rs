@@ -99,6 +99,15 @@ pub struct SimConfig {
     /// canonical bytes are unchanged.
     #[serde(default, skip_serializing_if = "FaultSpec::is_none")]
     pub faults: FaultSpec,
+    /// Equivalence oracle: rebuild every host view from scratch on every
+    /// placement decision instead of using the incremental host-view
+    /// cache and its candidate index. The cached and naive paths are
+    /// bit-identical by contract (the equivalence suites pin it), so this
+    /// is a pure execution knob for tests and benchmarks — it never
+    /// affects results and is therefore skipped in serialized configs and
+    /// canonical bytes.
+    #[serde(skip)]
+    pub naive_host_views: bool,
 }
 
 impl Default for SimConfig {
@@ -126,6 +135,7 @@ impl Default for SimConfig {
             warmup_days: 7,
             threads: 0,
             faults: FaultSpec::none(),
+            naive_host_views: false,
         }
     }
 }

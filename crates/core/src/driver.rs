@@ -12,7 +12,8 @@ use sapsim_obs::{
     RunProfile, SpanKind, DECISION_TOP_K,
 };
 use sapsim_scheduler::{
-    HostLoad, PlacementPolicy, PlacementRequest, Ranking, Rebalancer, RejectReason, VmLoad,
+    HostLoad, PlacementPolicy, PlacementRequest, RankOptions, Ranking, Rebalancer, RejectReason,
+    ScheduleError, VmLoad,
 };
 use sapsim_sim::par::join_chunks2;
 use sapsim_sim::{SimDuration, SimRng, SimTime, Simulation};
@@ -123,6 +124,10 @@ struct DriverScratch {
     bb_loads: Vec<HostLoad<BbId>>,
     /// Recycled per-host VM-load vectors for both rebalancers.
     vm_load_pool: Vec<Vec<VmLoad>>,
+    /// Recycled ranking output for every placement, resize, and
+    /// evacuation rank pass: the order/score/contribution vectors live
+    /// for the whole run instead of being reallocated per decision.
+    ranking: Ranking,
 }
 
 /// Runs one complete simulation from a [`SimConfig`].
@@ -249,6 +254,7 @@ impl SimDriver {
             node_loads: Vec::new(),
             bb_loads: Vec::new(),
             vm_load_pool: Vec::new(),
+            ranking: Ranking::default(),
         };
         let mut vm_stats: Vec<VmUsageSummary> = specs
             .iter()
@@ -368,6 +374,7 @@ impl SimDriver {
                         &vm_rng_root,
                         ci_farm_exists,
                         rec,
+                        &mut scratch.ranking,
                     );
                     span_end(rec, &mut profile, SpanKind::Placement, run_start, t0);
                     match outcome {
@@ -429,6 +436,7 @@ impl SimDriver {
                         &vm_az,
                         now,
                         &mut stats,
+                        &mut scratch.ranking,
                     );
                 }
                 Event::Scrape => {
@@ -546,7 +554,7 @@ impl SimDriver {
                             rec.counter_add("fault_evacuations", 1);
                         }
                         match Self::evac_target(
-                            &cloud,
+                            &mut cloud,
                             &mut policy,
                             cfg,
                             &specs,
@@ -554,6 +562,7 @@ impl SimDriver {
                             ci_farm_exists,
                             &vm,
                             now,
+                            &mut scratch.ranking,
                         ) {
                             Some(target) => {
                                 cloud.readmit(vm, target);
@@ -620,7 +629,7 @@ impl SimDriver {
                         continue;
                     }
                     let target = Self::evac_target(
-                        &cloud,
+                        &mut cloud,
                         &mut policy,
                         cfg,
                         &specs,
@@ -628,6 +637,7 @@ impl SimDriver {
                         ci_farm_exists,
                         &pending[pos].vm,
                         now,
+                        &mut scratch.ranking,
                     );
                     match target {
                         Some(node) => {
@@ -756,6 +766,55 @@ impl SimDriver {
         )
     }
 
+    /// Rank one placement request against the current world, writing into
+    /// the reusable `out` buffers.
+    ///
+    /// The default path reads the incremental host-view cache and prunes
+    /// through its purpose×AZ candidate index, ranking only a `top_k`
+    /// head; the walk helpers extend past the head by re-ranking
+    /// exhaustively when needed. With
+    /// [`naive_host_views`](SimConfig::naive_host_views) set, the views
+    /// are rebuilt from scratch and ranked fully — the equivalence oracle.
+    /// Both paths produce byte-identical runs; the equivalence suites pin
+    /// that contract.
+    #[allow(clippy::too_many_arguments)]
+    fn rank_request(
+        cloud: &mut Cloud,
+        policy: &mut PlacementPolicy,
+        cfg: &SimConfig,
+        request: &PlacementRequest,
+        now: SimTime,
+        top_k: usize,
+        count_stats: bool,
+        out: &mut Ranking,
+    ) -> Result<(), ScheduleError> {
+        if cfg.naive_host_views {
+            let views = cloud.host_views(cfg.granularity, now);
+            policy.rank_into(
+                request,
+                &views,
+                RankOptions {
+                    index: None,
+                    top_k: usize::MAX,
+                    count_stats,
+                },
+                out,
+            )
+        } else {
+            let (views, index) = cloud.host_views_cached(cfg.granularity, now);
+            policy.rank_into(
+                request,
+                views,
+                RankOptions {
+                    index: Some(index),
+                    top_k,
+                    count_stats,
+                },
+                out,
+            )
+        }
+    }
+
     /// Handle a planned resize: in place if the node has room, otherwise
     /// re-schedule region-wide with the new size (Nova's resize path); if
     /// no capacity exists anywhere the VM keeps its old flavor.
@@ -769,6 +828,7 @@ impl SimDriver {
         vm_az: &[sapsim_topology::AzId],
         now: SimTime,
         stats: &mut DriverStats,
+        ranking: &mut Ranking,
     ) {
         let Some(vm) = cloud.vm(id) else {
             return; // Never placed (placement failed at arrival).
@@ -784,9 +844,36 @@ impl SimDriver {
         }
         let request = PlacementRequest::new(id.raw(), new, spec.class.required_bb_purpose())
             .in_az(vm_az[spec_index]);
-        let views = cloud.host_views(cfg.granularity, now);
-        if let Ok(ranked) = policy.rank(&request, &views) {
-            for &candidate in &ranked.order {
+        if Self::rank_request(
+            cloud,
+            policy,
+            cfg,
+            &request,
+            now,
+            DECISION_TOP_K,
+            true,
+            ranking,
+        )
+        .is_ok()
+        {
+            let mut pos = 0usize;
+            while pos < ranking.order.len() {
+                if pos >= ranking.sorted_len {
+                    // Extend the walk past the ranked head; see `place_vm`.
+                    Self::rank_request(
+                        cloud,
+                        policy,
+                        cfg,
+                        &request,
+                        now,
+                        usize::MAX,
+                        false,
+                        ranking,
+                    )
+                    .expect("re-rank of a non-empty survivor set succeeds");
+                }
+                let candidate = ranking.order[pos];
+                pos += 1;
                 let node = match cfg.granularity {
                     PlacementGranularity::BuildingBlock => {
                         match cloud.choose_node_within_bb(BbId::from_raw(candidate as u32), &new) {
@@ -824,6 +911,7 @@ impl SimDriver {
         vm_rng_root: &SimRng,
         ci_farm_exists: bool,
         rec: &mut R,
+        ranking: &mut Ranking,
     ) -> PlacementOutcome {
         let mut purpose = spec.class.required_bb_purpose();
         if purpose == BbPurpose::CiFarm && !ci_farm_exists {
@@ -835,42 +923,69 @@ impl SimDriver {
         // residual lifetime, an upper bound on what prediction can achieve.
         request = request.with_lifetime_hint((spec.lifetime - spec.age_at_arrival).as_days_f64());
 
-        let views = cloud.host_views(cfg.granularity, now);
-        let ranked = match policy.rank(&request, &views) {
-            Ok(r) => r,
-            Err(err) => {
-                if R::ENABLED {
-                    for &(reason, n) in &err.rejections {
-                        rec.counter_add(rejection_counter(reason), n as u64);
-                    }
-                    if rec.wants_decision(spec.id.raw()) {
-                        rec.record(ObsEvent::Decision(DecisionRecord {
-                            sim_time_ms: now.as_millis(),
-                            vm_uid: spec.id.raw(),
-                            candidates: views.len() as u32,
-                            retries: 0,
-                            outcome: DecisionOutcome::NoCandidate,
-                            chosen_host: None,
-                            rejections: err
-                                .rejections
-                                .iter()
-                                .map(|&(reason, n)| (reason.label(), n as u32))
-                                .collect(),
-                            top_k: Vec::new(),
-                        }));
-                    }
+        if let Err(err) = Self::rank_request(
+            cloud,
+            policy,
+            cfg,
+            &request,
+            now,
+            DECISION_TOP_K,
+            true,
+            ranking,
+        ) {
+            if R::ENABLED {
+                for &(reason, n) in &err.rejections {
+                    rec.counter_add(rejection_counter(reason), n as u64);
                 }
-                return PlacementOutcome::NoCandidate;
+                if rec.wants_decision(spec.id.raw()) {
+                    rec.record(ObsEvent::Decision(DecisionRecord {
+                        sim_time_ms: now.as_millis(),
+                        vm_uid: spec.id.raw(),
+                        candidates: err.candidates,
+                        retries: 0,
+                        outcome: DecisionOutcome::NoCandidate,
+                        chosen_host: None,
+                        rejections: err
+                            .rejections
+                            .iter()
+                            .map(|&(reason, n)| (reason.label(), n))
+                            .collect(),
+                        top_k: Vec::new(),
+                    }));
+                }
             }
-        };
+            return PlacementOutcome::NoCandidate;
+        }
         if R::ENABLED {
-            for &(reason, n) in &ranked.rejections {
+            for &(reason, n) in &ranking.rejections {
                 rec.counter_add(rejection_counter(reason), n as u64);
             }
         }
 
         let mut retries = 0u32;
-        for &candidate in &ranked.order {
+        let mut pos = 0usize;
+        while pos < ranking.order.len() {
+            if pos >= ranking.sorted_len {
+                // The ranked head is exhausted (every sorted candidate was
+                // fragmented): extend the walk by re-ranking the same
+                // request exhaustively. Failed attempts never mutate the
+                // cloud, so the full order's head reproduces the head just
+                // walked, and `count_stats: false` keeps the continuation
+                // invisible to pipeline statistics and counters.
+                Self::rank_request(
+                    cloud,
+                    policy,
+                    cfg,
+                    &request,
+                    now,
+                    usize::MAX,
+                    false,
+                    ranking,
+                )
+                .expect("re-rank of a non-empty survivor set succeeds");
+            }
+            let candidate = ranking.order[pos];
+            pos += 1;
             let node = match cfg.granularity {
                 PlacementGranularity::BuildingBlock => {
                     let bb = BbId::from_raw(candidate as u32);
@@ -891,7 +1006,7 @@ impl SimDriver {
             cloud.place(spec_index, spec, node, rng);
             if R::ENABLED && rec.wants_decision(spec.id.raw()) {
                 rec.record(ObsEvent::Decision(Self::decision_from(
-                    &ranked,
+                    ranking,
                     now,
                     spec.id.raw(),
                     retries,
@@ -903,7 +1018,7 @@ impl SimDriver {
         }
         if R::ENABLED && rec.wants_decision(spec.id.raw()) {
             rec.record(ObsEvent::Decision(Self::decision_from(
-                &ranked,
+                ranking,
                 now,
                 spec.id.raw(),
                 retries,
@@ -925,7 +1040,7 @@ impl SimDriver {
     /// arrival placements.
     #[allow(clippy::too_many_arguments)]
     fn evac_target(
-        cloud: &Cloud,
+        cloud: &mut Cloud,
         policy: &mut PlacementPolicy,
         cfg: &SimConfig,
         specs: &[VmSpec],
@@ -933,6 +1048,7 @@ impl SimDriver {
         ci_farm_exists: bool,
         vm: &PlacedVm,
         now: SimTime,
+        ranking: &mut Ranking,
     ) -> Option<NodeId> {
         let spec = &specs[vm.spec_index];
         let mut purpose = spec.class.required_bb_purpose();
@@ -947,9 +1063,35 @@ impl SimDriver {
         let request = PlacementRequest::new(vm.id.raw(), vm.resources, purpose)
             .in_az(vm_az[vm.spec_index])
             .with_lifetime_hint(residual_days);
-        let views = cloud.host_views(cfg.granularity, now);
-        let ranked = policy.rank(&request, &views).ok()?;
-        for &candidate in &ranked.order {
+        Self::rank_request(
+            cloud,
+            policy,
+            cfg,
+            &request,
+            now,
+            DECISION_TOP_K,
+            true,
+            ranking,
+        )
+        .ok()?;
+        let mut pos = 0usize;
+        while pos < ranking.order.len() {
+            if pos >= ranking.sorted_len {
+                // Extend the walk past the ranked head; see `place_vm`.
+                Self::rank_request(
+                    cloud,
+                    policy,
+                    cfg,
+                    &request,
+                    now,
+                    usize::MAX,
+                    false,
+                    ranking,
+                )
+                .expect("re-rank of a non-empty survivor set succeeds");
+            }
+            let candidate = ranking.order[pos];
+            pos += 1;
             match cfg.granularity {
                 PlacementGranularity::BuildingBlock => {
                     let bb = BbId::from_raw(candidate as u32);
@@ -987,7 +1129,7 @@ impl SimDriver {
         DecisionRecord {
             sim_time_ms: now.as_millis(),
             vm_uid,
-            candidates: ranked.candidates as u32,
+            candidates: ranked.candidates,
             retries,
             outcome,
             chosen_host: chosen.map(|n| n.index() as u32),
@@ -1673,6 +1815,38 @@ mod tests {
         let b = SimDriver::new(faulty_cfg(19)).unwrap().run();
         assert_eq!(a.stats, b.stats);
         assert_eq!(a.canonical_bytes(), b.canonical_bytes());
+    }
+
+    #[test]
+    fn cached_views_match_the_naive_oracle() {
+        for granularity in [
+            PlacementGranularity::BuildingBlock,
+            PlacementGranularity::Node,
+        ] {
+            let mut cfg = SimConfig::smoke_test();
+            cfg.seed = 23;
+            cfg.granularity = granularity;
+            let cached = SimDriver::new(cfg).unwrap().run();
+            cfg.naive_host_views = true;
+            let naive = SimDriver::new(cfg).unwrap().run();
+            assert_eq!(cached.stats, naive.stats, "{granularity:?}");
+            assert_eq!(
+                cached.canonical_bytes(),
+                naive.canonical_bytes(),
+                "{granularity:?}: the cached hot path must be byte-identical \
+                 to the from-scratch oracle"
+            );
+        }
+    }
+
+    #[test]
+    fn cached_views_match_the_naive_oracle_under_faults() {
+        let mut cfg = faulty_cfg(24);
+        let cached = SimDriver::new(cfg).unwrap().run();
+        cfg.naive_host_views = true;
+        let naive = SimDriver::new(cfg).unwrap().run();
+        assert_eq!(cached.stats, naive.stats);
+        assert_eq!(cached.canonical_bytes(), naive.canonical_bytes());
     }
 
     #[test]

@@ -31,6 +31,7 @@ mod config;
 mod driver;
 pub mod hypervisor;
 mod result;
+mod viewcache;
 
 pub use cloud::{Cloud, PlacedVm, PlacementOutcome};
 pub use config::{PlacementGranularity, SimConfig};

@@ -1,0 +1,177 @@
+//! Purpose×AZ-partitioned candidate index.
+//!
+//! Host purpose and availability zone never change at runtime, so hosts
+//! partition statically into buckets keyed by `(purpose, az)`. A request
+//! pins a purpose and (optionally) an AZ, which makes whole buckets
+//! infeasible at once: the filter stage only walks the feasible buckets
+//! and attributes every pruned host to the exact [`RejectReason`] the
+//! full filter chain would have emitted (see
+//! [`FilterScheduler::rank_into`](crate::FilterScheduler::rank_into)).
+//! Only the `enabled` flag of a host varies over time; the index tracks a
+//! per-bucket disabled count so pruned-bucket rejection attribution stays
+//! exact without touching the views.
+
+use crate::request::HostView;
+use sapsim_topology::{AzId, BbPurpose};
+
+/// One static partition of the host slice: every host sharing a
+/// `(purpose, az)` pair, in ascending host order.
+#[derive(Debug, Clone)]
+pub struct Bucket {
+    /// Reservation class shared by every host in the bucket.
+    pub purpose: BbPurpose,
+    /// Availability zone shared by every host in the bucket.
+    pub az: AzId,
+    /// Indices into the host slice the index was built from, ascending.
+    pub hosts: Vec<u32>,
+    /// How many of `hosts` are currently disabled (`!enabled`).
+    pub disabled: u32,
+}
+
+/// The purpose×AZ candidate index over one host slice.
+///
+/// Built once from a freshly constructed view slice; afterwards only
+/// [`set_enabled`](CandidateIndex::set_enabled) mutations are needed,
+/// because purpose, AZ, and the host count are fixed for the lifetime of
+/// a topology.
+#[derive(Debug, Clone, Default)]
+pub struct CandidateIndex {
+    buckets: Vec<Bucket>,
+    /// Mirror of each host's `enabled` flag, making `set_enabled`
+    /// idempotent.
+    enabled: Vec<bool>,
+    /// Owning bucket of each host.
+    bucket_of: Vec<u32>,
+}
+
+impl CandidateIndex {
+    /// Partition `hosts` by `(purpose, az)`. Bucket order is first
+    /// appearance, host order within a bucket is ascending — both
+    /// deterministic functions of the input slice.
+    pub fn build(hosts: &[HostView]) -> Self {
+        let mut buckets: Vec<Bucket> = Vec::new();
+        let mut enabled = Vec::with_capacity(hosts.len());
+        let mut bucket_of = Vec::with_capacity(hosts.len());
+        for (i, h) in hosts.iter().enumerate() {
+            enabled.push(h.enabled);
+            let pos = match buckets
+                .iter()
+                .position(|b| b.purpose == h.purpose && b.az == h.az)
+            {
+                Some(p) => p,
+                None => {
+                    buckets.push(Bucket {
+                        purpose: h.purpose,
+                        az: h.az,
+                        hosts: Vec::new(),
+                        disabled: 0,
+                    });
+                    buckets.len() - 1
+                }
+            };
+            bucket_of.push(pos as u32);
+            buckets[pos].hosts.push(i as u32);
+            if !h.enabled {
+                buckets[pos].disabled += 1;
+            }
+        }
+        CandidateIndex {
+            buckets,
+            enabled,
+            bucket_of,
+        }
+    }
+
+    /// Number of hosts covered by the index.
+    pub fn len(&self) -> usize {
+        self.enabled.len()
+    }
+
+    /// True when the index covers no hosts.
+    pub fn is_empty(&self) -> bool {
+        self.enabled.is_empty()
+    }
+
+    /// The partitions, in first-appearance order.
+    pub fn buckets(&self) -> &[Bucket] {
+        &self.buckets
+    }
+
+    /// Record a change of `host`'s enabled flag, keeping the owning
+    /// bucket's disabled count exact. Idempotent: re-reporting the
+    /// current state is a no-op.
+    pub fn set_enabled(&mut self, host: usize, now_enabled: bool) {
+        if self.enabled[host] == now_enabled {
+            return;
+        }
+        self.enabled[host] = now_enabled;
+        let bucket = &mut self.buckets[self.bucket_of[host] as usize];
+        if now_enabled {
+            bucket.disabled -= 1;
+        } else {
+            bucket.disabled += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::test_support::host;
+    use sapsim_topology::Resources;
+
+    fn mixed_hosts() -> Vec<HostView> {
+        // Interleave two AZs and two purposes so buckets are non-trivial:
+        // az = i % 2, purpose = Hana for i in {4, 5}.
+        (0..6u32)
+            .map(|i| {
+                let mut h = host(i, Resources::new(10, 100, 100), Resources::ZERO);
+                h.az = AzId::from_raw(i % 2);
+                if i >= 4 {
+                    h.purpose = BbPurpose::Hana;
+                }
+                h
+            })
+            .collect()
+    }
+
+    #[test]
+    fn buckets_partition_every_host_exactly_once() {
+        let hosts = mixed_hosts();
+        let index = CandidateIndex::build(&hosts);
+        assert_eq!(index.len(), hosts.len());
+        let mut seen: Vec<u32> = index
+            .buckets()
+            .iter()
+            .flat_map(|b| b.hosts.iter().copied())
+            .collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..hosts.len() as u32).collect::<Vec<_>>());
+        for b in index.buckets() {
+            assert!(b.hosts.windows(2).all(|w| w[0] < w[1]), "ascending order");
+            for &i in &b.hosts {
+                let h = &hosts[i as usize];
+                assert_eq!((h.purpose, h.az), (b.purpose, b.az));
+            }
+        }
+        // 2 GP AZs + 2 HANA AZs.
+        assert_eq!(index.buckets().len(), 4);
+    }
+
+    #[test]
+    fn disabled_counts_follow_set_enabled_idempotently() {
+        let mut hosts = mixed_hosts();
+        hosts[0].enabled = false;
+        let mut index = CandidateIndex::build(&hosts);
+        let count =
+            |idx: &CandidateIndex| -> u32 { idx.buckets().iter().map(|b| b.disabled).sum() };
+        assert_eq!(count(&index), 1);
+        index.set_enabled(0, false); // no-op: already disabled
+        assert_eq!(count(&index), 1);
+        index.set_enabled(3, false);
+        assert_eq!(count(&index), 2);
+        index.set_enabled(0, true);
+        index.set_enabled(3, true);
+        assert_eq!(count(&index), 0);
+    }
+}

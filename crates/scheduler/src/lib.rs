@@ -25,6 +25,7 @@
 #![warn(missing_docs)]
 
 mod filter;
+mod index;
 mod packing;
 mod pipeline;
 mod policies;
@@ -36,8 +37,9 @@ pub use filter::{
     default_filters, AvailabilityZoneFilter, ComputeFilter, ComputeStatusFilter, DiskFilter,
     Filter, PurposeFilter, RamFilter,
 };
+pub use index::{Bucket, CandidateIndex};
 pub use packing::{pack_all, BinPacker, OfflineStrategyError, PackingOutcome, PackingStrategy};
-pub use pipeline::{FilterScheduler, PipelineStats, Ranking, ScheduleError};
+pub use pipeline::{FilterScheduler, PipelineStats, RankOptions, Ranking, ScheduleError};
 pub use policies::{PlacementPolicy, PolicyKind};
 pub use rebalance::{
     CrossBbRebalancer, DrsConfig, DrsRebalancer, HostLoad, Migration, NodeLoad, RebalanceReport,

@@ -1,6 +1,7 @@
 //! The filter-and-weigher pipeline: Nova's scheduler core.
 
 use crate::filter::Filter;
+use crate::index::CandidateIndex;
 use crate::request::{HostView, PlacementRequest, RejectReason};
 use crate::weigher::Weigher;
 use std::collections::BTreeMap;
@@ -12,7 +13,9 @@ pub struct ScheduleError {
     /// How many candidates each reason eliminated, sorted by count
     /// descending, then by reason — a stable order, independent of hash
     /// state.
-    pub rejections: Vec<(RejectReason, usize)>,
+    pub rejections: Vec<(RejectReason, u32)>,
+    /// Size of the candidate set examined (all of which were eliminated).
+    pub candidates: u32,
 }
 
 impl fmt::Display for ScheduleError {
@@ -45,13 +48,51 @@ pub struct PipelineStats {
     pub rejections: BTreeMap<RejectReason, u64>,
 }
 
+/// Execution options for one [`FilterScheduler::rank_into`] pass.
+#[derive(Debug, Clone, Copy)]
+pub struct RankOptions<'a> {
+    /// Purpose×AZ candidate index over the host slice, letting the filter
+    /// stage skip whole infeasible buckets. `None` scans every host.
+    /// Pruned hosts are still counted under the exact [`RejectReason`]
+    /// the filter chain would have emitted, so rejection attribution is
+    /// identical either way — but only for the standard filter chain
+    /// (status, AZ, purpose, then capacity), which is what every built-in
+    /// policy runs.
+    pub index: Option<&'a CandidateIndex>,
+    /// Sort only the best `top_k` entries of the result (partial
+    /// selection); the tail of [`Ranking::order`] beyond
+    /// [`Ranking::sorted_len`] is then unsorted. `usize::MAX` (or `0`, or
+    /// anything ≥ the survivor count) requests the classic full stable
+    /// sort.
+    pub top_k: usize,
+    /// Update [`PipelineStats`] and record this pass's rejections as new
+    /// events. Pass `false` when re-ranking the same request against an
+    /// unchanged world (to extend a top-k head), so nothing is counted
+    /// twice.
+    pub count_stats: bool,
+}
+
+impl RankOptions<'static> {
+    /// The classic behaviour: full scan, full sort, stats counted.
+    pub fn exhaustive() -> Self {
+        RankOptions {
+            index: None,
+            top_k: usize::MAX,
+            count_stats: true,
+        }
+    }
+}
+
 /// The structured result of one successful pipeline pass: the ranked
 /// survivors plus everything the filter and weigher stages learned on the
 /// way — enough to audit the decision without a second pass.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct Ranking {
     /// Surviving candidates as indices into the `hosts` slice passed to
-    /// [`FilterScheduler::rank`], best first.
+    /// [`FilterScheduler::rank`], best first. Only the first
+    /// [`sorted_len`](Ranking::sorted_len) entries are ordered; the rest
+    /// (present only after a top-k pass) are the remaining survivors in
+    /// unspecified order.
     pub order: Vec<usize>,
     /// Combined (multiplier-weighted, normalized) score of each entry in
     /// `order`, aligned index-for-index.
@@ -65,7 +106,10 @@ pub struct Ranking {
     /// order. Empty when every candidate survived.
     pub rejections: Vec<(RejectReason, u32)>,
     /// Size of the candidate set examined (survivors + eliminated).
-    pub candidates: usize,
+    pub candidates: u32,
+    /// How many leading entries of `order` are guaranteed best-first.
+    /// Equal to `order.len()` after a full sort.
+    pub sorted_len: usize,
 }
 
 impl Ranking {
@@ -87,6 +131,18 @@ impl Ranking {
     }
 }
 
+/// Reused buffers for the rank hot path, mirroring `DriverScratch` in the
+/// driver: after the first call, a steady-state rank allocates nothing.
+#[derive(Debug, Default)]
+struct RankScratch {
+    survivors: Vec<usize>,
+    totals: Vec<f64>,
+    perm: Vec<usize>,
+    /// Recycled per-weigher contribution vectors: popped when a weigher
+    /// needs one, pushed back when the previous output is cleared.
+    contrib_pool: Vec<Vec<f64>>,
+}
+
 /// An OpenStack-Nova-style scheduler: a filter chain followed by a set of
 /// multiplier-weighted weighers (paper Figure 3).
 ///
@@ -99,6 +155,7 @@ pub struct FilterScheduler {
     filters: Vec<Box<dyn Filter>>,
     weighers: Vec<(f64, Box<dyn Weigher>)>,
     stats: PipelineStats,
+    scratch: RankScratch,
 }
 
 impl fmt::Debug for FilterScheduler {
@@ -129,6 +186,7 @@ impl FilterScheduler {
             filters,
             weighers,
             stats: PipelineStats::default(),
+            scratch: RankScratch::default(),
         }
     }
 
@@ -151,42 +209,144 @@ impl FilterScheduler {
         request: &PlacementRequest,
         hosts: &[HostView],
     ) -> Result<Ranking, ScheduleError> {
-        self.stats.requests += 1;
+        let mut out = Ranking::default();
+        self.rank_into(request, hosts, RankOptions::exhaustive(), &mut out)?;
+        Ok(out)
+    }
 
-        // Filter stage.
-        let mut survivors: Vec<usize> = Vec::with_capacity(hosts.len());
-        let mut rejections: BTreeMap<RejectReason, u32> = BTreeMap::new();
-        'candidates: for (i, host) in hosts.iter().enumerate() {
-            for f in &self.filters {
-                if let Err(reason) = f.check(request, host) {
-                    *rejections.entry(reason).or_insert(0) += 1;
-                    *self.stats.rejections.entry(reason).or_insert(0) += 1;
-                    continue 'candidates;
-                }
-            }
-            survivors.push(i);
+    /// The hot-path form of [`rank`](FilterScheduler::rank): writes into a
+    /// caller-owned [`Ranking`] (whose buffers are recycled), optionally
+    /// prunes whole infeasible buckets through a [`CandidateIndex`], and
+    /// optionally sorts only the top-k head. With
+    /// [`RankOptions::exhaustive`] the written `Ranking` is identical to
+    /// what `rank` returns — the index and top-k variants preserve the
+    /// survivor set, scores, rejection counts, and the sorted head
+    /// bit-for-bit (the weigher comparator is a strict total order for
+    /// finite scores, so partial selection agrees with the stable full
+    /// sort; a custom weigher emitting NaN must not use `top_k`).
+    pub fn rank_into(
+        &mut self,
+        request: &PlacementRequest,
+        hosts: &[HostView],
+        opts: RankOptions<'_>,
+        out: &mut Ranking,
+    ) -> Result<(), ScheduleError> {
+        if opts.count_stats {
+            self.stats.requests += 1;
         }
 
-        if survivors.is_empty() {
-            self.stats.failed += 1;
-            let mut rej: Vec<(RejectReason, usize)> = rejections
-                .into_iter()
-                .map(|(reason, n)| (reason, n as usize))
-                .collect();
+        // Recycle the previous output: contribution vectors go back to
+        // the pool so steady-state ranking allocates nothing.
+        out.order.clear();
+        out.scores.clear();
+        out.rejections.clear();
+        for (_, mut contrib) in out.weigher_scores.drain(..) {
+            contrib.clear();
+            self.scratch.contrib_pool.push(contrib);
+        }
+        out.candidates = hosts.len() as u32;
+        out.sorted_len = 0;
+
+        // Filter stage. Counting into a fixed array indexed by the reason
+        // discriminant reproduces the BTreeMap's declaration-order
+        // iteration without the allocation.
+        let mut reject_counts = [0u32; RejectReason::ALL.len()];
+        self.scratch.survivors.clear();
+        match opts.index {
+            None => {
+                'candidates: for (i, host) in hosts.iter().enumerate() {
+                    for f in &self.filters {
+                        if let Err(reason) = f.check(request, host) {
+                            reject_counts[reason as usize] += 1;
+                            continue 'candidates;
+                        }
+                    }
+                    self.scratch.survivors.push(i);
+                }
+            }
+            Some(index) => {
+                debug_assert_eq!(
+                    index.len(),
+                    hosts.len(),
+                    "candidate index must cover the host slice"
+                );
+                let mut feasible_buckets = 0usize;
+                for bucket in index.buckets() {
+                    if bucket.purpose.accepts(request.purpose)
+                        && request.az.is_none_or(|az| az == bucket.az)
+                    {
+                        feasible_buckets += 1;
+                        'bucket: for &i in &bucket.hosts {
+                            let host = &hosts[i as usize];
+                            for f in &self.filters {
+                                if let Err(reason) = f.check(request, host) {
+                                    reject_counts[reason as usize] += 1;
+                                    continue 'bucket;
+                                }
+                            }
+                            self.scratch.survivors.push(i as usize);
+                        }
+                    } else {
+                        // Whole bucket pruned. Attribute each host to the
+                        // reason the standard chain would emit: status is
+                        // checked first (disabled wins), then AZ, then
+                        // purpose — so the healthy remainder is wrong-AZ
+                        // when the request pins a different AZ, else
+                        // wrong-purpose.
+                        reject_counts[RejectReason::HostDisabled as usize] += bucket.disabled;
+                        let healthy = bucket.hosts.len() as u32 - bucket.disabled;
+                        let reason = if request.az.is_some_and(|az| az != bucket.az) {
+                            RejectReason::WrongAz
+                        } else {
+                            RejectReason::WrongPurpose
+                        };
+                        reject_counts[reason as usize] += healthy;
+                    }
+                }
+                if feasible_buckets > 1 {
+                    // Survivors from different buckets interleave; restore
+                    // the ascending order a full scan produces. (A single
+                    // bucket is already ascending.)
+                    self.scratch.survivors.sort_unstable();
+                }
+            }
+        }
+
+        for (reason, &n) in RejectReason::ALL.iter().zip(&reject_counts) {
+            if n > 0 {
+                out.rejections.push((*reason, n));
+                if opts.count_stats {
+                    *self.stats.rejections.entry(*reason).or_insert(0) += n as u64;
+                }
+            }
+        }
+
+        if self.scratch.survivors.is_empty() {
+            if opts.count_stats {
+                self.stats.failed += 1;
+            }
+            let mut rej = out.rejections.clone();
             rej.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
-            return Err(ScheduleError { rejections: rej });
+            return Err(ScheduleError {
+                rejections: rej,
+                candidates: hosts.len() as u32,
+            });
         }
 
         // Weighing stage: min-max normalize each weigher across survivors,
         // keeping each weigher's contribution vector for the audit log.
-        let mut totals = vec![0.0f64; survivors.len()];
-        let mut contributions: Vec<(&'static str, Vec<f64>)> =
-            Vec::with_capacity(self.weighers.len());
+        let n = self.scratch.survivors.len();
+        self.scratch.totals.clear();
+        self.scratch.totals.resize(n, 0.0);
         for (multiplier, weigher) in &self.weighers {
-            let mut scores: Vec<f64> = survivors
-                .iter()
-                .map(|&i| weigher.weigh(request, &hosts[i]))
-                .collect();
+            let mut scores = self.scratch.contrib_pool.pop().unwrap_or_default();
+            scores.clear();
+            scores.extend(
+                self.scratch
+                    .survivors
+                    .iter()
+                    .map(|&i| weigher.weigh(request, &hosts[i])),
+            );
             let lo = scores.iter().cloned().fold(f64::INFINITY, f64::min);
             let hi = scores.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
             let span = hi - lo;
@@ -194,39 +354,59 @@ impl FilterScheduler {
                 let norm = if span > 0.0 { (*s - lo) / span } else { 0.0 };
                 *s = multiplier * norm;
             }
-            for (t, s) in totals.iter_mut().zip(&scores) {
+            for (t, s) in self.scratch.totals.iter_mut().zip(&scores) {
                 *t += s;
             }
-            contributions.push((weigher.name(), scores));
+            // Stored in survivor order for now; permuted into rank order
+            // below, once the permutation is known.
+            out.weigher_scores.push((weigher.name(), scores));
         }
 
-        let mut perm: Vec<usize> = (0..survivors.len()).collect();
-        perm.sort_by(|&a, &b| {
-            totals[b]
-                .partial_cmp(&totals[a])
+        let RankScratch {
+            survivors,
+            totals,
+            perm,
+            contrib_pool,
+        } = &mut self.scratch;
+        perm.clear();
+        perm.extend(0..n);
+        let cmp = |a: &usize, b: &usize| {
+            totals[*b]
+                .partial_cmp(&totals[*a])
                 // Weigher totals are finite by construction; if a custom
                 // weigher ever emits NaN, treat the pair as tied and fall
                 // through to the index tiebreak instead of panicking in
                 // the middle of a run.
                 .unwrap_or(std::cmp::Ordering::Equal)
-                .then_with(|| survivors[a].cmp(&survivors[b]))
-        });
+                .then_with(|| survivors[*a].cmp(&survivors[*b]))
+        };
+        let k = opts.top_k.min(n);
+        if k > 0 && k < n {
+            // Partial selection: put the best k in the head, then order
+            // the head. Identical to the first k entries of the full sort
+            // because the comparator totally orders distinct survivors.
+            perm.select_nth_unstable_by(k - 1, |a, b| cmp(a, b));
+            perm[..k].sort_unstable_by(|a, b| cmp(a, b));
+            out.sorted_len = k;
+        } else {
+            perm.sort_by(|a, b| cmp(a, b));
+            out.sorted_len = n;
+        }
 
-        let order: Vec<usize> = perm.iter().map(|&k| survivors[k]).collect();
-        let scores: Vec<f64> = perm.iter().map(|&k| totals[k]).collect();
-        let weigher_scores: Vec<(&'static str, Vec<f64>)> = contributions
-            .into_iter()
-            .map(|(name, contrib)| (name, perm.iter().map(|&k| contrib[k]).collect()))
-            .collect();
+        out.order.extend(perm.iter().map(|&j| survivors[j]));
+        out.scores.extend(perm.iter().map(|&j| totals[j]));
+        for (_, contrib) in out.weigher_scores.iter_mut() {
+            let mut mapped = contrib_pool.pop().unwrap_or_default();
+            mapped.clear();
+            mapped.extend(perm.iter().map(|&j| contrib[j]));
+            let raw = std::mem::replace(contrib, mapped);
+            contrib_pool.push(raw);
+        }
 
-        self.stats.scheduled += 1;
-        Ok(Ranking {
-            order,
-            scores,
-            weigher_scores,
-            rejections: rejections.into_iter().collect(),
-            candidates: hosts.len(),
-        })
+        if opts.count_stats {
+            self.stats.scheduled += 1;
+        }
+        Ok(())
     }
 
     /// Convenience: the single best candidate.
@@ -245,7 +425,7 @@ mod tests {
     use crate::filter::{default_filters, ComputeStatusFilter};
     use crate::request::test_support::host;
     use crate::weigher::{CpuWeigher, RamWeigher};
-    use sapsim_topology::{BbPurpose, Resources};
+    use sapsim_topology::{AzId, BbPurpose, Resources};
 
     fn req(cpu: u32, mem: u64) -> PlacementRequest {
         PlacementRequest::new(1, Resources::new(cpu, mem, 1), BbPurpose::GeneralPurpose)
@@ -344,6 +524,7 @@ mod tests {
         let mut s = spread_scheduler();
         let ranked = s.rank(&req(4, 100), &hosts).unwrap();
         assert_eq!(ranked.candidates, 3);
+        assert_eq!(ranked.sorted_len, ranked.order.len());
         // One host disabled, one short on CPU — in stable reason order.
         assert_eq!(
             ranked.rejections,
@@ -397,8 +578,9 @@ mod tests {
         let hosts = vec![disabled, host(1, Resources::new(1, 10, 1), Resources::ZERO)];
         let mut s = spread_scheduler();
         let err = s.rank(&req(4, 100), &hosts).unwrap_err();
-        let total: usize = err.rejections.iter().map(|&(_, n)| n).sum();
+        let total: u32 = err.rejections.iter().map(|&(_, n)| n).sum();
         assert_eq!(total, 2);
+        assert_eq!(err.candidates, 2);
         assert!(err.to_string().contains("no valid host"));
         assert_eq!(s.stats().failed, 1);
     }
@@ -430,6 +612,7 @@ mod tests {
         let mut s = spread_scheduler();
         let err = s.rank(&req(1, 1), &[]).unwrap_err();
         assert!(err.rejections.is_empty());
+        assert_eq!(err.candidates, 0);
     }
 
     #[test]
@@ -504,5 +687,203 @@ mod tests {
         assert_eq!(ranked.order, vec![0, 1]);
         assert!(ranked.weigher_scores.is_empty());
         assert_eq!(ranked.scores, vec![0.0, 0.0]);
+    }
+
+    /// A host set spanning two AZs and two purposes, with a disabled host
+    /// and an undersized host sprinkled in, so indexed pruning has real
+    /// work to do.
+    fn mixed_fleet() -> Vec<HostView> {
+        (0..12u32)
+            .map(|i| {
+                let mut h = host(
+                    i,
+                    Resources::new(100, 1000, 100),
+                    Resources::new(i * 5, i as u64 * 40, 0),
+                );
+                h.az = AzId::from_raw(i % 2);
+                if i >= 8 {
+                    h.purpose = BbPurpose::Hana;
+                }
+                if i == 3 {
+                    h.enabled = false;
+                }
+                if i == 5 {
+                    h.capacity = Resources::new(1, 10, 1); // too small
+                    h.allocated = Resources::ZERO;
+                }
+                h
+            })
+            .collect()
+    }
+
+    #[test]
+    fn indexed_rank_matches_full_scan_exactly() {
+        let hosts = mixed_fleet();
+        let index = CandidateIndex::build(&hosts);
+        for request in [
+            req(4, 100),
+            req(4, 100).in_az(AzId::from_raw(0)),
+            req(4, 100).in_az(AzId::from_raw(1)),
+            PlacementRequest::new(9, Resources::new(4, 100, 1), BbPurpose::Hana)
+                .in_az(AzId::from_raw(0)),
+        ] {
+            let mut naive = spread_scheduler();
+            let mut indexed = spread_scheduler();
+            let full = naive.rank(&request, &hosts).unwrap();
+            let mut out = Ranking::default();
+            indexed
+                .rank_into(
+                    &request,
+                    &hosts,
+                    RankOptions {
+                        index: Some(&index),
+                        top_k: usize::MAX,
+                        count_stats: true,
+                    },
+                    &mut out,
+                )
+                .unwrap();
+            assert_eq!(out, full, "request {request:?}");
+            assert_eq!(naive.stats(), indexed.stats());
+        }
+    }
+
+    #[test]
+    fn indexed_error_matches_full_scan_attribution() {
+        // A HANA request pinned to an AZ with no HANA hosts at all: the
+        // index prunes every bucket, yet the per-reason attribution must
+        // match the filter chain (disabled first, then AZ, then purpose).
+        let mut hosts = mixed_fleet();
+        for h in hosts.iter_mut().filter(|h| h.purpose == BbPurpose::Hana) {
+            h.az = AzId::from_raw(1);
+        }
+        let index = CandidateIndex::build(&hosts);
+        let request = PlacementRequest::new(9, Resources::new(4, 100, 1), BbPurpose::Hana)
+            .in_az(AzId::from_raw(0));
+        let mut naive = spread_scheduler();
+        let mut indexed = spread_scheduler();
+        let full = naive.rank(&request, &hosts).unwrap_err();
+        let mut out = Ranking::default();
+        let err = indexed
+            .rank_into(
+                &request,
+                &hosts,
+                RankOptions {
+                    index: Some(&index),
+                    top_k: usize::MAX,
+                    count_stats: true,
+                },
+                &mut out,
+            )
+            .unwrap_err();
+        assert_eq!(err, full);
+        assert_eq!(naive.stats(), indexed.stats());
+    }
+
+    #[test]
+    fn top_k_head_matches_full_sort() {
+        let hosts = mixed_fleet();
+        let index = CandidateIndex::build(&hosts);
+        let request = req(4, 100);
+        let mut naive = spread_scheduler();
+        let full = naive.rank(&request, &hosts).unwrap();
+        for k in 1..=full.order.len() + 1 {
+            let mut s = spread_scheduler();
+            let mut out = Ranking::default();
+            s.rank_into(
+                &request,
+                &hosts,
+                RankOptions {
+                    index: Some(&index),
+                    top_k: k,
+                    count_stats: true,
+                },
+                &mut out,
+            )
+            .unwrap();
+            assert_eq!(out.sorted_len, k.min(full.order.len()));
+            assert_eq!(&out.order[..out.sorted_len], &full.order[..out.sorted_len]);
+            assert_eq!(
+                &out.scores[..out.sorted_len],
+                &full.scores[..out.sorted_len]
+            );
+            // The tail still contains every survivor exactly once.
+            let mut all = out.order.clone();
+            all.sort_unstable();
+            let mut expect = full.order.clone();
+            expect.sort_unstable();
+            assert_eq!(all, expect, "k = {k}");
+        }
+    }
+
+    #[test]
+    fn rank_into_reuses_buffers_across_pipelines() {
+        // The same output Ranking cycled through schedulers with different
+        // weigher counts: results stay correct and buffers recycle.
+        let hosts = mixed_fleet();
+        let mut spread = spread_scheduler();
+        let mut pack = pack_scheduler();
+        let mut out = Ranking::default();
+        for _ in 0..3 {
+            out.rank_sanity(&mut spread, &req(2, 50), &hosts, 2);
+            out.rank_sanity(&mut pack, &req(2, 50), &hosts, 1);
+        }
+    }
+
+    impl Ranking {
+        /// Test helper: rank into self and cross-check against a fresh
+        /// exhaustive pass.
+        fn rank_sanity(
+            &mut self,
+            s: &mut FilterScheduler,
+            request: &PlacementRequest,
+            hosts: &[HostView],
+            weighers: usize,
+        ) {
+            s.rank_into(request, hosts, RankOptions::exhaustive(), self)
+                .unwrap();
+            assert_eq!(self.weigher_scores.len(), weighers);
+            assert_eq!(self.order.len(), self.scores.len());
+            assert_eq!(self.sorted_len, self.order.len());
+            for (_, c) in &self.weigher_scores {
+                assert_eq!(c.len(), self.order.len());
+            }
+        }
+    }
+
+    #[test]
+    fn continuation_pass_skips_stats() {
+        let hosts = mixed_fleet();
+        let mut s = spread_scheduler();
+        let mut out = Ranking::default();
+        s.rank_into(
+            &req(2, 50),
+            &hosts,
+            RankOptions {
+                index: None,
+                top_k: 2,
+                count_stats: true,
+            },
+            &mut out,
+        )
+        .unwrap();
+        let after_first = s.stats().clone();
+        // Re-rank the same request for the full order: no new counts.
+        s.rank_into(
+            &req(2, 50),
+            &hosts,
+            RankOptions::exhaustive().uncounted(),
+            &mut out,
+        )
+        .unwrap();
+        assert_eq!(s.stats(), &after_first);
+        assert_eq!(out.sorted_len, out.order.len());
+    }
+
+    impl RankOptions<'static> {
+        fn uncounted(mut self) -> Self {
+            self.count_stats = false;
+            self
+        }
     }
 }

@@ -10,7 +10,7 @@ use crate::filter::{
     AvailabilityZoneFilter, ComputeFilter, ComputeStatusFilter, DiskFilter, Filter, PurposeFilter,
     RamFilter,
 };
-use crate::pipeline::{FilterScheduler, PipelineStats, Ranking, ScheduleError};
+use crate::pipeline::{FilterScheduler, PipelineStats, RankOptions, Ranking, ScheduleError};
 use crate::request::{HostView, PlacementRequest};
 use crate::weigher::{ContentionWeigher, CpuWeigher, LifetimeAffinityWeigher, RamWeigher, Weigher};
 use sapsim_topology::BbPurpose;
@@ -141,6 +141,23 @@ impl PlacementPolicy {
         match request.purpose {
             BbPurpose::Hana => self.hana.rank(request, hosts),
             _ => self.general.rank(request, hosts),
+        }
+    }
+
+    /// The hot-path form of [`rank`](PlacementPolicy::rank): writes into a
+    /// reusable [`Ranking`] and accepts [`RankOptions`] (candidate index,
+    /// top-k head, stats gating). Dispatches on the request purpose
+    /// exactly like `rank`. See [`FilterScheduler::rank_into`].
+    pub fn rank_into(
+        &mut self,
+        request: &PlacementRequest,
+        hosts: &[HostView],
+        opts: RankOptions<'_>,
+        out: &mut Ranking,
+    ) -> Result<(), ScheduleError> {
+        match request.purpose {
+            BbPurpose::Hana => self.hana.rank_into(request, hosts, opts, out),
+            _ => self.general.rank_into(request, hosts, opts, out),
         }
     }
 

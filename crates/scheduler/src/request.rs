@@ -132,6 +132,19 @@ pub enum RejectReason {
 }
 
 impl RejectReason {
+    /// Every reason, in declaration (= `Ord`) order. Counting into a
+    /// fixed `[u32; RejectReason::ALL.len()]` indexed by `reason as usize`
+    /// and emitting in this order reproduces the ordering of a
+    /// `BTreeMap<RejectReason, _>` without the allocation.
+    pub const ALL: [RejectReason; 6] = [
+        RejectReason::HostDisabled,
+        RejectReason::WrongAz,
+        RejectReason::WrongPurpose,
+        RejectReason::InsufficientCpu,
+        RejectReason::InsufficientMemory,
+        RejectReason::InsufficientDisk,
+    ];
+
     /// Stable snake-case identifier, used as the label in machine-readable
     /// output (observability counters, JSONL decision logs).
     pub const fn label(self) -> &'static str {
@@ -241,5 +254,13 @@ mod tests {
     fn reject_reasons_order_by_declaration() {
         assert!(RejectReason::HostDisabled < RejectReason::WrongAz);
         assert!(RejectReason::InsufficientCpu < RejectReason::InsufficientDisk);
+    }
+
+    #[test]
+    fn all_reasons_are_sorted_and_index_themselves() {
+        assert!(RejectReason::ALL.windows(2).all(|w| w[0] < w[1]));
+        for (i, r) in RejectReason::ALL.iter().enumerate() {
+            assert_eq!(*r as usize, i, "{r:?} must index slot {i}");
+        }
     }
 }

@@ -21,6 +21,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cargo bench -p sapsim-bench --bench simulator "$@"
+cargo bench -p sapsim-bench --bench scheduler "$@" -- placement_hot_path
 
 out="BENCH_$(date +%Y-%m-%d).json"
 {

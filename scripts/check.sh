@@ -8,4 +8,5 @@ cd "$(dirname "$0")/.."
 
 cargo build --release
 cargo test -q
+cargo bench -p sapsim-bench --no-run
 cargo clippy --all-targets -- -D warnings

@@ -1,0 +1,85 @@
+//! Integration: the incremental placement hot path (cached host views,
+//! indexed candidate pruning, top-k ranking) must be invisible in every
+//! result byte.
+//!
+//! [`SimConfig::naive_host_views`] switches the driver onto the
+//! from-scratch oracle — views rebuilt per decision, full exhaustive
+//! rank, no index. These tests pin `RunResult::canonical_bytes()`
+//! byte-equality between the two paths across seeds, with and without
+//! fault injection, at both granularities, and across scrape thread
+//! counts.
+
+use sapsim_core::{FaultSpec, PlacementGranularity, SimConfig, SimDriver};
+
+/// Every fault kind switched on, aggressively enough that a 2-day run at
+/// 2 % scale sees failures, stragglers, and dropouts on most seeds — the
+/// same recipe as the invariant sweep.
+fn busy_faults() -> FaultSpec {
+    FaultSpec {
+        host_fail_rate_per_month: 15.0,
+        host_downtime_hours: 12.0,
+        straggler_fraction: 0.25,
+        straggler_slowdown: 0.6,
+        dropout_rate_per_month: 6.0,
+        dropout_duration_hours: 6.0,
+        ..FaultSpec::none()
+    }
+}
+
+fn base(seed: u64, faults: FaultSpec) -> SimConfig {
+    SimConfig {
+        scale: 0.02,
+        days: 2,
+        seed,
+        warmup_days: 0,
+        faults,
+        ..SimConfig::default()
+    }
+}
+
+fn run_bytes(mut cfg: SimConfig, naive: bool, threads: usize) -> Vec<u8> {
+    cfg.naive_host_views = naive;
+    cfg.threads = threads;
+    SimDriver::new(cfg)
+        .expect("valid config")
+        .run()
+        .canonical_bytes()
+}
+
+#[test]
+fn cached_path_matches_naive_oracle_across_seeds_and_faults() {
+    for seed in [31u64, 32, 33] {
+        for faults in [FaultSpec::none(), busy_faults()] {
+            let cfg = base(seed, faults);
+            assert_eq!(
+                run_bytes(cfg, false, 1),
+                run_bytes(cfg, true, 1),
+                "seed {seed}, faults {}: cached and naive runs must be \
+                 byte-identical",
+                if faults.is_none() { "off" } else { "on" },
+            );
+        }
+    }
+}
+
+#[test]
+fn node_granularity_cached_path_matches_naive_oracle() {
+    let mut cfg = base(34, busy_faults());
+    cfg.granularity = PlacementGranularity::Node;
+    assert_eq!(
+        run_bytes(cfg, false, 1),
+        run_bytes(cfg, true, 1),
+        "node-granularity cached and naive runs must be byte-identical"
+    );
+}
+
+#[test]
+fn cached_path_is_thread_count_invariant_under_faults() {
+    let cfg = base(35, busy_faults());
+    let one = run_bytes(cfg, false, 1);
+    assert_eq!(one, run_bytes(cfg, false, 2), "2 scrape threads");
+    assert_eq!(one, run_bytes(cfg, false, 8), "8 scrape threads");
+    // The oracle agrees from a parallel run too: thread count and view
+    // path are independent execution knobs.
+    assert_eq!(one, run_bytes(cfg, true, 2), "naive oracle, 2 threads");
+}
