@@ -184,12 +184,12 @@ mod tests {
     use super::*;
 
     fn micro() -> SimConfig {
-        SimConfig {
-            seed: 81,
-            scale: 0.01,
-            days: 2,
-            ..SimConfig::default()
-        }
+        SimConfig::builder()
+            .seed(81)
+            .scale(0.01)
+            .days(2)
+            .build()
+            .expect("valid micro config")
     }
 
     #[test]

@@ -21,18 +21,15 @@ pub const DEFAULT_EXPERIMENT_DAYS: u64 = 10;
 /// `SAPSIM_SCALE`, `SAPSIM_DAYS`, and `SAPSIM_SEED` environment variables.
 pub fn experiment_config() -> SimConfig {
     let env = |key: &str| std::env::var(key).ok();
-    SimConfig {
-        scale: env("SAPSIM_SCALE")
-            .and_then(|v| v.parse().ok())
-            .unwrap_or(DEFAULT_EXPERIMENT_SCALE),
-        days: env("SAPSIM_DAYS")
-            .and_then(|v| v.parse().ok())
-            .unwrap_or(DEFAULT_EXPERIMENT_DAYS),
-        seed: env("SAPSIM_SEED")
-            .and_then(|v| v.parse().ok())
-            .unwrap_or(0),
-        ..SimConfig::default()
-    }
+    let mut cfg = SimConfig::default();
+    cfg.scale = env("SAPSIM_SCALE")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(DEFAULT_EXPERIMENT_SCALE);
+    cfg.days = env("SAPSIM_DAYS")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(DEFAULT_EXPERIMENT_DAYS);
+    cfg.seed = env("SAPSIM_SEED").and_then(|v| v.parse().ok()).unwrap_or(0);
+    cfg
 }
 
 /// Run the standard experiment simulation, printing a short banner.

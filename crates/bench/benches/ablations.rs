@@ -9,16 +9,16 @@ use sapsim_scheduler::PolicyKind;
 use std::hint::black_box;
 
 fn micro(policy: PolicyKind, granularity: PlacementGranularity, overcommit: f64) -> SimConfig {
-    SimConfig {
-        scale: 0.02,
-        days: 1,
-        seed: 81,
-        warmup_days: 0,
-        policy,
-        granularity,
-        gp_cpu_overcommit: overcommit,
-        ..SimConfig::default()
-    }
+    SimConfig::builder()
+        .scale(0.02)
+        .days(1)
+        .seed(81)
+        .warmup_days(0)
+        .policy(policy)
+        .granularity(granularity)
+        .gp_cpu_overcommit(overcommit)
+        .build()
+        .expect("valid micro config")
 }
 
 fn a1_policies(c: &mut Criterion) {

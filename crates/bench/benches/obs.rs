@@ -10,13 +10,13 @@ use sapsim_core::{SimConfig, SimDriver};
 use std::hint::black_box;
 
 fn obs_overhead(c: &mut Criterion) {
-    let base = SimConfig {
-        scale: 0.05,
-        days: 1,
-        seed: 7,
-        warmup_days: 0,
-        ..SimConfig::default()
-    };
+    let base = SimConfig::builder()
+        .scale(0.05)
+        .days(1)
+        .seed(7)
+        .warmup_days(0)
+        .build()
+        .expect("valid bench config");
     let mut g = c.benchmark_group("obs_overhead");
     g.sample_size(10);
 

@@ -15,13 +15,13 @@ fn one_day_runs(c: &mut Criterion) {
             &scale,
             |b, &scale| {
                 b.iter(|| {
-                    let cfg = SimConfig {
-                        scale,
-                        days: 1,
-                        seed: 1,
-                        warmup_days: 0,
-                        ..SimConfig::default()
-                    };
+                    let cfg = SimConfig::builder()
+                        .scale(scale)
+                        .days(1)
+                        .seed(1)
+                        .warmup_days(0)
+                        .build()
+                        .expect("valid bench config");
                     black_box(SimDriver::new(cfg).expect("valid").run())
                 })
             },
@@ -38,13 +38,13 @@ fn one_day_runs(c: &mut Criterion) {
 /// uses one worker per available CPU (it only differs when the bench is
 /// compiled with `--features parallel`).
 fn scrape_hot_path(c: &mut Criterion) {
-    let base = SimConfig {
-        scale: 0.05,
-        days: 1,
-        seed: 7,
-        warmup_days: 0,
-        ..SimConfig::default()
-    };
+    let base = SimConfig::builder()
+        .scale(0.05)
+        .days(1)
+        .seed(7)
+        .warmup_days(0)
+        .build()
+        .expect("valid bench config");
     // Probe run: count the per-VM samples one run draws so criterion can
     // report throughput in VM-samples/sec rather than runs/sec.
     let probe = SimDriver::new(base).expect("valid").run();
@@ -58,7 +58,8 @@ fn scrape_hot_path(c: &mut Criterion) {
             &threads,
             |b, &threads| {
                 b.iter(|| {
-                    let cfg = SimConfig { threads, ..base };
+                    let mut cfg = base;
+                    cfg.threads = threads;
                     black_box(SimDriver::new(cfg).expect("valid").run())
                 })
             },

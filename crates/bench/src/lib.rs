@@ -5,12 +5,12 @@ use sapsim_core::{RunResult, SimConfig, SimDriver};
 /// The standard benchmark run: 5 % of the region, 3 observed days, no
 /// warm-up (benchmarks measure analysis/scheduling cost, not calibration).
 pub fn bench_run() -> RunResult {
-    let cfg = SimConfig {
-        scale: 0.05,
-        days: 3,
-        seed: 42,
-        warmup_days: 0,
-        ..SimConfig::default()
-    };
+    let cfg = SimConfig::builder()
+        .scale(0.05)
+        .days(3)
+        .seed(42)
+        .warmup_days(0)
+        .build()
+        .expect("valid bench config");
     SimDriver::new(cfg).expect("valid").run()
 }

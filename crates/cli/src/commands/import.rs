@@ -2,36 +2,33 @@
 //! simulator exports and (shape-wise) the published Zenodo dataset.
 
 use crate::args::Parsed;
+use crate::error::CliError;
 use sapsim_telemetry::{summary, MetricId};
 use sapsim_trace::TraceReader;
 use std::fs::File;
 use std::io::{BufReader, Write};
 
 /// Execute the subcommand.
-pub fn run(argv: &[String], out: &mut dyn Write) -> Result<(), String> {
-    let parsed = Parsed::parse(argv, &["days"], &[]).map_err(|e| e.to_string())?;
+pub fn run(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
+    let parsed = Parsed::parse(argv, &["days"], &[])?;
     let [path] = parsed.positionals() else {
-        return Err("import requires exactly one input file argument".into());
+        return Err(CliError::Usage(
+            "import requires exactly one input file argument".into(),
+        ));
     };
-    let days: usize = parsed
-        .get_parsed("days", 30usize)
-        .map_err(|e| e.to_string())?;
+    let days: usize = parsed.get_parsed("days", 30usize)?;
 
-    let file = File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
-    let (store, loaded) = TraceReader::new()
-        .read_into_store(&mut BufReader::new(file), days)
-        .map_err(|e| e.to_string())?;
-    let w = |e: std::io::Error| e.to_string();
+    let file = File::open(path).map_err(|e| CliError::Io(format!("cannot open {path}: {e}")))?;
+    let (store, loaded) = TraceReader::new().read_into_store(&mut BufReader::new(file), days)?;
     writeln!(
         out,
         "loaded {} rows ({} skipped) into {} series",
         loaded.rows,
         loaded.skipped,
         store.raw_series_count()
-    )
-    .map_err(w)?;
+    )?;
 
-    writeln!(out, "\nper-metric coverage:").map_err(w)?;
+    writeln!(out, "\nper-metric coverage:")?;
     for metric in MetricId::ALL {
         let series = store.series_of(metric);
         if series.is_empty() {
@@ -47,8 +44,7 @@ pub fn run(argv: &[String], out: &mut dyn Write) -> Result<(), String> {
             samples,
             summary::mean(&means).unwrap_or(0.0),
             summary::quantile(&means, 0.95).unwrap_or(0.0),
-        )
-        .map_err(w)?;
+        )?;
     }
     Ok(())
 }

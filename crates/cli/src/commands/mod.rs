@@ -4,11 +4,15 @@ pub mod export;
 pub mod import;
 pub mod obs;
 pub mod simulate;
+pub mod sweep;
 pub mod tables;
 
 use crate::args::Parsed;
+use crate::error::CliError;
 use sapsim_core::obs::{JsonlRecorder, ObsConfig};
-use sapsim_core::{FaultSpec, PlacementGranularity, RunResult, SimConfig, SimDriver};
+use sapsim_core::{
+    FaultError, FaultSpec, PlacementGranularity, RunResult, SimConfig, SimDriver, SimError,
+};
 use sapsim_scheduler::PolicyKind;
 use std::fs::File;
 use std::io::{BufWriter, Write};
@@ -32,30 +36,23 @@ pub const SIM_VALUE_OPTIONS: &[&str] = &[
 pub const SIM_BOOL_FLAGS: &[&str] = &["no-drs", "cross-bb", "no-warmup"];
 
 /// Build a [`SimConfig`] from parsed CLI arguments.
-pub fn sim_config_from(parsed: &Parsed) -> Result<SimConfig, String> {
-    let mut cfg = SimConfig {
-        scale: parsed
-            .get_parsed("scale", 0.05)
-            .map_err(|e| e.to_string())?,
-        days: parsed.get_parsed("days", 5u64).map_err(|e| e.to_string())?,
-        seed: parsed.get_parsed("seed", 0u64).map_err(|e| e.to_string())?,
-        gp_cpu_overcommit: parsed
-            .get_parsed("overcommit", 4.0)
-            .map_err(|e| e.to_string())?,
-        ..SimConfig::default()
-    };
-    cfg.policy = match parsed.get("policy").unwrap_or("paper-default") {
-        "spread" => PolicyKind::Spread,
-        "pack-memory" => PolicyKind::PackMemory,
-        "paper-default" => PolicyKind::PaperDefault,
-        "contention-aware" => PolicyKind::ContentionAware,
-        "lifetime-aware" => PolicyKind::LifetimeAware,
-        other => return Err(format!("unknown policy `{other}`")),
-    };
+pub fn sim_config_from(parsed: &Parsed) -> Result<SimConfig, CliError> {
+    let mut cfg = SimConfig::default();
+    cfg.scale = parsed.get_parsed("scale", 0.05)?;
+    cfg.days = parsed.get_parsed("days", 5u64)?;
+    cfg.seed = parsed.get_parsed("seed", 0u64)?;
+    cfg.gp_cpu_overcommit = parsed.get_parsed("overcommit", 4.0)?;
+    let policy_name = parsed.get("policy").unwrap_or("paper-default");
+    cfg.policy = PolicyKind::from_name(policy_name)
+        .ok_or_else(|| CliError::Usage(format!("unknown policy `{policy_name}`")))?;
     cfg.granularity = match parsed.get("granularity").unwrap_or("bb") {
         "bb" => PlacementGranularity::BuildingBlock,
         "node" => PlacementGranularity::Node,
-        other => return Err(format!("unknown granularity `{other}` (use bb|node)")),
+        other => {
+            return Err(CliError::Usage(format!(
+                "unknown granularity `{other}` (use bb|node)"
+            )))
+        }
     };
     if parsed.flag("no-drs") {
         cfg.drs_enabled = false;
@@ -75,13 +72,22 @@ pub fn sim_config_from(parsed: &Parsed) -> Result<SimConfig, String> {
 
 /// Parse `--faults`: either a path to a JSON spec file or an inline
 /// `key=value,...` list (see [`sapsim_core::FaultSpec::parse_inline`]).
-fn parse_fault_spec(spec: &str) -> Result<FaultSpec, String> {
+/// Syntax failures classify by where the spec came from (usage for
+/// inline, data for a file); a well-formed spec with invalid knobs is a
+/// configuration error either way.
+fn parse_fault_spec(spec: &str) -> Result<FaultSpec, CliError> {
     if std::path::Path::new(spec).is_file() {
         let text = std::fs::read_to_string(spec)
-            .map_err(|e| format!("cannot read fault spec {spec}: {e}"))?;
-        FaultSpec::from_json_str(&text).map_err(|e| format!("fault spec {spec}: {e}"))
+            .map_err(|e| CliError::Io(format!("cannot read fault spec {spec}: {e}")))?;
+        FaultSpec::from_json_str(&text).map_err(|e| match e {
+            FaultError::InvalidSpec(_) => CliError::Config(SimError::FaultPlan(e)),
+            other => CliError::Data(format!("fault spec {spec}: {other}")),
+        })
     } else {
-        FaultSpec::parse_inline(spec).map_err(|e| format!("--faults: {e}"))
+        FaultSpec::parse_inline(spec).map_err(|e| match e {
+            FaultError::InvalidSpec(_) => CliError::Config(SimError::FaultPlan(e)),
+            other => CliError::Usage(format!("--faults: {other}")),
+        })
     }
 }
 
@@ -99,27 +105,23 @@ pub struct ObsArgs {
 /// Build the observability arguments from parsed CLI options. Returns
 /// `Ok(None)` when no `--obs-*` output was requested, so callers fall back
 /// to the zero-cost [`sapsim_core::obs::NullRecorder`] path.
-pub fn obs_args_from(parsed: &Parsed) -> Result<Option<ObsArgs>, String> {
+pub fn obs_args_from(parsed: &Parsed) -> Result<Option<ObsArgs>, CliError> {
     let jsonl_path = parsed.get("obs-out").map(str::to_string);
     let chrome_path = parsed.get("obs-chrome").map(str::to_string);
     if jsonl_path.is_none() && chrome_path.is_none() {
         if parsed.get("obs-sample").is_some() || parsed.get("obs-ring").is_some() {
-            return Err(
+            return Err(CliError::Usage(
                 "--obs-sample/--obs-ring have no effect without --obs-out or --obs-chrome".into(),
-            );
+            ));
         }
         return Ok(None);
     }
     let defaults = ObsConfig::default();
     let config = ObsConfig {
-        decision_sample_rate: parsed
-            .get_parsed("obs-sample", defaults.decision_sample_rate)
-            .map_err(|e| e.to_string())?,
-        ring_capacity: parsed
-            .get_parsed("obs-ring", defaults.ring_capacity)
-            .map_err(|e| e.to_string())?,
+        decision_sample_rate: parsed.get_parsed("obs-sample", defaults.decision_sample_rate)?,
+        ring_capacity: parsed.get_parsed("obs-ring", defaults.ring_capacity)?,
     };
-    config.validate()?;
+    config.validate().map_err(SimError::from)?;
     Ok(Some(ObsArgs {
         jsonl_path,
         chrome_path,
@@ -134,36 +136,35 @@ pub fn run_with_obs(
     cfg: SimConfig,
     obs: Option<&ObsArgs>,
     out: &mut dyn Write,
-) -> Result<RunResult, String> {
+) -> Result<RunResult, CliError> {
     let Some(obs) = obs else {
         return Ok(SimDriver::new(cfg)?.run());
     };
     let mut rec = JsonlRecorder::new(obs.config);
     let result = SimDriver::new(cfg)?.run_with_recorder(&mut rec);
     if let Some(path) = &obs.jsonl_path {
-        let file = File::create(path).map_err(|e| format!("cannot create {path}: {e}"))?;
+        let file =
+            File::create(path).map_err(|e| CliError::Io(format!("cannot create {path}: {e}")))?;
         let mut sink = BufWriter::new(file);
-        rec.write_jsonl(&mut sink).map_err(|e| e.to_string())?;
-        sink.flush().map_err(|e| e.to_string())?;
+        rec.write_jsonl(&mut sink)?;
+        sink.flush()?;
         writeln!(
             out,
             "obs: wrote {} events ({} dropped) to {path}",
             rec.len(),
             rec.dropped()
-        )
-        .map_err(|e| e.to_string())?;
+        )?;
     }
     if let Some(path) = &obs.chrome_path {
-        let file = File::create(path).map_err(|e| format!("cannot create {path}: {e}"))?;
+        let file =
+            File::create(path).map_err(|e| CliError::Io(format!("cannot create {path}: {e}")))?;
         let mut sink = BufWriter::new(file);
-        rec.write_chrome_trace(&mut sink)
-            .map_err(|e| e.to_string())?;
-        sink.flush().map_err(|e| e.to_string())?;
+        rec.write_chrome_trace(&mut sink)?;
+        sink.flush()?;
         writeln!(
             out,
             "obs: wrote Chrome trace to {path} (open via chrome://tracing)"
-        )
-        .map_err(|e| e.to_string())?;
+        )?;
     }
     Ok(result)
 }
@@ -216,8 +217,11 @@ mod tests {
 
     #[test]
     fn bad_policy_and_scale_are_rejected() {
-        assert!(sim_config_from(&parse(&["--policy", "nope"])).is_err());
-        assert!(sim_config_from(&parse(&["--scale", "7.0"])).is_err());
+        let err = sim_config_from(&parse(&["--policy", "nope"])).unwrap_err();
+        assert_eq!(err, CliError::Usage("unknown policy `nope`".into()));
+        let err = sim_config_from(&parse(&["--scale", "7.0"])).unwrap_err();
+        assert_eq!(err.exit_code(), 3, "validation failures are config errors");
+        assert!(err.to_string().starts_with("invalid config:"));
     }
 
     #[test]
@@ -252,8 +256,10 @@ mod tests {
 
     #[test]
     fn bad_fault_specs_are_rejected() {
-        assert!(sim_config_from(&parse(&["--faults", "bogus-key=1"])).is_err());
-        assert!(sim_config_from(&parse(&["--faults", "fail=-2"])).is_err());
+        let err = sim_config_from(&parse(&["--faults", "bogus-key=1"])).unwrap_err();
+        assert_eq!(err.exit_code(), 2, "inline syntax is a usage error");
+        let err = sim_config_from(&parse(&["--faults", "fail=-2"])).unwrap_err();
+        assert_eq!(err.exit_code(), 3, "a parseable-but-invalid spec is config");
     }
 
     #[test]
@@ -296,7 +302,8 @@ mod tests {
     #[test]
     fn obs_knobs_without_an_output_are_rejected() {
         let err = obs_args_from(&parse(&["--obs-sample", "0.5"])).unwrap_err();
-        assert!(err.contains("--obs-out"));
+        assert!(err.to_string().contains("--obs-out"));
+        assert_eq!(err.exit_code(), 2);
     }
 
     #[test]

@@ -8,6 +8,7 @@
 //! tooling as the telemetry exposition.
 
 use crate::args::Parsed;
+use crate::error::CliError;
 use sapsim_telemetry::exposition::render_counters;
 use serde_json::Value;
 use std::collections::BTreeMap;
@@ -37,35 +38,41 @@ struct Summary {
 }
 
 /// Execute the subcommand.
-pub fn run(argv: &[String], out: &mut dyn Write) -> Result<(), String> {
-    let parsed = Parsed::parse(argv, &[], &["prom"]).map_err(|e| e.to_string())?;
+pub fn run(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
+    let parsed = Parsed::parse(argv, &[], &["prom"])?;
     let [action, path] = parsed.positionals() else {
-        return Err("usage: sapsim obs summary <FILE.jsonl> [--prom]".into());
+        return Err(CliError::Usage(
+            "usage: sapsim obs summary <FILE.jsonl> [--prom]".into(),
+        ));
     };
     if action != "summary" {
-        return Err(format!(
+        return Err(CliError::Usage(format!(
             "unknown obs action `{action}` (expected `summary`)"
-        ));
+        )));
     }
-    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| CliError::Io(format!("cannot read {path}: {e}")))?;
     let summary = summarize(&text)?;
     if parsed.flag("prom") {
         let page = render_counters(summary.counters.iter().map(|(name, v)| (name.as_str(), *v)));
-        write!(out, "{page}").map_err(|e| e.to_string())?;
+        write!(out, "{page}")?;
         return Ok(());
     }
-    render(&summary, out).map_err(|e| e.to_string())
+    render(&summary, out)?;
+    Ok(())
 }
 
 /// One pass over the JSONL text, dispatching on each line's `type`.
-fn summarize(text: &str) -> Result<Summary, String> {
+/// Malformed lines are data errors: the file was readable, its content
+/// was not.
+fn summarize(text: &str) -> Result<Summary, CliError> {
     let mut s = Summary::default();
     for (lineno, line) in text.lines().enumerate() {
         if line.trim().is_empty() {
             continue;
         }
         let v: Value = serde_json::from_str(line)
-            .map_err(|e| format!("line {}: invalid JSON: {e}", lineno + 1))?;
+            .map_err(|e| CliError::Data(format!("line {}: invalid JSON: {e}", lineno + 1)))?;
         match v["type"].as_str() {
             Some("meta") => {
                 s.meta = Some((
@@ -108,11 +115,11 @@ fn summarize(text: &str) -> Result<Summary, String> {
                 }
             }
             other => {
-                return Err(format!(
+                return Err(CliError::Data(format!(
                     "line {}: unknown record type {:?}",
                     lineno + 1,
                     other.unwrap_or("<missing>")
-                ));
+                )));
             }
         }
     }
@@ -236,7 +243,8 @@ mod tests {
     fn run_requires_the_summary_action() {
         let argv: Vec<String> = vec!["frobnicate".into(), "x.jsonl".into()];
         let err = run(&argv, &mut Vec::new()).unwrap_err();
-        assert!(err.contains("unknown obs action"));
+        assert!(err.to_string().contains("unknown obs action"));
+        assert_eq!(err.exit_code(), 2);
     }
 
     #[test]

@@ -2,20 +2,33 @@
 
 use super::{obs_args_from, run_with_obs, sim_config_from, SIM_BOOL_FLAGS, SIM_VALUE_OPTIONS};
 use crate::args::Parsed;
+use crate::error::CliError;
 use sapsim_analysis::cdf::{utilization_cdf, VmResource};
 use sapsim_analysis::contention::contention_aggregate;
+use sapsim_sweep::RunSummary;
 use std::io::Write;
 
 /// Execute the subcommand.
-pub fn run(argv: &[String], out: &mut dyn Write) -> Result<(), String> {
-    let parsed =
-        Parsed::parse(argv, SIM_VALUE_OPTIONS, SIM_BOOL_FLAGS).map_err(|e| e.to_string())?;
+pub fn run(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
+    let flags: Vec<&str> = SIM_BOOL_FLAGS.iter().copied().chain(["json"]).collect();
+    let parsed = Parsed::parse(argv, SIM_VALUE_OPTIONS, &flags)?;
     if !parsed.positionals().is_empty() {
-        return Err("simulate takes no positional arguments".into());
+        return Err(CliError::Usage(
+            "simulate takes no positional arguments".into(),
+        ));
     }
     let cfg = sim_config_from(&parsed)?;
     let obs = obs_args_from(&parsed)?;
-    let w = |e: std::io::Error| e.to_string();
+
+    if parsed.flag("json") {
+        // Machine-readable mode: the only stdout line is the versioned
+        // run summary. Obs files are still written, but their status
+        // lines are swallowed so the output stays a single JSON object.
+        let mut status = Vec::new();
+        let result = run_with_obs(cfg, obs.as_ref(), &mut status)?;
+        writeln!(out, "{}", RunSummary::from_run(&result).to_json())?;
+        return Ok(());
+    }
 
     writeln!(
         out,
@@ -24,23 +37,21 @@ pub fn run(argv: &[String], out: &mut dyn Write) -> Result<(), String> {
         cfg.scale,
         cfg.policy.name(),
         cfg.seed
-    )
-    .map_err(w)?;
+    )?;
     let result = run_with_obs(cfg, obs.as_ref(), out)?;
 
     let topo = result.cloud.topology();
-    writeln!(out, "\ninfrastructure:").map_err(w)?;
+    writeln!(out, "\ninfrastructure:")?;
     writeln!(
         out,
         "  {} hypervisors in {} building blocks across {} DCs",
         topo.nodes().len(),
         topo.bbs().len(),
         topo.dcs().len()
-    )
-    .map_err(w)?;
+    )?;
 
     let s = &result.stats;
-    writeln!(out, "\nscheduling:").map_err(w)?;
+    writeln!(out, "\nscheduling:")?;
     writeln!(
         out,
         "  placements: {} attempted, {:.1}% placed ({} fragmented, {} no-candidate)",
@@ -48,42 +59,36 @@ pub fn run(argv: &[String], out: &mut dyn Write) -> Result<(), String> {
         s.placement_success_rate() * 100.0,
         s.failed_fragmented,
         s.failed_no_candidate
-    )
-    .map_err(w)?;
+    )?;
     writeln!(
         out,
         "  retries: {} | DRS migrations: {} | cross-BB migrations: {}",
         s.placement_retries, s.drs_migrations, s.cross_bb_migrations
-    )
-    .map_err(w)?;
+    )?;
     writeln!(
         out,
         "  resizes: {} ({} in place, {} migrated, {} failed)",
         s.resizes_attempted, s.resizes_in_place, s.resizes_migrated, s.resizes_failed
-    )
-    .map_err(w)?;
+    )?;
     writeln!(
         out,
         "  maintenance: {} windows ({} aborted), {} evacuations",
         s.maintenance_windows, s.maintenance_aborted, s.evacuations
-    )
-    .map_err(w)?;
+    )?;
     writeln!(
         out,
         "  population: peak {} VMs, {} at window end, {} departures",
         s.peak_vm_count, s.final_vm_count, s.departures
-    )
-    .map_err(w)?;
+    )?;
 
     if !result.config.faults.is_none() || !s.faults.is_zero() {
         let f = &s.faults;
-        writeln!(out, "\nfaults:").map_err(w)?;
+        writeln!(out, "\nfaults:")?;
         writeln!(
             out,
             "  host failures: {} ({} recovered), {} straggler nodes",
             f.host_failures, f.host_recoveries, f.straggler_nodes
-        )
-        .map_err(w)?;
+        )?;
         writeln!(
             out,
             "  evacuations: {} ({} replaced, {} retries, {} lost, {} still pending, peak queue {})",
@@ -93,29 +98,25 @@ pub fn run(argv: &[String], out: &mut dyn Write) -> Result<(), String> {
             f.evac_lost,
             f.evac_pending_end,
             f.evac_pending_peak
-        )
-        .map_err(w)?;
+        )?;
         writeln!(
             out,
             "  telemetry: {} dropout windows, {} samples dropped",
             f.dropout_windows, f.dropped_samples
-        )
-        .map_err(w)?;
+        )?;
     }
 
-    writeln!(out, "\nthe paper's headline findings on this run:").map_err(w)?;
+    writeln!(out, "\nthe paper's headline findings on this run:")?;
     writeln!(
         out,
         "  {}",
         utilization_cdf(&result, VmResource::Cpu).summary_line()
-    )
-    .map_err(w)?;
+    )?;
     writeln!(
         out,
         "  {}",
         utilization_cdf(&result, VmResource::Memory).summary_line()
-    )
-    .map_err(w)?;
+    )?;
     let agg = contention_aggregate(&result);
     writeln!(
         out,
@@ -123,21 +124,18 @@ pub fn run(argv: &[String], out: &mut dyn Write) -> Result<(), String> {
         agg.peak_mean(),
         agg.peak_p95(),
         agg.peak_max()
-    )
-    .map_err(w)?;
+    )?;
 
     if result.profile.enabled() {
         writeln!(
             out,
             "\nevent-loop profile (wall clock, not simulation time):"
-        )
-        .map_err(w)?;
+        )?;
         writeln!(
             out,
             "  {:<16} {:>10} {:>12} {:>10} {:>10}",
             "phase", "count", "total ms", "mean us", "max us"
-        )
-        .map_err(w)?;
+        )?;
         for (kind, stat) in result.profile.phases() {
             if stat.count == 0 {
                 continue;
@@ -150,15 +148,13 @@ pub fn run(argv: &[String], out: &mut dyn Write) -> Result<(), String> {
                 stat.total_us as f64 / 1000.0,
                 stat.mean_us(),
                 stat.max_us
-            )
-            .map_err(w)?;
+            )?;
         }
         writeln!(
             out,
             "  wall clock total: {:.1} ms",
             result.profile.wall_us() as f64 / 1000.0
-        )
-        .map_err(w)?;
+        )?;
     }
     Ok(())
 }

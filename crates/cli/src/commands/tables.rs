@@ -1,21 +1,21 @@
 //! `sapsim tables` — the paper's static tables.
 
 use crate::args::Parsed;
+use crate::error::CliError;
 use sapsim_analysis::tables::{render_table3, render_table4, render_table5};
 use std::io::Write;
 
 /// Execute the subcommand.
-pub fn run(argv: &[String], out: &mut dyn Write) -> Result<(), String> {
-    let parsed = Parsed::parse(argv, &[], &[]).map_err(|e| e.to_string())?;
+pub fn run(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
+    let parsed = Parsed::parse(argv, &[], &[])?;
     if !parsed.positionals().is_empty() {
-        return Err("tables takes no arguments".into());
+        return Err(CliError::Usage("tables takes no arguments".into()));
     }
-    let w = |e: std::io::Error| e.to_string();
-    writeln!(out, "## Table 3 — dataset comparison\n").map_err(w)?;
-    writeln!(out, "{}", render_table3()).map_err(w)?;
-    writeln!(out, "## Table 4 — metric catalog\n").map_err(w)?;
-    writeln!(out, "{}", render_table4()).map_err(w)?;
-    writeln!(out, "## Table 5 — data centers\n").map_err(w)?;
-    writeln!(out, "{}", render_table5()).map_err(w)?;
+    writeln!(out, "## Table 3 — dataset comparison\n")?;
+    writeln!(out, "{}", render_table3())?;
+    writeln!(out, "## Table 4 — metric catalog\n")?;
+    writeln!(out, "{}", render_table4())?;
+    writeln!(out, "## Table 5 — data centers\n")?;
+    writeln!(out, "{}", render_table5())?;
     Ok(())
 }

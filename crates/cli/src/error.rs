@@ -1,0 +1,149 @@
+//! The CLI's typed error and its stable exit-code mapping.
+
+use sapsim_core::SimError;
+use sapsim_sweep::SweepError;
+use std::fmt;
+
+use crate::args::ArgError;
+
+/// What went wrong while running a `sapsim` command.
+///
+/// Every variant maps to a stable process exit code (see
+/// [`CliError::exit_code`]), so scripts can branch on *why* an
+/// invocation failed:
+///
+/// | code | variant    | meaning                                       |
+/// |------|------------|-----------------------------------------------|
+/// | 2    | [`Usage`]  | bad arguments (unknown option, bad value, ...) |
+/// | 3    | [`Config`] | arguments parsed but describe an invalid run  |
+/// | 4    | [`Io`]     | a file could not be read or written           |
+/// | 5    | [`Data`]   | an input file parsed but its content is bad   |
+///
+/// Marked `#[non_exhaustive]`; keep a wildcard arm.
+///
+/// [`Usage`]: CliError::Usage
+/// [`Config`]: CliError::Config
+/// [`Io`]: CliError::Io
+/// [`Data`]: CliError::Data
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CliError {
+    /// The command line itself was malformed. The payload is the full
+    /// human-readable message.
+    Usage(String),
+    /// The arguments parsed, but the configuration they describe was
+    /// rejected by the simulator (wraps the core error).
+    Config(SimError),
+    /// Reading or writing a file (or stdout) failed.
+    Io(String),
+    /// An input file was readable but its contents are malformed — a bad
+    /// JSONL log line, an unparseable sweep manifest, a corrupt report.
+    Data(String),
+}
+
+impl CliError {
+    /// The stable process exit code for this failure class.
+    pub fn exit_code(&self) -> i32 {
+        match self {
+            CliError::Usage(_) => 2,
+            CliError::Config(_) => 3,
+            CliError::Io(_) => 4,
+            CliError::Data(_) => 5,
+        }
+    }
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::Usage(msg) => f.write_str(msg),
+            CliError::Config(err) => write!(f, "{err}"),
+            CliError::Io(msg) => f.write_str(msg),
+            CliError::Data(msg) => f.write_str(msg),
+        }
+    }
+}
+
+impl std::error::Error for CliError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CliError::Config(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<ArgError> for CliError {
+    fn from(err: ArgError) -> Self {
+        CliError::Usage(err.to_string())
+    }
+}
+
+impl From<SimError> for CliError {
+    fn from(err: SimError) -> Self {
+        CliError::Config(err)
+    }
+}
+
+impl From<SweepError> for CliError {
+    fn from(err: SweepError) -> Self {
+        match err {
+            SweepError::Sim(err) => CliError::Config(err),
+            SweepError::Io(msg) => CliError::Io(msg),
+            // Manifest syntax, schema mismatches, empty grids: the file
+            // was readable but its content is unusable.
+            other => CliError::Data(other.to_string()),
+        }
+    }
+}
+
+impl From<std::io::Error> for CliError {
+    fn from(err: std::io::Error) -> Self {
+        CliError::Io(err.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exit_codes_are_stable_per_class() {
+        assert_eq!(CliError::Usage("x".into()).exit_code(), 2);
+        assert_eq!(
+            CliError::Config(SimError::InvalidConfig("x".into())).exit_code(),
+            3
+        );
+        assert_eq!(CliError::Io("x".into()).exit_code(), 4);
+        assert_eq!(CliError::Data("x".into()).exit_code(), 5);
+    }
+
+    #[test]
+    fn conversions_pick_the_right_class() {
+        let usage: CliError = ArgError("unknown option `--x`".into()).into();
+        assert_eq!(usage.exit_code(), 2);
+
+        let config: CliError = SimError::InvalidConfig("days must be at least 1".into()).into();
+        assert_eq!(config.exit_code(), 3);
+        assert_eq!(
+            config.to_string(),
+            "invalid config: days must be at least 1"
+        );
+
+        let from_sweep: CliError = SweepError::Sim(SimError::InvalidConfig("x".into())).into();
+        assert_eq!(from_sweep.exit_code(), 3);
+        let manifest: CliError = SweepError::Manifest("bad sweep manifest: oops".into()).into();
+        assert_eq!(manifest.exit_code(), 5);
+        let io: CliError = SweepError::Io("cannot read x".into()).into();
+        assert_eq!(io.exit_code(), 4);
+        assert_eq!(CliError::from(SweepError::NoScenarios).exit_code(), 5);
+    }
+
+    #[test]
+    fn config_errors_expose_a_source() {
+        use std::error::Error as _;
+        let err = CliError::Config(SimError::InvalidConfig("x".into()));
+        assert!(err.source().is_some());
+        assert!(CliError::Usage("x".into()).source().is_none());
+    }
+}

@@ -4,6 +4,7 @@
 //!
 //! ```text
 //! sapsim simulate [OPTIONS]        run a simulation and print a summary
+//! sapsim sweep    MANIFEST [OPTS]  run a deterministic scenario grid
 //! sapsim export   [OPTIONS] FILE   run a simulation and export the dataset CSV
 //! sapsim import   FILE [OPTIONS]   load a dataset CSV and print summary stats
 //! sapsim obs summary FILE          summarize an --obs-out JSONL log
@@ -12,15 +13,19 @@
 //! ```
 //!
 //! Argument parsing is hand-rolled (the workspace's only CLI is this thin
-//! wrapper; a parser dependency would outweigh it).
+//! wrapper; a parser dependency would outweigh it). Failures are typed
+//! ([`CliError`]) and map to stable exit codes: `2` usage, `3` invalid
+//! configuration, `4` I/O, `5` malformed input data.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod args;
 pub mod commands;
+pub mod error;
 
 pub use args::{ArgError, Parsed};
+pub use error::CliError;
 
 /// Top-level usage text.
 pub const USAGE: &str = "\
@@ -31,6 +36,7 @@ USAGE:
 
 COMMANDS:
     simulate    run a simulation and print the headline findings
+    sweep       run a scenario grid from a manifest and compare the runs
     export      run a simulation and write the telemetry as dataset CSV
     import      load a dataset CSV (simulated or real) and summarize it
     obs         summarize an observability JSONL log (obs summary FILE)
@@ -52,6 +58,22 @@ SIMULATION OPTIONS (simulate, export):
                          inline key=value pairs (fail, downtime, straggler,
                          slowdown, dropout, dropout-hours, retries, backoff),
                          e.g. --faults fail=6.0,downtime=12,dropout=2.0
+    --json               (simulate only) print a single-line machine-readable
+                         run summary (schema sapsim.run-summary/v1) instead
+                         of the human-readable report
+
+SWEEP OPTIONS:
+    sweep <MANIFEST>     JSON grid manifest: base-config overrides plus axes
+                         (seeds, policies, granularities, drs, faults, scales)
+    --workers <N>        worker threads, 0 = one per CPU    [default: 0]
+                         the report bytes are identical at any worker count
+    --out <DIR>          also write report.json, report.txt, and the CDF /
+                         contention overlay CSVs into DIR
+    --obs-dir <DIR>      record each run and write per-scenario JSONL logs
+                         (wall-clock timings; outside the byte-equality
+                         contract)
+    --json               print the sweep report as single-line JSON
+                         (schema sapsim.sweep-report/v1)
 
 OBSERVABILITY OPTIONS (simulate, export):
     --obs-out <FILE>     write the decision/span event log as JSON Lines
@@ -70,39 +92,44 @@ EXPORT OPTIONS:
 
 IMPORT OPTIONS:
     --days <N>           rollup window of the loaded store  [default: 30]
+
+EXIT CODES:
+    0 success | 2 usage error | 3 invalid configuration |
+    4 I/O error | 5 malformed input data
 ";
 
 /// Entry point shared by the binary and the tests: returns the process
-/// exit code.
+/// exit code (`0` on success, otherwise [`CliError::exit_code`]).
 pub fn run(argv: &[String]) -> i32 {
     let mut out = std::io::stdout();
     match run_to(argv, &mut out) {
         Ok(()) => 0,
-        Err(msg) => {
-            eprintln!("sapsim: error: {msg}");
+        Err(err) => {
+            eprintln!("sapsim: error: {err}");
             eprintln!("run `sapsim help` for usage");
-            2
+            err.exit_code()
         }
     }
 }
 
 /// Like [`run`], but writing to an arbitrary sink (testable).
-pub fn run_to(argv: &[String], out: &mut dyn std::io::Write) -> Result<(), String> {
+pub fn run_to(argv: &[String], out: &mut dyn std::io::Write) -> Result<(), CliError> {
     let Some(command) = argv.first() else {
-        writeln!(out, "{USAGE}").map_err(|e| e.to_string())?;
+        writeln!(out, "{USAGE}")?;
         return Ok(());
     };
     let rest = &argv[1..];
     match command.as_str() {
         "simulate" => commands::simulate::run(rest, out),
+        "sweep" => commands::sweep::run(rest, out),
         "export" => commands::export::run(rest, out),
         "import" => commands::import::run(rest, out),
         "obs" => commands::obs::run(rest, out),
         "tables" => commands::tables::run(rest, out),
         "help" | "--help" | "-h" => {
-            writeln!(out, "{USAGE}").map_err(|e| e.to_string())?;
+            writeln!(out, "{USAGE}")?;
             Ok(())
         }
-        other => Err(format!("unknown command `{other}`")),
+        other => Err(CliError::Usage(format!("unknown command `{other}`"))),
     }
 }

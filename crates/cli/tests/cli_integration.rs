@@ -1,9 +1,11 @@
 //! CLI integration: drive every subcommand through the library entry
-//! point, including an export → import round trip through a temp file.
+//! point, including an export → import round trip through a temp file,
+//! a sweep over a manifest grid, and the stable exit-code contract.
 
-use sapsim_cli::run_to;
+use sapsim_cli::{run_to, CliError};
+use sapsim_sweep::{RunSummary, SweepReport};
 
-fn run_capture(parts: &[&str]) -> Result<String, String> {
+fn run_capture(parts: &[&str]) -> Result<String, CliError> {
     let argv: Vec<String> = parts.iter().map(|s| s.to_string()).collect();
     let mut out = Vec::new();
     run_to(&argv, &mut out).map(|()| String::from_utf8(out).expect("utf8"))
@@ -14,6 +16,7 @@ fn help_prints_usage() {
     let text = run_capture(&["help"]).unwrap();
     assert!(text.contains("USAGE"));
     assert!(text.contains("simulate"));
+    assert!(text.contains("sweep"));
     // No command at all also prints usage.
     let text = run_capture(&[]).unwrap();
     assert!(text.contains("USAGE"));
@@ -22,7 +25,8 @@ fn help_prints_usage() {
 #[test]
 fn unknown_command_errors() {
     let err = run_capture(&["frobnicate"]).unwrap_err();
-    assert!(err.contains("frobnicate"));
+    assert!(err.to_string().contains("frobnicate"));
+    assert_eq!(err.exit_code(), 2);
 }
 
 #[test]
@@ -46,11 +50,129 @@ fn simulate_prints_headline_findings() {
 }
 
 #[test]
+fn simulate_json_prints_one_versioned_summary_line() {
+    let text = run_capture(&[
+        "simulate",
+        "--scale",
+        "0.02",
+        "--days",
+        "1",
+        "--no-warmup",
+        "--seed",
+        "3",
+        "--json",
+    ])
+    .unwrap();
+    assert_eq!(text.lines().count(), 1, "one JSON object, nothing else");
+    let summary = RunSummary::from_json_str(text.trim()).expect("valid summary");
+    assert_eq!(summary.config.seed, 3);
+    assert_eq!(summary.config.threads, 0, "canonicalized config");
+    assert!(summary.stats.placed > 0);
+    assert_eq!(summary.canonical_hash.len(), 16);
+}
+
+#[test]
 fn simulate_rejects_bad_arguments() {
     assert!(run_capture(&["simulate", "--scale", "9"]).is_err());
     assert!(run_capture(&["simulate", "--policy", "nope"]).is_err());
     assert!(run_capture(&["simulate", "stray-positional"]).is_err());
     assert!(run_capture(&["simulate", "--bogus"]).is_err());
+}
+
+#[test]
+fn exit_codes_separate_failure_classes() {
+    // Usage: unknown option.
+    assert_eq!(
+        run_capture(&["simulate", "--bogus"]).unwrap_err().exit_code(),
+        2
+    );
+    // Config: parseable arguments describing an invalid run.
+    assert_eq!(
+        run_capture(&["simulate", "--scale", "9"])
+            .unwrap_err()
+            .exit_code(),
+        3
+    );
+    // Io: missing input file.
+    assert_eq!(
+        run_capture(&["import", "/nonexistent/definitely-not-here.csv"])
+            .unwrap_err()
+            .exit_code(),
+        4
+    );
+    // Data: readable file, malformed content.
+    let dir = std::env::temp_dir();
+    let path = dir.join(format!("sapsim-cli-badlog-{}.jsonl", std::process::id()));
+    std::fs::write(&path, "not json\n").unwrap();
+    let err = run_capture(&["obs", "summary", path.to_str().unwrap()]).unwrap_err();
+    assert_eq!(err.exit_code(), 5, "{err}");
+    std::fs::remove_file(&path).unwrap();
+}
+
+#[test]
+fn sweep_runs_a_manifest_grid() {
+    let dir = std::env::temp_dir().join(format!("sapsim-cli-sweep-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let manifest = dir.join("grid.json");
+    std::fs::write(
+        &manifest,
+        r#"{
+            "name": "cli-grid",
+            "scale": 0.01,
+            "days": 1,
+            "warmup_days": 0,
+            "seeds": [1, 2],
+            "drs": [true, false]
+        }"#,
+    )
+    .unwrap();
+    let manifest_str = manifest.to_str().unwrap();
+    let out_dir = dir.join("artifacts");
+    let out_str = out_dir.to_str().unwrap();
+
+    let text = run_capture(&[
+        "sweep",
+        manifest_str,
+        "--workers",
+        "2",
+        "--out",
+        out_str,
+    ])
+    .unwrap();
+    assert!(text.contains("sweep `cli-grid`: 4 scenarios"), "{text}");
+    assert!(text.contains("sweep report — 4 scenarios"), "{text}");
+    assert!(text.contains("deltas vs baseline"), "{text}");
+
+    // --out writes the report and overlay artifacts.
+    let report_text = std::fs::read_to_string(out_dir.join("report.json")).unwrap();
+    let report = SweepReport::from_json_str(&report_text).expect("valid report");
+    assert_eq!(report.scenarios.len(), 4);
+    let overlay = std::fs::read_to_string(out_dir.join("cdf_overlay.csv")).unwrap();
+    assert!(overlay.starts_with("scenario,resource,utilization,cumulative_fraction"));
+
+    // --json mode emits exactly the report object and matches the file.
+    let json = run_capture(&["sweep", manifest_str, "--json"]).unwrap();
+    assert_eq!(json.lines().count(), 1);
+    assert_eq!(json.trim(), report_text, "report bytes are worker-count- and mode-independent");
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn sweep_rejects_bad_manifests() {
+    let err = run_capture(&["sweep"]).unwrap_err();
+    assert_eq!(err.exit_code(), 2, "{err}");
+
+    let err = run_capture(&["sweep", "/nonexistent/grid.json"]).unwrap_err();
+    assert_eq!(err.exit_code(), 4, "{err}");
+
+    let dir = std::env::temp_dir();
+    let path = dir.join(format!("sapsim-cli-badgrid-{}.json", std::process::id()));
+    std::fs::write(&path, r#"{"policies": ["best-fit"]}"#).unwrap();
+    let err = run_capture(&["sweep", path.to_str().unwrap()]).unwrap_err();
+    assert_eq!(err.exit_code(), 5, "{err}");
+    assert!(err.to_string().contains("unknown policy `best-fit`"));
+    std::fs::remove_file(&path).unwrap();
 }
 
 #[test]
@@ -158,9 +280,11 @@ fn simulate_with_faults_prints_the_fault_summary() {
 #[test]
 fn simulate_rejects_bad_fault_specs() {
     let err = run_capture(&["simulate", "--faults", "no-such-key=1"]).unwrap_err();
-    assert!(err.contains("faults"), "{err}");
+    assert!(err.to_string().contains("faults"), "{err}");
+    assert_eq!(err.exit_code(), 2, "inline syntax is a usage error");
     let err = run_capture(&["simulate", "--faults", "slowdown=0"]).unwrap_err();
-    assert!(err.contains("slowdown"), "{err}");
+    assert!(err.to_string().contains("slowdown"), "{err}");
+    assert_eq!(err.exit_code(), 3, "invalid knob values are config errors");
 }
 
 #[test]
@@ -195,13 +319,14 @@ fn obs_summary_roundtrips_fault_events() {
 #[test]
 fn obs_knobs_without_output_error() {
     let err = run_capture(&["simulate", "--obs-sample", "0.5"]).unwrap_err();
-    assert!(err.contains("--obs-out"), "{err}");
+    assert!(err.to_string().contains("--obs-out"), "{err}");
 }
 
 #[test]
 fn obs_summary_missing_file_errors() {
     let err = run_capture(&["obs", "summary", "/nonexistent/definitely-not.jsonl"]).unwrap_err();
-    assert!(err.contains("cannot read"));
+    assert!(err.to_string().contains("cannot read"));
+    assert_eq!(err.exit_code(), 4);
 }
 
 #[test]
@@ -216,5 +341,5 @@ fn tables_prints_all_three() {
 #[test]
 fn import_missing_file_errors() {
     let err = run_capture(&["import", "/nonexistent/definitely-not-here.csv"]).unwrap_err();
-    assert!(err.contains("cannot open"));
+    assert!(err.to_string().contains("cannot open"));
 }

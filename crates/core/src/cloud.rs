@@ -1,6 +1,7 @@
 //! The mutable world state: which VM runs where, and what is allocated.
 
 use crate::config::PlacementGranularity;
+use crate::error::SimError;
 use crate::hypervisor;
 use crate::viewcache::{HostViewCache, WorldRefs};
 use sapsim_scheduler::{CandidateIndex, HostView};
@@ -639,8 +640,10 @@ impl Cloud {
     }
 
     /// Cross-check every accounting invariant; used by tests and debug
-    /// assertions. Expensive — O(VMs).
-    pub fn verify_accounting(&self, specs: &[VmSpec]) -> Result<(), String> {
+    /// assertions. Expensive — O(VMs). A violation surfaces as
+    /// [`SimError::Topology`].
+    pub fn verify_accounting(&self, specs: &[VmSpec]) -> Result<(), SimError> {
+        let violation = |msg: String| Err(SimError::Topology(msg));
         let mut node_sum = vec![Resources::ZERO; self.topo.nodes().len()];
         let mut bb_sum = vec![Resources::ZERO; self.topo.bbs().len()];
         for vm in self.vm_slots.iter().flatten() {
@@ -648,7 +651,7 @@ impl Cloud {
             node_sum[vm.node.index()] += vm.resources;
             bb_sum[self.topo.node(vm.node).bb.index()] += vm.resources;
             if !self.node_vms[vm.node.index()].contains(&vm.id) {
-                return Err(format!(
+                return violation(format!(
                     "{} missing from residency list of {}",
                     vm.id, vm.node
                 ));
@@ -656,18 +659,18 @@ impl Cloud {
         }
         for (i, expect) in node_sum.iter().enumerate() {
             if self.node_alloc[i] != *expect {
-                return Err(format!(
+                return violation(format!(
                     "node {i} allocation drift: tracked={}, actual={expect}",
                     self.node_alloc[i]
                 ));
             }
             if !self.node_virtual_cap[i].fits(expect) {
-                return Err(format!("node {i} over-allocated: {expect}"));
+                return violation(format!("node {i} over-allocated: {expect}"));
             }
         }
         for (i, expect) in bb_sum.iter().enumerate() {
             if self.bb_alloc[i] != *expect {
-                return Err(format!(
+                return violation(format!(
                     "bb {i} allocation drift: tracked={}, actual={expect}",
                     self.bb_alloc[i]
                 ));

@@ -1,5 +1,6 @@
 //! Simulation configuration.
 
+use crate::error::SimError;
 use sapsim_faults::FaultSpec;
 use sapsim_scheduler::{DrsConfig, PolicyKind};
 use sapsim_sim::SimDuration;
@@ -21,7 +22,14 @@ pub enum PlacementGranularity {
 
 /// Full configuration of one simulation run. A run is a pure function of
 /// this value — two runs with equal configs produce identical results.
+///
+/// Marked `#[non_exhaustive]` so fields can be added without breaking
+/// embedders: construct one by mutating [`SimConfig::default`] (or
+/// [`SimConfig::smoke_test`] / [`SimConfig::paper_full`]), or use
+/// [`SimConfig::builder`] for a validated fluent form. The serde wire
+/// format is unchanged by the attribute and is pinned by tests.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[non_exhaustive]
 pub struct SimConfig {
     /// Root RNG seed.
     pub seed: u64,
@@ -162,46 +170,162 @@ impl SimConfig {
     }
 
     /// Validate invariants; called by the driver before running.
-    pub fn validate(&self) -> Result<(), String> {
+    pub fn validate(&self) -> Result<(), SimError> {
+        let invalid = |msg: String| Err(SimError::InvalidConfig(msg));
         if self.days == 0 {
-            return Err("days must be at least 1".into());
+            return invalid("days must be at least 1".into());
         }
         if !(self.scale > 0.0 && self.scale <= 1.0) {
-            return Err(format!("scale must be in (0, 1], got {}", self.scale));
+            return invalid(format!("scale must be in (0, 1], got {}", self.scale));
         }
         if self.scrape_interval.is_zero() || self.os_gauge_interval.is_zero() {
-            return Err("scrape intervals must be positive".into());
+            return invalid("scrape intervals must be positive".into());
         }
         if self.gp_cpu_overcommit <= 0.0 {
-            return Err("gp_cpu_overcommit must be positive".into());
+            return invalid("gp_cpu_overcommit must be positive".into());
         }
         if self.drs_enabled && self.drs_interval.is_zero() {
-            return Err("drs_interval must be positive when DRS is enabled".into());
+            return invalid("drs_interval must be positive when DRS is enabled".into());
         }
         if !(0.0..=1.0).contains(&self.resize_probability) {
-            return Err(format!(
+            return invalid(format!(
                 "resize_probability must be in [0, 1], got {}",
                 self.resize_probability
             ));
         }
         if self.maintenance_rate_per_month < 0.0 {
-            return Err("maintenance_rate_per_month must be non-negative".into());
+            return invalid("maintenance_rate_per_month must be non-negative".into());
         }
         if !self.warmup_days.is_multiple_of(7) {
-            return Err(format!(
+            return invalid(format!(
                 "warmup_days must be a multiple of 7 to keep the weekday \
                  calendar anchored, got {}",
                 self.warmup_days
             ));
         }
         if !(0.0..0.9).contains(&self.reserve_bb_fraction) {
-            return Err(format!(
+            return invalid(format!(
                 "reserve_bb_fraction must be in [0, 0.9), got {}",
                 self.reserve_bb_fraction
             ));
         }
         self.faults.validate()?;
         Ok(())
+    }
+
+    /// Start a fluent, validated construction from [`SimConfig::default`].
+    ///
+    /// The builder is the recommended way for embedders to assemble a
+    /// config now that `SimConfig` is `#[non_exhaustive]`:
+    ///
+    /// ```
+    /// use sapsim_core::SimConfig;
+    ///
+    /// let config = SimConfig::builder()
+    ///     .scale(0.05)
+    ///     .days(7)
+    ///     .warmup_days(0)
+    ///     .build()
+    ///     .expect("valid config");
+    /// assert_eq!(config.days, 7);
+    /// ```
+    pub fn builder() -> SimConfigBuilder {
+        SimConfigBuilder {
+            config: SimConfig::default(),
+        }
+    }
+
+    /// Re-open this config as a builder, e.g. to derive a variant from
+    /// [`SimConfig::smoke_test`] or a deserialized base.
+    pub fn to_builder(self) -> SimConfigBuilder {
+        SimConfigBuilder { config: self }
+    }
+}
+
+/// Fluent, validated constructor for [`SimConfig`].
+///
+/// Each setter overwrites one field of the wrapped config (starting from
+/// [`SimConfig::default`] or the config passed to
+/// [`SimConfig::to_builder`]); [`SimConfigBuilder::build`] runs
+/// [`SimConfig::validate`] and hands back the finished value. Building
+/// never changes the serde wire format: a builder-built config serializes
+/// byte-identically to the same config assembled by field mutation.
+#[derive(Debug, Clone)]
+#[must_use = "a builder does nothing until `.build()` is called"]
+pub struct SimConfigBuilder {
+    config: SimConfig,
+}
+
+macro_rules! builder_setters {
+    ($(
+        $(#[$doc:meta])*
+        $field:ident: $ty:ty
+    ),* $(,)?) => {
+        $(
+            $(#[$doc])*
+            pub fn $field(mut self, value: $ty) -> Self {
+                self.config.$field = value;
+                self
+            }
+        )*
+    };
+}
+
+impl SimConfigBuilder {
+    builder_setters! {
+        /// Root RNG seed.
+        seed: u64,
+        /// Observation window in days.
+        days: u64,
+        /// Workload and topology scale in `(0, 1]`.
+        scale: f64,
+        /// Initial-placement policy.
+        policy: PolicyKind,
+        /// Candidate granularity for initial placement.
+        granularity: PlacementGranularity,
+        /// Whether the DRS-style intra-BB rebalancer runs.
+        drs_enabled: bool,
+        /// DRS tuning.
+        drs: DrsConfig,
+        /// How often DRS evaluates each building block.
+        drs_interval: SimDuration,
+        /// Whether the cross-BB rebalancer runs.
+        cross_bb_enabled: bool,
+        /// How often the cross-BB rebalancer evaluates each data center.
+        cross_bb_interval: SimDuration,
+        /// Telemetry scrape interval for vROps-style metrics.
+        scrape_interval: SimDuration,
+        /// Telemetry interval for the Nova-DB gauges.
+        os_gauge_interval: SimDuration,
+        /// Record full-resolution host series in addition to rollups.
+        record_raw_host_series: bool,
+        /// CPU overcommit ratio for general-purpose building blocks.
+        gp_cpu_overcommit: f64,
+        /// Generate churn in addition to the initial population.
+        churn: bool,
+        /// Fraction of GP building blocks held back as reserve.
+        reserve_bb_fraction: f64,
+        /// Probability of one mid-life resize per GP VM.
+        resize_probability: f64,
+        /// Expected planned-maintenance windows per node per 30 days.
+        maintenance_rate_per_month: f64,
+        /// Length of one maintenance window.
+        maintenance_duration: SimDuration,
+        /// Pre-observation warm-up in days (multiple of 7).
+        warmup_days: u64,
+        /// Worker threads for the telemetry-scrape fan-out.
+        threads: usize,
+        /// Fault injection spec.
+        faults: FaultSpec,
+        /// Equivalence oracle: rebuild host views from scratch each
+        /// decision.
+        naive_host_views: bool,
+    }
+
+    /// Validate and return the finished config.
+    pub fn build(self) -> Result<SimConfig, SimError> {
+        self.config.validate()?;
+        Ok(self.config)
     }
 }
 
@@ -311,6 +435,44 @@ mod tests {
         assert!(json.contains("host_fail_rate_per_month"));
         let back: SimConfig = serde_json::from_str(&json).expect("deserializes");
         assert_eq!(back, faulty);
+    }
+
+    #[test]
+    fn builder_matches_field_mutation_and_wire_format() {
+        let built = SimConfig::builder()
+            .seed(7)
+            .scale(0.05)
+            .days(5)
+            .policy(PolicyKind::ContentionAware)
+            .granularity(PlacementGranularity::Node)
+            .warmup_days(0)
+            .build()
+            .expect("valid");
+        let mut mutated = SimConfig::default();
+        mutated.seed = 7;
+        mutated.scale = 0.05;
+        mutated.days = 5;
+        mutated.policy = PolicyKind::ContentionAware;
+        mutated.granularity = PlacementGranularity::Node;
+        mutated.warmup_days = 0;
+        assert_eq!(built, mutated);
+        assert_eq!(
+            serde_json::to_string(&built).expect("serializes"),
+            serde_json::to_string(&mutated).expect("serializes"),
+            "builder must not perturb the serde wire format"
+        );
+    }
+
+    #[test]
+    fn builder_rejects_what_validate_rejects() {
+        let err = SimConfig::builder().days(0).build().expect_err("invalid");
+        assert_eq!(err.to_string(), "invalid config: days must be at least 1");
+        let err = SimConfig::smoke_test()
+            .to_builder()
+            .warmup_days(3)
+            .build()
+            .expect_err("invalid");
+        assert!(err.to_string().contains("multiple of 7"));
     }
 
     #[test]

@@ -3,6 +3,7 @@
 
 use crate::cloud::{Cloud, PlacedVm, PlacementOutcome};
 use crate::config::{PlacementGranularity, SimConfig};
+use crate::error::SimError;
 use crate::hypervisor::{self, NodeDemand};
 use crate::result::{DriverStats, FaultStats, RunResult, VmUsageSummary};
 use rand::Rng;
@@ -146,8 +147,10 @@ pub struct SimDriver {
 }
 
 impl SimDriver {
-    /// Validate the configuration and build a driver.
-    pub fn new(config: SimConfig) -> Result<Self, String> {
+    /// Validate the configuration and build a driver. An out-of-range
+    /// knob surfaces as [`SimError::InvalidConfig`] (or
+    /// [`SimError::FaultPlan`] for fault-spec knobs).
+    pub fn new(config: SimConfig) -> Result<Self, SimError> {
         config.validate()?;
         Ok(SimDriver { config })
     }

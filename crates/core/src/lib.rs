@@ -29,21 +29,42 @@
 mod cloud;
 mod config;
 mod driver;
+mod error;
 pub mod hypervisor;
 mod result;
+pub mod scenario;
 mod viewcache;
 
 pub use cloud::{Cloud, PlacedVm, PlacementOutcome};
-pub use config::{PlacementGranularity, SimConfig};
+pub use config::{PlacementGranularity, SimConfig, SimConfigBuilder};
 pub use driver::SimDriver;
+pub use error::SimError;
 pub use result::{DriverStats, FaultStats, RunResult, VmUsageSummary};
+pub use scenario::{fnv1a_64, Scenario, SweepSpec};
 
 /// Re-export of the fault-injection layer: the spec travels on
 /// [`SimConfig::faults`](crate::SimConfig), so embedders configuring faults
 /// need the types without naming the `sapsim-faults` crate themselves.
-pub use sapsim_faults::{FaultPlan, FaultSpec};
+pub use sapsim_faults::{FaultError, FaultPlan, FaultSpec};
 
 /// Re-export of the observability substrate so embedders can drive
 /// [`SimDriver::run_with_recorder`](crate::SimDriver) without naming the
 /// `sapsim-obs` crate themselves.
 pub use sapsim_obs as obs;
+
+/// One-stop imports for embedders.
+///
+/// `use sapsim_core::prelude::*;` brings in everything needed to
+/// configure, run, and sweep simulations without reaching into module
+/// paths: the config surface ([`SimConfig`], [`SimConfigBuilder`],
+/// [`PlacementGranularity`], [`PolicyKind`](sapsim_scheduler::PolicyKind),
+/// [`FaultSpec`]), the session layer ([`Scenario`], [`SweepSpec`],
+/// [`SimDriver`]), the outputs ([`RunResult`], [`DriverStats`]), and the
+/// error type ([`SimError`]).
+pub mod prelude {
+    pub use crate::{
+        DriverStats, FaultSpec, PlacementGranularity, RunResult, Scenario, SimConfig,
+        SimConfigBuilder, SimDriver, SimError, SweepSpec,
+    };
+    pub use sapsim_scheduler::PolicyKind;
+}

@@ -30,6 +30,37 @@
 use rand::Rng;
 use sapsim_sim::{SimDuration, SimRng, SimTime, MILLIS_PER_DAY, MILLIS_PER_HOUR};
 use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// What went wrong while validating or parsing a [`FaultSpec`].
+///
+/// Every variant carries the full human-readable message (already prefixed
+/// with `faults:`), so `Display` needs no reassembly and the texts match
+/// the pre-typed-error era byte for byte. Marked `#[non_exhaustive]` so
+/// new fault kinds can add variants without a breaking release.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum FaultError {
+    /// A knob is outside its documented range.
+    InvalidSpec(String),
+    /// An inline `key=value,...` spec (the `--faults` shorthand) failed
+    /// to parse.
+    InlineSyntax(String),
+    /// A JSON spec body failed to deserialize.
+    JsonSyntax(String),
+}
+
+impl fmt::Display for FaultError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultError::InvalidSpec(msg)
+            | FaultError::InlineSyntax(msg)
+            | FaultError::JsonSyntax(msg) => f.write_str(msg),
+        }
+    }
+}
+
+impl std::error::Error for FaultError {}
 
 /// User-facing fault-injection parameters.
 ///
@@ -97,27 +128,28 @@ impl FaultSpec {
     }
 
     /// Validate the knobs, mirroring `SimConfig::validate`.
-    pub fn validate(&self) -> Result<(), String> {
+    pub fn validate(&self) -> Result<(), FaultError> {
+        let invalid = |msg: &str| Err(FaultError::InvalidSpec(msg.into()));
         if !self.host_fail_rate_per_month.is_finite() || self.host_fail_rate_per_month < 0.0 {
-            return Err("faults: host failure rate must be >= 0".into());
+            return invalid("faults: host failure rate must be >= 0");
         }
         if !self.host_downtime_hours.is_finite() || self.host_downtime_hours < 0.0 {
-            return Err("faults: host downtime must be >= 0 hours".into());
+            return invalid("faults: host downtime must be >= 0 hours");
         }
         if !(0.0..=1.0).contains(&self.straggler_fraction) {
-            return Err("faults: straggler fraction must be in [0, 1]".into());
+            return invalid("faults: straggler fraction must be in [0, 1]");
         }
         if !(self.straggler_slowdown > 0.0 && self.straggler_slowdown <= 1.0) {
-            return Err("faults: straggler slowdown must be in (0, 1]".into());
+            return invalid("faults: straggler slowdown must be in (0, 1]");
         }
         if !self.dropout_rate_per_month.is_finite() || self.dropout_rate_per_month < 0.0 {
-            return Err("faults: dropout rate must be >= 0".into());
+            return invalid("faults: dropout rate must be >= 0");
         }
         if self.dropout_rate_per_month > 0.0 && self.dropout_duration_hours <= 0.0 {
-            return Err("faults: dropout duration must be positive".into());
+            return invalid("faults: dropout duration must be positive");
         }
         if self.host_fail_rate_per_month > 0.0 && self.evac_retry_backoff_secs == 0 {
-            return Err("faults: evacuation retry backoff must be positive".into());
+            return invalid("faults: evacuation retry backoff must be positive");
         }
         Ok(())
     }
@@ -127,20 +159,22 @@ impl FaultSpec {
     /// `straggler` (fraction), `slowdown` (throughput factor), `dropout`
     /// (windows/node/month), `dropout-hours`, `retries`, `backoff`
     /// (seconds). Unknown keys are rejected.
-    pub fn parse_inline(text: &str) -> Result<Self, String> {
+    pub fn parse_inline(text: &str) -> Result<Self, FaultError> {
         let mut spec = FaultSpec::none();
         for part in text.split(',') {
             let part = part.trim();
             if part.is_empty() {
                 continue;
             }
-            let (key, value) = part
-                .split_once('=')
-                .ok_or_else(|| format!("faults: expected key=value, got `{part}`"))?;
-            let fval = || -> Result<f64, String> {
-                value
-                    .parse::<f64>()
-                    .map_err(|_| format!("faults: `{key}` wants a number, got `{value}`"))
+            let (key, value) = part.split_once('=').ok_or_else(|| {
+                FaultError::InlineSyntax(format!("faults: expected key=value, got `{part}`"))
+            })?;
+            let fval = || -> Result<f64, FaultError> {
+                value.parse::<f64>().map_err(|_| {
+                    FaultError::InlineSyntax(format!(
+                        "faults: `{key}` wants a number, got `{value}`"
+                    ))
+                })
             };
             match key.trim() {
                 "fail" => spec.host_fail_rate_per_month = fval()?,
@@ -150,16 +184,24 @@ impl FaultSpec {
                 "dropout" => spec.dropout_rate_per_month = fval()?,
                 "dropout-hours" => spec.dropout_duration_hours = fval()?,
                 "retries" => {
-                    spec.evac_retry_limit = value
-                        .parse::<u32>()
-                        .map_err(|_| format!("faults: `retries` wants an integer, got `{value}`"))?
+                    spec.evac_retry_limit = value.parse::<u32>().map_err(|_| {
+                        FaultError::InlineSyntax(format!(
+                            "faults: `retries` wants an integer, got `{value}`"
+                        ))
+                    })?
                 }
                 "backoff" => {
-                    spec.evac_retry_backoff_secs = value
-                        .parse::<u64>()
-                        .map_err(|_| format!("faults: `backoff` wants seconds, got `{value}`"))?
+                    spec.evac_retry_backoff_secs = value.parse::<u64>().map_err(|_| {
+                        FaultError::InlineSyntax(format!(
+                            "faults: `backoff` wants seconds, got `{value}`"
+                        ))
+                    })?
                 }
-                other => return Err(format!("faults: unknown key `{other}`")),
+                other => {
+                    return Err(FaultError::InlineSyntax(format!(
+                        "faults: unknown key `{other}`"
+                    )))
+                }
             }
         }
         spec.validate()?;
@@ -168,9 +210,9 @@ impl FaultSpec {
 
     /// Parse a JSON file body (the `--faults <FILE>` form). Absent fields
     /// fall back to [`FaultSpec::none`] defaults.
-    pub fn from_json_str(text: &str) -> Result<Self, String> {
-        let spec: FaultSpec =
-            serde_json::from_str(text).map_err(|e| format!("faults: bad JSON spec: {e}"))?;
+    pub fn from_json_str(text: &str) -> Result<Self, FaultError> {
+        let spec: FaultSpec = serde_json::from_str(text)
+            .map_err(|e| FaultError::JsonSyntax(format!("faults: bad JSON spec: {e}")))?;
         spec.validate()?;
         Ok(spec)
     }

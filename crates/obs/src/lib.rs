@@ -44,4 +44,4 @@ pub use event::{
     DecisionOutcome, DecisionRecord, FaultEventKind, HostScore, ObsEvent, SpanKind, DECISION_TOP_K,
 };
 pub use profile::{PhaseStat, RunProfile};
-pub use recorder::{JsonlRecorder, NullRecorder, ObsConfig, Recorder};
+pub use recorder::{JsonlRecorder, NullRecorder, ObsConfig, ObsError, Recorder};

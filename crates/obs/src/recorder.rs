@@ -2,10 +2,33 @@
 //! recorder.
 
 use std::collections::{BTreeMap, VecDeque};
+use std::fmt;
 use std::io;
 
 use crate::event::{ObsEvent, SpanKind};
 use crate::json;
+
+/// What went wrong while configuring an observability sink.
+///
+/// Marked `#[non_exhaustive]` so sink I/O failures can grow variants
+/// without a breaking release.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ObsError {
+    /// An [`ObsConfig`] knob is outside its documented range. The
+    /// payload is the human-readable rule.
+    InvalidConfig(String),
+}
+
+impl fmt::Display for ObsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ObsError::InvalidConfig(msg) => f.write_str(msg),
+        }
+    }
+}
+
+impl std::error::Error for ObsError {}
 
 /// Sink for observability events.
 ///
@@ -86,15 +109,17 @@ impl Default for ObsConfig {
 
 impl ObsConfig {
     /// Check the knobs are usable: rate in `[0, 1]`, capacity nonzero.
-    pub fn validate(&self) -> Result<(), String> {
+    pub fn validate(&self) -> Result<(), ObsError> {
         if !(0.0..=1.0).contains(&self.decision_sample_rate) {
-            return Err(format!(
+            return Err(ObsError::InvalidConfig(format!(
                 "decision sample rate must be in [0, 1], got {}",
                 self.decision_sample_rate
-            ));
+            )));
         }
         if self.ring_capacity == 0 {
-            return Err("obs ring capacity must be at least 1".to_string());
+            return Err(ObsError::InvalidConfig(
+                "obs ring capacity must be at least 1".to_string(),
+            ));
         }
         Ok(())
     }

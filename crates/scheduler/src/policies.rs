@@ -55,6 +55,13 @@ impl PolicyKind {
             PolicyKind::LifetimeAware => "lifetime-aware",
         }
     }
+
+    /// Inverse of [`PolicyKind::name`]: resolve a stable kebab-case name
+    /// (as used by the CLI `--policy` flag and sweep manifests) back to
+    /// its kind. Returns `None` for unknown names.
+    pub fn from_name(name: &str) -> Option<PolicyKind> {
+        PolicyKind::ALL.into_iter().find(|k| k.name() == name)
+    }
 }
 
 fn standard_filters() -> Vec<Box<dyn Filter>> {
@@ -279,6 +286,15 @@ mod tests {
                 "lifetime-aware"
             ]
         );
+    }
+
+    #[test]
+    fn from_name_inverts_name() {
+        for kind in PolicyKind::ALL {
+            assert_eq!(PolicyKind::from_name(kind.name()), Some(kind));
+        }
+        assert_eq!(PolicyKind::from_name("Spread"), None);
+        assert_eq!(PolicyKind::from_name(""), None);
     }
 
     #[test]

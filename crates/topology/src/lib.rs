@@ -41,5 +41,5 @@ pub use presets::{
 };
 pub use topology::{
     AvailabilityZone, BbPurpose, BuildingBlock, ComputeNode, DataCenter, NodeState, Region,
-    Topology,
+    Topology, TopologyError,
 };

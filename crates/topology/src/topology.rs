@@ -4,6 +4,28 @@ use crate::capacity::Resources;
 use crate::hardware::{HardwareProfile, OvercommitPolicy};
 use crate::ids::{AzId, BbId, DcId, NodeId, RegionId};
 use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A broken cross-reference found by [`Topology::validate`].
+///
+/// Marked `#[non_exhaustive]`; keep a wildcard arm.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TopologyError {
+    /// An arena invariant does not hold. The payload is the full
+    /// human-readable message.
+    Invariant(String),
+}
+
+impl fmt::Display for TopologyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TopologyError::Invariant(msg) => f.write_str(msg),
+        }
+    }
+}
+
+impl std::error::Error for TopologyError {}
 
 /// A geographic region, the top of the hierarchy (paper Figure 1).
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -353,53 +375,54 @@ impl Topology {
     /// Internal consistency check: every cross-reference resolves and
     /// every child points back at its parent. Used by tests and by the
     /// builders after construction.
-    pub fn validate(&self) -> Result<(), String> {
+    pub fn validate(&self) -> Result<(), TopologyError> {
+        let broken = |msg: String| Err(TopologyError::Invariant(msg));
         for (i, r) in self.regions.iter().enumerate() {
             if r.id.index() != i {
-                return Err(format!("region arena id mismatch at {i}"));
+                return broken(format!("region arena id mismatch at {i}"));
             }
             for &az in &r.azs {
                 if self.azs.get(az.index()).map(|a| a.region) != Some(r.id) {
-                    return Err(format!("az {az} does not point back at {}", r.id));
+                    return broken(format!("az {az} does not point back at {}", r.id));
                 }
             }
         }
         for (i, az) in self.azs.iter().enumerate() {
             if az.id.index() != i {
-                return Err(format!("az arena id mismatch at {i}"));
+                return broken(format!("az arena id mismatch at {i}"));
             }
             for &dc in &az.dcs {
                 if self.dcs.get(dc.index()).map(|d| d.az) != Some(az.id) {
-                    return Err(format!("dc {dc} does not point back at {}", az.id));
+                    return broken(format!("dc {dc} does not point back at {}", az.id));
                 }
             }
         }
         for (i, dc) in self.dcs.iter().enumerate() {
             if dc.id.index() != i {
-                return Err(format!("dc arena id mismatch at {i}"));
+                return broken(format!("dc arena id mismatch at {i}"));
             }
             for &bb in &dc.bbs {
                 if self.bbs.get(bb.index()).map(|b| b.dc) != Some(dc.id) {
-                    return Err(format!("bb {bb} does not point back at {}", dc.id));
+                    return broken(format!("bb {bb} does not point back at {}", dc.id));
                 }
             }
         }
         for (i, bb) in self.bbs.iter().enumerate() {
             if bb.id.index() != i {
-                return Err(format!("bb arena id mismatch at {i}"));
+                return broken(format!("bb arena id mismatch at {i}"));
             }
             if bb.nodes.is_empty() {
-                return Err(format!("bb {} has no nodes", bb.id));
+                return broken(format!("bb {} has no nodes", bb.id));
             }
             for &n in &bb.nodes {
                 if self.nodes.get(n.index()).map(|nd| nd.bb) != Some(bb.id) {
-                    return Err(format!("node {n} does not point back at {}", bb.id));
+                    return broken(format!("node {n} does not point back at {}", bb.id));
                 }
             }
         }
         for (i, n) in self.nodes.iter().enumerate() {
             if n.id.index() != i {
-                return Err(format!("node arena id mismatch at {i}"));
+                return broken(format!("node arena id mismatch at {i}"));
             }
         }
         Ok(())

@@ -13,12 +13,12 @@ fn main() {
     // 5% of the region (~90 hypervisors, ~2,300 VMs), 3 simulated days,
     // the paper's production scheduling policy (load-balance general
     // purpose, bin-pack HANA on memory, DRS on).
-    let config = SimConfig {
-        scale: 0.05,
-        days: 3,
-        seed: 42,
-        ..SimConfig::default()
-    };
+    let config = SimConfig::builder()
+        .scale(0.05)
+        .days(3)
+        .seed(42)
+        .build()
+        .expect("valid config");
     println!(
         "simulating {} days of the studied region at {:.0}% scale ...",
         config.days,

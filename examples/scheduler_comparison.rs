@@ -12,12 +12,12 @@ use sapsim_core::{SimConfig, SimDriver};
 use sapsim_scheduler::PolicyKind;
 
 fn main() {
-    let base = SimConfig {
-        scale: 0.05,
-        days: 4,
-        seed: 7,
-        ..SimConfig::default()
-    };
+    let base = SimConfig::builder()
+        .scale(0.05)
+        .days(4)
+        .seed(7)
+        .build()
+        .expect("valid config");
     println!(
         "same workload (seed {}), two initial-placement policies, {} days at {:.0}% scale\n",
         base.seed,
@@ -27,7 +27,7 @@ fn main() {
 
     let mut rows = Vec::new();
     for policy in [PolicyKind::Spread, PolicyKind::ContentionAware] {
-        let cfg = SimConfig { policy, ..base };
+        let cfg = base.to_builder().policy(policy).build().expect("valid config");
         let run = SimDriver::new(cfg).expect("valid config").run();
         rows.push(ablation_row(policy.name(), &run));
     }

@@ -13,12 +13,12 @@ use sapsim_trace::{TraceReader, TraceWriter};
 use std::io::BufReader;
 
 fn main() {
-    let config = SimConfig {
-        scale: 0.02,
-        days: 2,
-        seed: 3,
-        ..SimConfig::default()
-    };
+    let config = SimConfig::builder()
+        .scale(0.02)
+        .days(2)
+        .seed(3)
+        .build()
+        .expect("valid config");
     println!("simulating {} days at {:.0}% scale ...", config.days, config.scale * 100.0);
     let result = SimDriver::new(config).expect("valid config").run();
 

@@ -27,14 +27,14 @@ fn busy_faults() -> FaultSpec {
 }
 
 fn base(seed: u64, faults: FaultSpec) -> SimConfig {
-    SimConfig {
-        scale: 0.02,
-        days: 2,
-        seed,
-        warmup_days: 0,
-        faults,
-        ..SimConfig::default()
-    }
+    SimConfig::builder()
+        .scale(0.02)
+        .days(2)
+        .seed(seed)
+        .warmup_days(0)
+        .faults(faults)
+        .build()
+        .expect("valid test config")
 }
 
 fn run_bytes(mut cfg: SimConfig, naive: bool, threads: usize) -> Vec<u8> {

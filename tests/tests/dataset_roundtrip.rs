@@ -7,13 +7,13 @@ use sapsim_trace::{TraceReader, TraceWriter, CSV_HEADER};
 use std::io::BufReader;
 
 fn small_run() -> sapsim_core::RunResult {
-    let cfg = SimConfig {
-        scale: 0.02,
-        days: 2,
-        seed: 77,
-        warmup_days: 0,
-        ..SimConfig::default()
-    };
+    let cfg = SimConfig::builder()
+        .scale(0.02)
+        .days(2)
+        .seed(77)
+        .warmup_days(0)
+        .build()
+        .expect("valid test config");
     SimDriver::new(cfg).expect("valid").run()
 }
 

@@ -6,13 +6,13 @@ use sapsim_telemetry::MetricId;
 use sapsim_trace::TraceWriter;
 
 fn cfg(seed: u64) -> SimConfig {
-    SimConfig {
-        scale: 0.02,
-        days: 2,
-        seed,
-        warmup_days: 0,
-        ..SimConfig::default()
-    }
+    SimConfig::builder()
+        .scale(0.02)
+        .days(2)
+        .seed(seed)
+        .warmup_days(0)
+        .build()
+        .expect("valid test config")
 }
 
 /// The strongest possible check: two runs export byte-identical datasets.

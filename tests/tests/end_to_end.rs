@@ -17,12 +17,12 @@ fn shared_run() -> &'static sapsim_core::RunResult {
     use std::sync::OnceLock;
     static RUN: OnceLock<sapsim_core::RunResult> = OnceLock::new();
     RUN.get_or_init(|| {
-        let cfg = SimConfig {
-            scale: 0.05,
-            days: 5,
-            seed: 1234,
-            ..SimConfig::default()
-        };
+        let cfg = SimConfig::builder()
+            .scale(0.05)
+            .days(5)
+            .seed(1234)
+            .build()
+            .expect("valid test config");
         SimDriver::new(cfg).expect("valid").run()
     })
 }

@@ -10,13 +10,13 @@
 use sapsim_core::{FaultSpec, SimConfig, SimDriver};
 
 fn cfg(seed: u64) -> SimConfig {
-    SimConfig {
-        scale: 0.02,
-        days: 2,
-        seed,
-        warmup_days: 0,
-        ..SimConfig::default()
-    }
+    SimConfig::builder()
+        .scale(0.02)
+        .days(2)
+        .seed(seed)
+        .warmup_days(0)
+        .build()
+        .expect("valid test config")
 }
 
 fn faulty(seed: u64) -> SimConfig {

@@ -18,13 +18,13 @@ use std::path::PathBuf;
 /// The reference run every snapshot is rendered from: small, fast, and
 /// seeded — the same configuration the determinism suite pins down.
 fn reference_run() -> RunResult {
-    let cfg = SimConfig {
-        scale: 0.02,
-        days: 2,
-        seed: 0,
-        warmup_days: 0,
-        ..SimConfig::default()
-    };
+    let cfg = SimConfig::builder()
+        .scale(0.02)
+        .days(2)
+        .seed(0)
+        .warmup_days(0)
+        .build()
+        .expect("valid reference config");
     SimDriver::new(cfg).expect("valid reference config").run()
 }
 

@@ -24,14 +24,14 @@ fn busy_faults() -> FaultSpec {
 }
 
 fn cfg(seed: u64, faults: FaultSpec) -> SimConfig {
-    SimConfig {
-        scale: 0.02,
-        days: 2,
-        seed,
-        warmup_days: 0,
-        faults,
-        ..SimConfig::default()
-    }
+    SimConfig::builder()
+        .scale(0.02)
+        .days(2)
+        .seed(seed)
+        .warmup_days(0)
+        .faults(faults)
+        .build()
+        .expect("valid test config")
 }
 
 fn assert_invariants(run: &sapsim_core::RunResult, label: &str) {

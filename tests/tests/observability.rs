@@ -7,13 +7,13 @@ use sapsim_core::{SimConfig, SimDriver};
 use serde_json::Value;
 
 fn cfg(seed: u64) -> SimConfig {
-    SimConfig {
-        scale: 0.02,
-        days: 2,
-        seed,
-        warmup_days: 0,
-        ..SimConfig::default()
-    }
+    SimConfig::builder()
+        .scale(0.02)
+        .days(2)
+        .seed(seed)
+        .warmup_days(0)
+        .build()
+        .expect("valid test config")
 }
 
 fn recorded_run(seed: u64, threads: usize, config: ObsConfig) -> (Vec<u8>, JsonlRecorder) {
