@@ -1,0 +1,137 @@
+//! Event-queue backend benchmarks: the hierarchical timing wheel against
+//! the binary-heap oracle on the access patterns a simulation run
+//! actually produces — bulk schedule/drain, cancel-heavy feeds (VM
+//! departures cancelled by failures), and steady-state timer churn (the
+//! scrape/DRS tickers rescheduling themselves forever).
+//!
+//! Throughput is reported in queue operations per second so the two
+//! backends are directly comparable across group lines.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use sapsim_sim::{EventQueue, QueueBackend, SimRng, SimTime};
+use std::hint::black_box;
+
+const BACKENDS: [(&str, QueueBackend); 2] = [
+    ("wheel", QueueBackend::TimingWheel),
+    ("heap", QueueBackend::BinaryHeap),
+];
+
+/// Pre-draw the pseudo-random schedule times once so the measured loop is
+/// pure queue work. A simulated week in milliseconds keeps the wheel's
+/// upper levels exercised.
+fn times(n: usize, seed: u64) -> Vec<SimTime> {
+    let mut rng = SimRng::seed_from(seed);
+    (0..n)
+        .map(|_| SimTime::from_millis(rng.gen_range(0..7 * 86_400_000)))
+        .collect()
+}
+
+/// Push 1M scattered events, then drain them all in time order.
+fn push_pop(c: &mut Criterion) {
+    const N: usize = 1_000_000;
+    let schedule = times(N, 11);
+    let mut g = c.benchmark_group("event_queue");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(2 * N as u64));
+    for (name, backend) in BACKENDS {
+        g.bench_with_input(
+            BenchmarkId::new("push_pop_1m", name),
+            &backend,
+            |b, &backend| {
+                b.iter(|| {
+                    let mut q: EventQueue<u32> = EventQueue::with_backend(backend);
+                    for (i, &t) in schedule.iter().enumerate() {
+                        q.push(t, i as u32);
+                    }
+                    let mut acc = 0u32;
+                    while let Some(ev) = q.pop() {
+                        acc = acc.wrapping_add(ev.payload);
+                    }
+                    black_box(acc)
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+/// Push 1M events and cancel three quarters of them before draining —
+/// the shape a fault-heavy run produces when failures cancel departures.
+fn cancel_heavy(c: &mut Criterion) {
+    const N: usize = 1_000_000;
+    let schedule = times(N, 13);
+    let mut g = c.benchmark_group("event_queue");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(2 * N as u64));
+    for (name, backend) in BACKENDS {
+        g.bench_with_input(
+            BenchmarkId::new("cancel_75pct_1m", name),
+            &backend,
+            |b, &backend| {
+                b.iter(|| {
+                    let mut q: EventQueue<u32> = EventQueue::with_backend(backend);
+                    let handles: Vec<_> = schedule
+                        .iter()
+                        .enumerate()
+                        .map(|(i, &t)| q.push(t, i as u32))
+                        .collect();
+                    for (i, &h) in handles.iter().enumerate() {
+                        if i % 4 != 0 {
+                            q.cancel(h);
+                        }
+                    }
+                    let mut acc = 0u32;
+                    while let Some(ev) = q.pop() {
+                        acc = acc.wrapping_add(ev.payload);
+                    }
+                    black_box(acc)
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+/// Steady-state churn: 10k outstanding timers; each pop immediately
+/// reschedules a short way into the future, 1M operations total. This is
+/// the self-rescheduling ticker pattern (scrapes, DRS rounds) that
+/// dominates long-horizon runs.
+fn timer_churn(c: &mut Criterion) {
+    const LIVE: usize = 10_000;
+    const OPS: usize = 1_000_000;
+    let offsets: Vec<u64> = {
+        let mut rng = SimRng::seed_from(17);
+        (0..OPS).map(|_| rng.gen_range(1..600_000)).collect()
+    };
+    let mut g = c.benchmark_group("event_queue");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(2 * OPS as u64));
+    for (name, backend) in BACKENDS {
+        g.bench_with_input(
+            BenchmarkId::new("timer_churn_1m", name),
+            &backend,
+            |b, &backend| {
+                b.iter(|| {
+                    let mut q: EventQueue<u32> = EventQueue::with_backend(backend);
+                    for i in 0..LIVE {
+                        q.push(SimTime::from_millis(offsets[i]), i as u32);
+                    }
+                    let mut acc = 0u32;
+                    for &off in &offsets[LIVE..] {
+                        let ev = q.pop().expect("queue stays populated");
+                        acc = acc.wrapping_add(ev.payload);
+                        q.push(
+                            ev.time + sapsim_sim::SimDuration::from_millis(off),
+                            ev.payload,
+                        );
+                    }
+                    black_box(acc)
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, push_pop, cancel_heavy, timer_churn);
+criterion_main!(benches);

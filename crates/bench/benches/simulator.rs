@@ -68,6 +68,27 @@ fn scrape_hot_path(c: &mut Criterion) {
     g.finish();
 }
 
+/// One observed day of a replicated multi-region estate (`--scale` above
+/// 1): the cost a capacity planner pays per region added. Kept to a
+/// single scale point because each iteration runs a full ~90k-VM day.
+fn multi_region_day(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simulator");
+    g.sample_size(10);
+    g.bench_function("one_day/scale_2_multi_region", |b| {
+        b.iter(|| {
+            let cfg = SimConfig::builder()
+                .scale(2.0)
+                .days(1)
+                .seed(1)
+                .warmup_days(0)
+                .build()
+                .expect("valid bench config");
+            black_box(SimDriver::new(cfg).expect("valid").run())
+        })
+    });
+    g.finish();
+}
+
 fn event_engine(c: &mut Criterion) {
     use sapsim_sim::{SimDuration, SimTime, Simulation};
     let mut g = c.benchmark_group("engine");
@@ -100,5 +121,5 @@ fn event_engine(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, one_day_runs, scrape_hot_path, event_engine);
+criterion_group!(benches, one_day_runs, scrape_hot_path, multi_region_day, event_engine);
 criterion_main!(benches);

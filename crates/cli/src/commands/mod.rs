@@ -219,9 +219,23 @@ mod tests {
     fn bad_policy_and_scale_are_rejected() {
         let err = sim_config_from(&parse(&["--policy", "nope"])).unwrap_err();
         assert_eq!(err, CliError::Usage("unknown policy `nope`".into()));
-        let err = sim_config_from(&parse(&["--scale", "7.0"])).unwrap_err();
+        let err = sim_config_from(&parse(&["--scale", "500"])).unwrap_err();
         assert_eq!(err.exit_code(), 3, "validation failures are config errors");
         assert!(err.to_string().starts_with("invalid config:"));
+        let err = sim_config_from(&parse(&["--scale", "0"])).unwrap_err();
+        assert_eq!(err.exit_code(), 3);
+    }
+
+    #[test]
+    fn multi_region_scales_parse_and_validate() {
+        // Scales above 1 replicate the studied region; the CLI accepts
+        // them up to `SimConfig::MAX_SCALE`.
+        let cfg = sim_config_from(&parse(&["--scale", "7.0"])).unwrap();
+        assert_eq!(cfg.scale, 7.0);
+        assert_eq!(
+            sim_config_from(&parse(&["--scale", "100"])).unwrap().scale,
+            SimConfig::MAX_SCALE
+        );
     }
 
     #[test]

@@ -44,7 +44,9 @@ COMMANDS:
     help        show this message
 
 SIMULATION OPTIONS (simulate, export):
-    --scale <F>          fleet/workload scale, 0 < F <= 1   [default: 0.05]
+    --scale <F>          fleet/workload scale, 0 < F <= 100 [default: 0.05]
+                         values above 1 replicate the studied region into a
+                         multi-region estate (e.g. 10 = ten regions)
     --days <N>           observed days                      [default: 5]
     --seed <N>           RNG seed                           [default: 0]
     --policy <NAME>      spread | pack-memory | paper-default |

@@ -35,8 +35,12 @@ pub struct SimConfig {
     pub seed: u64,
     /// Observation window in days (the paper's is 30).
     pub days: u64,
-    /// Workload and topology scale (1.0 = the full 1,823-node /
-    /// ~45k-VM region; 0.1 = a laptop-friendly tenth).
+    /// Workload and topology scale. `1.0` is the full 1,823-node /
+    /// ~45k-VM studied region; `0.1` a laptop-friendly tenth. Values
+    /// above 1 replicate the region into a multi-region estate:
+    /// `floor(scale)` full replicas plus one fractional remainder region,
+    /// each with its own deterministic id namespace and RNG streams
+    /// (`10.0` ≈ 18k nodes / ~450k VMs). Capped at [`SimConfig::MAX_SCALE`].
     pub scale: f64,
     /// Initial-placement policy.
     pub policy: PolicyKind,
@@ -116,6 +120,14 @@ pub struct SimConfig {
     /// canonical bytes.
     #[serde(skip)]
     pub naive_host_views: bool,
+    /// Equivalence oracle: drive the event loop from the retained
+    /// binary-heap queue instead of the hierarchical timing wheel. Both
+    /// backends obey the same strict `(time, handle)` pop order, so runs
+    /// are bit-identical by contract (the queue differential suite pins
+    /// it). A pure execution knob like [`SimConfig::naive_host_views`]:
+    /// skipped in serialized configs and canonical bytes.
+    #[serde(skip)]
+    pub heap_event_queue: bool,
 }
 
 impl Default for SimConfig {
@@ -144,11 +156,17 @@ impl Default for SimConfig {
             threads: 0,
             faults: FaultSpec::none(),
             naive_host_views: false,
+            heap_event_queue: false,
         }
     }
 }
 
 impl SimConfig {
+    /// Upper bound on [`SimConfig::scale`]: 100 replicated regions
+    /// (~182k nodes) — beyond the ROADMAP's 50k–100k-node north star, and
+    /// a guard against typo-sized estates that would never finish.
+    pub const MAX_SCALE: f64 = 100.0;
+
     /// A small, fast configuration for tests: 2 % scale, 3 days, no
     /// warm-up.
     pub fn smoke_test() -> Self {
@@ -175,8 +193,12 @@ impl SimConfig {
         if self.days == 0 {
             return invalid("days must be at least 1".into());
         }
-        if !(self.scale > 0.0 && self.scale <= 1.0) {
-            return invalid(format!("scale must be in (0, 1], got {}", self.scale));
+        if !(self.scale > 0.0 && self.scale <= Self::MAX_SCALE) {
+            return invalid(format!(
+                "scale must be in (0, {}], got {}",
+                Self::MAX_SCALE,
+                self.scale
+            ));
         }
         if self.scrape_interval.is_zero() || self.os_gauge_interval.is_zero() {
             return invalid("scrape intervals must be positive".into());
@@ -277,7 +299,8 @@ impl SimConfigBuilder {
         seed: u64,
         /// Observation window in days.
         days: u64,
-        /// Workload and topology scale in `(0, 1]`.
+        /// Workload and topology scale in `(0, MAX_SCALE]`; values above
+        /// 1 build a replicated multi-region estate.
         scale: f64,
         /// Initial-placement policy.
         policy: PolicyKind,
@@ -320,6 +343,8 @@ impl SimConfigBuilder {
         /// Equivalence oracle: rebuild host views from scratch each
         /// decision.
         naive_host_views: bool,
+        /// Equivalence oracle: run on the binary-heap event queue.
+        heap_event_queue: bool,
     }
 
     /// Validate and return the finished config.
@@ -364,7 +389,11 @@ mod tests {
                 ..SimConfig::default()
             },
             SimConfig {
-                scale: 1.5,
+                scale: -0.5,
+                ..SimConfig::default()
+            },
+            SimConfig {
+                scale: SimConfig::MAX_SCALE * 2.0,
                 ..SimConfig::default()
             },
             SimConfig {
@@ -397,6 +426,17 @@ mod tests {
         ];
         for (i, c) in broken.iter().enumerate() {
             assert!(c.validate().is_err(), "config {i} should be rejected");
+        }
+    }
+
+    #[test]
+    fn multi_region_scales_are_accepted() {
+        for s in [1.5, 10.0, 50.0, SimConfig::MAX_SCALE] {
+            let c = SimConfig {
+                scale: s,
+                ..SimConfig::default()
+            };
+            assert!(c.validate().is_ok(), "scale {s} must validate");
         }
     }
 

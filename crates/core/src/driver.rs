@@ -17,11 +17,9 @@ use sapsim_scheduler::{
     ScheduleError, VmLoad,
 };
 use sapsim_sim::par::join_chunks2;
-use sapsim_sim::{SimDuration, SimRng, SimTime, Simulation};
+use sapsim_sim::{QueueBackend, SimDuration, SimRng, SimTime, Simulation};
 use sapsim_telemetry::{EntityRef, MetricId, RunningStat, TsdbStore};
-use sapsim_topology::{
-    paper_region_custom, BbId, BbPurpose, DcId, NodeId, PresetScale, TopologyBuilder,
-};
+use sapsim_topology::{paper_estate_custom, AzId, BbId, BbPurpose, DcId, NodeId, TopologyBuilder};
 use sapsim_workload::{
     paper_flavor_catalog, GeneratorConfig, VmId, VmSpec, WorkloadClass, WorkloadGenerator,
 };
@@ -65,6 +63,26 @@ enum Event {
 struct PendingEvac {
     vm: PlacedVm,
     retries: u32,
+}
+
+/// Per-region context of the estate: AZ handles, capacity shares, and
+/// whether the region carves out a dedicated CI farm. At `scale ≤ 1`
+/// exactly one of these exists and the run reproduces the historical
+/// single-region behaviour byte-for-byte.
+struct RegionCtx {
+    az_a: AzId,
+    az_b: AzId,
+    dc_a: DcId,
+    dc_b: DcId,
+    /// `(gp, hana, ci)` fraction of the region's class capacity in DC A.
+    share_a: (f64, f64, f64),
+    /// `(gp, hana, ci)` node counts across both DCs — the weights of the
+    /// estate-level region assignment.
+    class_nodes: (f64, f64, f64),
+    /// Tiny scaled-down regions may lack a dedicated CI farm; their CI
+    /// executors then run in the general pool, as they would before an
+    /// operator carves one out.
+    ci_farm: bool,
 }
 
 /// Start a wall-clock span — `None` (no clock read at all) when the
@@ -183,42 +201,53 @@ impl SimDriver {
         // --- World construction -------------------------------------
         let mut builder = TopologyBuilder::new();
         builder.gp_cpu_overcommit = cfg.gp_cpu_overcommit;
-        let scale = if cfg.scale >= 1.0 {
-            PresetScale::Full
-        } else {
-            PresetScale::Ratio(cfg.scale)
-        };
-        let (topo, dc_a, dc_b) = paper_region_custom(scale, cfg.seed, &builder);
-        let az_a = topo.dc(dc_a).az;
-        let az_b = topo.dc(dc_b).az;
-        let dc_share_a = Self::dc_purpose_shares(&topo, dc_a, dc_b);
+        let (topo, region_dcs) = paper_estate_custom(cfg.scale, cfg.seed, &builder);
+        let regions: Vec<RegionCtx> = region_dcs
+            .iter()
+            .map(|r| {
+                let class_nodes = Self::dc_class_nodes(&topo, r.dc_a, r.dc_b);
+                RegionCtx {
+                    az_a: topo.dc(r.dc_a).az,
+                    az_b: topo.dc(r.dc_b).az,
+                    dc_a: r.dc_a,
+                    dc_b: r.dc_b,
+                    share_a: Self::dc_purpose_shares(&topo, r.dc_a, r.dc_b),
+                    class_nodes,
+                    ci_farm: class_nodes.2 > 0.0,
+                }
+            })
+            .collect();
         let mut cloud = Cloud::new(topo);
 
         // Hold back a fraction of general-purpose blocks per DC as
-        // failover/expansion reserve (deterministic selection).
+        // failover/expansion reserve (deterministic selection). One shared
+        // stream walks every region's DC pair in estate order.
         if cfg.reserve_bb_fraction > 0.0 {
             let mut reserve_rng = root_rng.split("reserve");
-            for dc in [dc_a, dc_b] {
-                let gp_bbs: Vec<BbId> = cloud
-                    .topology()
-                    .dc(dc)
-                    .bbs
-                    .iter()
-                    .copied()
-                    .filter(|&bb| cloud.topology().bb(bb).purpose == BbPurpose::GeneralPurpose)
-                    .collect();
-                // Round, but always hold at least one block back when the
-                // DC has enough general-purpose blocks to spare one.
-                let mut count = (gp_bbs.len() as f64 * cfg.reserve_bb_fraction).round() as usize;
-                if count == 0 && gp_bbs.len() >= 4 {
-                    count = 1;
-                }
-                let mut picks = gp_bbs;
-                // Deterministic partial shuffle: pick `count` blocks.
-                for i in 0..count.min(picks.len()) {
-                    let j = i + (reserve_rng.gen_range(0..(picks.len() - i) as u64)) as usize;
-                    picks.swap(i, j);
-                    cloud.set_bb_reserved(picks[i], true);
+            for region in &regions {
+                for dc in [region.dc_a, region.dc_b] {
+                    let gp_bbs: Vec<BbId> = cloud
+                        .topology()
+                        .dc(dc)
+                        .bbs
+                        .iter()
+                        .copied()
+                        .filter(|&bb| cloud.topology().bb(bb).purpose == BbPurpose::GeneralPurpose)
+                        .collect();
+                    // Round, but always hold at least one block back when the
+                    // DC has enough general-purpose blocks to spare one.
+                    let mut count =
+                        (gp_bbs.len() as f64 * cfg.reserve_bb_fraction).round() as usize;
+                    if count == 0 && gp_bbs.len() >= 4 {
+                        count = 1;
+                    }
+                    let mut picks = gp_bbs;
+                    // Deterministic partial shuffle: pick `count` blocks.
+                    for i in 0..count.min(picks.len()) {
+                        let j = i + (reserve_rng.gen_range(0..(picks.len() - i) as u64)) as usize;
+                        picks.swap(i, j);
+                        cloud.set_bb_reserved(picks[i], true);
+                    }
                 }
             }
         }
@@ -240,7 +269,14 @@ impl SimDriver {
         cloud.reserve_vm_slots(specs.len());
 
         // --- Simulation state ----------------------------------------
-        let mut sim: Simulation<Event> = Simulation::new();
+        // The timing wheel is the production event engine; the binary
+        // heap stays available as a cross-checking oracle (execution
+        // knob only — canonical output is byte-identical either way).
+        let mut sim: Simulation<Event> = Simulation::with_backend(if cfg.heap_event_queue {
+            QueueBackend::BinaryHeap
+        } else {
+            QueueBackend::TimingWheel
+        });
         let warmup = SimTime::from_days(cfg.warmup_days);
         let horizon = SimTime::from_days(cfg.warmup_days + cfg.days);
         let mut policy = PlacementPolicy::new(cfg.policy);
@@ -270,6 +306,49 @@ impl SimDriver {
                 mem_ratio: RunningStat::new(),
             })
             .collect();
+        // Per-VM region assignment: weight each region by its node
+        // capacity for the VM's class, so replicated estates fill
+        // proportionally. Single-region runs skip the stream entirely —
+        // `scale ≤ 1` reproduces historical runs byte-for-byte.
+        let vm_region: Vec<u32> = if regions.len() == 1 {
+            vec![0; specs.len()]
+        } else {
+            let mut region_rng = root_rng.split("region-assign");
+            // A region without a CI farm still hosts CI executors in its
+            // general pool, so CI weights fall back to GP capacity when no
+            // region anywhere has a dedicated farm.
+            let any_ci = regions.iter().any(|r| r.ci_farm);
+            let weights_for = |class: WorkloadClass| -> Vec<f64> {
+                let mut acc = 0.0;
+                regions
+                    .iter()
+                    .map(|r| {
+                        acc += match class {
+                            WorkloadClass::Hana => r.class_nodes.1,
+                            WorkloadClass::CiFarm if any_ci => r.class_nodes.2,
+                            _ => r.class_nodes.0,
+                        };
+                        acc
+                    })
+                    .collect()
+            };
+            let cum_gp = weights_for(WorkloadClass::GeneralPurpose);
+            let cum_hana = weights_for(WorkloadClass::Hana);
+            let cum_ci = weights_for(WorkloadClass::CiFarm);
+            specs
+                .iter()
+                .map(|s| {
+                    let cum = match s.class {
+                        WorkloadClass::Hana => &cum_hana,
+                        WorkloadClass::CiFarm => &cum_ci,
+                        WorkloadClass::GeneralPurpose => &cum_gp,
+                    };
+                    let total = *cum.last().unwrap();
+                    let x = region_rng.gen_range(0.0..total.max(f64::MIN_POSITIVE));
+                    cum.partition_point(|&c| c <= x).min(regions.len() - 1) as u32
+                })
+                .collect()
+        };
         // Per-VM AZ assignment: keep each DC's population proportional to
         // its capacity share for the VM's class, like the per-DC VM counts
         // of Table 5. Drawn from a dedicated stream so placement policy
@@ -277,16 +356,18 @@ impl SimDriver {
         let mut az_rng = root_rng.split("az-assign");
         let vm_az: Vec<_> = specs
             .iter()
-            .map(|s| {
+            .zip(&vm_region)
+            .map(|(s, &r)| {
+                let region = &regions[r as usize];
                 let share_a = match s.class {
-                    WorkloadClass::Hana => dc_share_a.1,
-                    WorkloadClass::CiFarm => dc_share_a.2,
-                    WorkloadClass::GeneralPurpose => dc_share_a.0,
+                    WorkloadClass::Hana => region.share_a.1,
+                    WorkloadClass::CiFarm => region.share_a.2,
+                    WorkloadClass::GeneralPurpose => region.share_a.0,
                 };
                 if az_rng.gen_bool(share_a) {
-                    az_a
+                    region.az_a
                 } else {
-                    az_b
+                    region.az_b
                 }
             })
             .collect();
@@ -349,15 +430,6 @@ impl SimDriver {
         // drained by retries, departures, or the retry limit.
         let mut pending: Vec<PendingEvac> = Vec::new();
 
-        // Tiny scaled-down deployments may lack a dedicated CI farm; CI
-        // executors then run in the general pool, as they would before an
-        // operator carves one out.
-        let ci_farm_exists = cloud
-            .topology()
-            .bbs()
-            .iter()
-            .any(|bb| bb.purpose == BbPurpose::CiFarm);
-
         // --- Event loop ----------------------------------------------
         while let Some(ev) = sim.next_event_until(horizon) {
             let now = ev.time;
@@ -375,7 +447,7 @@ impl SimDriver {
                         vm_az[spec_index],
                         now,
                         &vm_rng_root,
-                        ci_farm_exists,
+                        regions[vm_region[spec_index] as usize].ci_farm,
                         rec,
                         &mut scratch.ranking,
                     );
@@ -562,7 +634,7 @@ impl SimDriver {
                             cfg,
                             &specs,
                             &vm_az,
-                            ci_farm_exists,
+                            regions[vm_region[vm.spec_index] as usize].ci_farm,
                             &vm,
                             now,
                             &mut scratch.ranking,
@@ -637,7 +709,7 @@ impl SimDriver {
                         cfg,
                         &specs,
                         &vm_az,
-                        ci_farm_exists,
+                        regions[vm_region[pending[pos].vm.spec_index] as usize].ci_farm,
                         &pending[pos].vm,
                         now,
                         &mut scratch.ranking,
@@ -766,6 +838,24 @@ impl SimDriver {
             share(BbPurpose::GeneralPurpose),
             share(BbPurpose::Hana),
             share(BbPurpose::CiFarm),
+        )
+    }
+
+    /// `(gp, hana, ci)` node counts summed over a region's two DCs — the
+    /// capacity weights of the estate-level region assignment.
+    fn dc_class_nodes(topo: &sapsim_topology::Topology, dc_a: DcId, dc_b: DcId) -> (f64, f64, f64) {
+        let count = |purpose: BbPurpose| -> f64 {
+            [dc_a, dc_b]
+                .iter()
+                .flat_map(|&dc| topo.dc(dc).bbs.iter())
+                .filter(|&&bb| topo.bb(bb).purpose == purpose)
+                .map(|&bb| topo.bb(bb).nodes.len() as f64)
+                .sum()
+        };
+        (
+            count(BbPurpose::GeneralPurpose),
+            count(BbPurpose::Hana),
+            count(BbPurpose::CiFarm),
         )
     }
 
@@ -1850,6 +1940,71 @@ mod tests {
         let naive = SimDriver::new(cfg).unwrap().run();
         assert_eq!(cached.stats, naive.stats);
         assert_eq!(cached.canonical_bytes(), naive.canonical_bytes());
+    }
+
+    #[test]
+    fn queue_backends_are_byte_identical() {
+        for granularity in [
+            PlacementGranularity::BuildingBlock,
+            PlacementGranularity::Node,
+        ] {
+            let mut cfg = SimConfig::smoke_test();
+            cfg.seed = 25;
+            cfg.granularity = granularity;
+            let wheel = SimDriver::new(cfg).unwrap().run();
+            cfg.heap_event_queue = true;
+            let heap = SimDriver::new(cfg).unwrap().run();
+            assert_eq!(wheel.stats, heap.stats, "{granularity:?}");
+            assert_eq!(
+                wheel.canonical_bytes(),
+                heap.canonical_bytes(),
+                "{granularity:?}: the timing wheel must be byte-identical \
+                 to the binary-heap oracle"
+            );
+        }
+    }
+
+    #[test]
+    fn queue_backends_are_byte_identical_under_faults() {
+        let mut cfg = faulty_cfg(26);
+        let wheel = SimDriver::new(cfg).unwrap().run();
+        cfg.heap_event_queue = true;
+        let heap = SimDriver::new(cfg).unwrap().run();
+        assert_eq!(wheel.stats, heap.stats);
+        assert_eq!(wheel.canonical_bytes(), heap.canonical_bytes());
+    }
+
+    /// Full-region scale (scale > 1 replicates the studied region), too
+    /// heavy for the debug-mode unit suite — CI runs it in release:
+    /// `cargo test --release -p sapsim-core multi_region -- --ignored`.
+    #[test]
+    #[ignore = "full-region scale; run in release via CI"]
+    fn multi_region_estates_fill_every_region_deterministically() {
+        let mut cfg = SimConfig::default();
+        cfg.scale = 1.02;
+        cfg.days = 1;
+        cfg.warmup_days = 0;
+        cfg.seed = 27;
+        let a = SimDriver::new(cfg).unwrap().run();
+        let b = SimDriver::new(cfg).unwrap().run();
+        assert_eq!(a.stats, b.stats);
+        assert_eq!(a.canonical_bytes(), b.canonical_bytes());
+
+        // Both the full replica and the small remainder region host VMs,
+        // in rough proportion to their capacity.
+        let topo = a.cloud.topology();
+        assert_eq!(topo.regions().len(), 2);
+        let mut per_region = vec![0u64; topo.regions().len()];
+        for node in topo.nodes() {
+            let az = topo.dc(topo.bb(node.bb).dc).az;
+            per_region[topo.az(az).region.index()] += a.cloud.vms_on_node(node.id).len() as u64;
+        }
+        assert!(
+            per_region.iter().all(|&n| n > 0),
+            "every region hosts VMs: {per_region:?}"
+        );
+        assert!(a.stats.placement_success_rate() > 0.9);
+        a.cloud.verify_accounting(&a.specs).unwrap();
     }
 
     #[test]

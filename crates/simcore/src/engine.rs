@@ -1,7 +1,7 @@
 //! The simulation executor: owns the clock and the event queue and advances
 //! virtual time monotonically.
 
-use crate::queue::{EventHandle, EventQueue};
+use crate::queue::{EventHandle, EventQueue, QueueBackend};
 use crate::time::{SimDuration, SimTime};
 
 /// An event that has fired, handed back to the caller for processing.
@@ -59,13 +59,26 @@ impl<E> Default for Simulation<E> {
 }
 
 impl<E> Simulation<E> {
-    /// Create a simulation with the clock at [`SimTime::ZERO`].
+    /// Create a simulation with the clock at [`SimTime::ZERO`], on the
+    /// default (timing-wheel) event queue.
     pub fn new() -> Self {
+        Self::with_backend(QueueBackend::default())
+    }
+
+    /// Create a simulation on an explicit event-queue backend. The backend
+    /// is an execution detail: runs are byte-identical on either, which the
+    /// differential suite asserts by replaying the sweep grid on both.
+    pub fn with_backend(backend: QueueBackend) -> Self {
         Simulation {
             now: SimTime::ZERO,
-            queue: EventQueue::new(),
+            queue: EventQueue::with_backend(backend),
             stats: SimulationStats::default(),
         }
+    }
+
+    /// Which event-queue backend this simulation runs on.
+    pub fn queue_backend(&self) -> QueueBackend {
+        self.queue.backend()
     }
 
     /// The current virtual time.

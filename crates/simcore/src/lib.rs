@@ -52,8 +52,9 @@ pub mod par;
 mod queue;
 mod rng;
 mod time;
+mod wheel;
 
 pub use engine::{FiredEvent, Simulation, SimulationStats};
-pub use queue::{EventHandle, EventQueue, QueuedEvent};
+pub use queue::{EventHandle, EventQueue, QueueBackend, QueuedEvent};
 pub use rng::SimRng;
 pub use time::{SimDuration, SimTime, MILLIS_PER_DAY, MILLIS_PER_HOUR, MILLIS_PER_MINUTE, MILLIS_PER_SECOND};

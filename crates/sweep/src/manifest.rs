@@ -19,6 +19,11 @@
 //! }
 //! ```
 //!
+//! The `scale` override and the `scales` axis accept any value in
+//! `(0, 100]`: values at or below 1 shrink the studied region, values
+//! above 1 replicate it into a multi-region estate (`10.0` sweeps a
+//! ten-region deployment).
+//!
 //! Parsing resolves everything into a typed
 //! [`SweepSpec`](sapsim_core::SweepSpec); unknown keys, unknown policy
 //! names, and invalid fault specs are rejected with precise messages.

@@ -10,7 +10,7 @@
 //! 1,072 / 27,652 → 1,823 hypervisors, 47,116 VMs).
 
 use crate::builder::TopologyBuilder;
-use crate::ids::DcId;
+use crate::ids::{DcId, RegionId};
 use crate::topology::Topology;
 use sapsim_sim::SimRng;
 use serde::{Deserialize, Serialize};
@@ -106,25 +106,123 @@ pub fn paper_region_custom(
     builder: &TopologyBuilder,
 ) -> (Topology, DcId, DcId) {
     let mut topo = Topology::new();
-    let region = topo.add_region("region-9");
-    // "Each region consists of up to two data centers" grouped into AZs for
-    // high availability (paper Sections 2.1, 3.1); the studied region's two
-    // DCs sit in separate AZs.
-    let az_a = topo.add_az(region, "az-a");
-    let az_b = topo.add_az(region, "az-b");
-    let dc_a = topo.add_dc(az_a, "A");
-    let dc_b = topo.add_dc(az_b, "B");
-
-    let rng = SimRng::seed_from(seed).split("topology");
-    builder.build_dc_randomized(&mut topo, dc_a, scale.apply(751), &mut rng.split("dc-a"));
-    builder.build_dc_randomized(&mut topo, dc_b, scale.apply(1072), &mut rng.split("dc-b"));
+    let r = add_studied_region(&mut topo, scale, seed, builder, None);
     topo.validate().expect("preset topology must be internally consistent");
-    (topo, dc_a, dc_b)
+    (topo, r.dc_a, r.dc_b)
 }
 
 /// Convenience wrapper: the studied region at a given scale ratio.
 pub fn scaled_paper_region(ratio: f64, seed: u64) -> (Topology, DcId, DcId) {
     paper_region(PresetScale::Ratio(ratio), seed)
+}
+
+/// Handles of one region replica in a multi-region estate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RegionDcs {
+    /// The region.
+    pub region: RegionId,
+    /// Its DC "A" (az-a).
+    pub dc_a: DcId,
+    /// Its DC "B" (az-b).
+    pub dc_b: DcId,
+}
+
+/// Build a multi-region estate by replicating the studied region:
+/// `floor(scale)` full replicas plus, if `scale` has a fractional part,
+/// one remainder region at that ratio. `scale = 10.0` therefore yields a
+/// ten-region, ~18,230-node estate; `scale ≤ 1.0` yields exactly the
+/// single region that [`paper_region_custom`] builds (same names, same
+/// RNG streams, same inventory — bit-for-bit).
+///
+/// Replicated regions get deterministic per-replica id namespaces
+/// ("region-9-r00", "az-a-r00", …) and per-replica RNG streams (the
+/// "topology" stream split by replica index), so the estate is a pure
+/// function of `(scale, seed)` and every replica's hardware mix differs.
+pub fn paper_estate_custom(
+    scale: f64,
+    seed: u64,
+    builder: &TopologyBuilder,
+) -> (Topology, Vec<RegionDcs>) {
+    assert!(
+        scale > 0.0 && scale.is_finite(),
+        "estate scale must be positive and finite, got {scale}"
+    );
+    let mut topo = Topology::new();
+    let mut regions = Vec::new();
+    if scale <= 1.0 {
+        let preset = if scale >= 1.0 {
+            PresetScale::Full
+        } else {
+            PresetScale::Ratio(scale)
+        };
+        regions.push(add_studied_region(&mut topo, preset, seed, builder, None));
+    } else {
+        let full = scale.floor() as usize;
+        let remainder = scale - full as f64;
+        for replica in 0..full {
+            regions.push(add_studied_region(
+                &mut topo,
+                PresetScale::Full,
+                seed,
+                builder,
+                Some(replica),
+            ));
+        }
+        // Guard against float fuzz: a remainder so small it would round to
+        // an empty region (< half a node on the smaller DC) is dropped.
+        if remainder * 751.0 >= 0.5 {
+            regions.push(add_studied_region(
+                &mut topo,
+                PresetScale::Ratio(remainder),
+                seed,
+                builder,
+                Some(full),
+            ));
+        }
+    }
+    topo.validate().expect("preset topology must be internally consistent");
+    (topo, regions)
+}
+
+/// [`paper_estate_custom`] with the default hardware mix.
+pub fn paper_estate(scale: f64, seed: u64) -> (Topology, Vec<RegionDcs>) {
+    paper_estate_custom(scale, seed, &TopologyBuilder::new())
+}
+
+/// Add one copy of the studied region to `topo`. `replica: None` is the
+/// historical single-region layout (names "region-9"/"az-a"/"az-b",
+/// RNG streams "topology"/"dc-a"/"dc-b" — unchanged so existing runs stay
+/// byte-identical); `Some(k)` namespaces the region/AZ names with `-r{k}`
+/// and splits the topology stream by `k`. DC names stay "A"/"B" as in the
+/// paper — building-block names are globally unique regardless (they
+/// carry a topology-wide index).
+fn add_studied_region(
+    topo: &mut Topology,
+    scale: PresetScale,
+    seed: u64,
+    builder: &TopologyBuilder,
+    replica: Option<usize>,
+) -> RegionDcs {
+    let suffix = match replica {
+        None => String::new(),
+        Some(k) => format!("-r{k:02}"),
+    };
+    let region = topo.add_region(format!("region-9{suffix}"));
+    // "Each region consists of up to two data centers" grouped into AZs for
+    // high availability (paper Sections 2.1, 3.1); the studied region's two
+    // DCs sit in separate AZs.
+    let az_a = topo.add_az(region, format!("az-a{suffix}"));
+    let az_b = topo.add_az(region, format!("az-b{suffix}"));
+    let dc_a = topo.add_dc(az_a, "A");
+    let dc_b = topo.add_dc(az_b, "B");
+
+    let mut rng = SimRng::seed_from(seed).split("topology");
+    if let Some(k) = replica {
+        rng = rng.split_index(k as u64);
+    }
+    builder.build_dc_randomized(topo, dc_a, scale.apply(751), &mut rng.split("dc-a"));
+    builder.build_dc_randomized(topo, dc_b, scale.apply(1072), &mut rng.split("dc-b"));
+    RegionDcs { region, dc_a, dc_b }
 }
 
 #[cfg(test)]
@@ -216,5 +314,66 @@ mod tests {
     #[should_panic(expected = "scale ratio")]
     fn invalid_ratio_panics() {
         let _ = paper_region(PresetScale::Ratio(0.0), 1);
+    }
+
+    #[test]
+    fn estate_at_or_below_one_is_the_single_region() {
+        let sig = |t: &Topology| {
+            t.bbs()
+                .iter()
+                .map(|b| (b.name.clone(), b.purpose, b.profile.name.clone(), b.nodes.len()))
+                .collect::<Vec<_>>()
+        };
+        let (single, ..) = scaled_paper_region(0.1, 9);
+        let (estate, regions) = paper_estate(0.1, 9);
+        assert_eq!(regions.len(), 1);
+        assert_eq!(sig(&single), sig(&estate), "scale ≤ 1 must stay bit-identical");
+        assert_eq!(estate.region(regions[0].region).name, "region-9");
+
+        let (full_single, ..) = paper_region(PresetScale::Full, 9);
+        let (full_estate, _) = paper_estate(1.0, 9);
+        assert_eq!(sig(&full_single), sig(&full_estate));
+    }
+
+    #[test]
+    fn multi_region_estate_replicates_with_namespaced_ids() {
+        let (topo, regions) = paper_estate(2.5, 42);
+        assert_eq!(regions.len(), 3, "2 full replicas + 1 remainder");
+        assert_eq!(topo.regions().len(), 3);
+        assert_eq!(topo.azs().len(), 6);
+        assert_eq!(topo.dcs().len(), 6);
+        assert_eq!(topo.region(regions[0].region).name, "region-9-r00");
+        assert_eq!(topo.region(regions[2].region).name, "region-9-r02");
+        // Full replicas carry the full inventory; the remainder is ~half.
+        let nodes = |r: &RegionDcs| topo.dc_node_count(r.dc_a) + topo.dc_node_count(r.dc_b);
+        assert!((1815..=1823).contains(&nodes(&regions[0])), "r0 = {}", nodes(&regions[0]));
+        assert!((850..=970).contains(&nodes(&regions[2])), "r2 = {}", nodes(&regions[2]));
+        // Replicas draw from distinct RNG streams: their block mixes differ.
+        let mix = |dc: DcId| {
+            topo.bbs()
+                .iter()
+                .filter(|b| b.dc == dc)
+                .map(|b| b.nodes.len())
+                .collect::<Vec<_>>()
+        };
+        assert_ne!(mix(regions[0].dc_a), mix(regions[1].dc_a));
+        // BB names stay globally unique across replicas.
+        let mut names: Vec<_> = topo.bbs().iter().map(|b| b.name.clone()).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), topo.bbs().len());
+    }
+
+    #[test]
+    fn estate_is_reproducible() {
+        let sig = |t: &Topology| {
+            t.bbs()
+                .iter()
+                .map(|b| (b.name.clone(), b.nodes.len()))
+                .collect::<Vec<_>>()
+        };
+        let (t1, _) = paper_estate(3.25, 7);
+        let (t2, _) = paper_estate(3.25, 7);
+        assert_eq!(sig(&t1), sig(&t2));
     }
 }

@@ -224,8 +224,13 @@ impl FlavorCatalog {
     /// Per-flavor populations scaled by `ratio` using the largest-remainder
     /// method so the scaled total equals `round(total * ratio)` and class
     /// proportions are preserved as closely as integer counts allow.
+    /// Ratios above 1 grow the population for multi-region estates (the
+    /// largest-remainder construction is scale-direction agnostic).
     pub fn scaled_populations(&self, ratio: f64) -> Vec<(usize, u32)> {
-        assert!(ratio > 0.0 && ratio <= 1.0, "ratio must be in (0, 1]");
+        assert!(
+            ratio > 0.0 && ratio.is_finite(),
+            "ratio must be positive and finite"
+        );
         let target: u64 = (self.total_population() as f64 * ratio).round() as u64;
         let mut floors: Vec<(usize, u32, f64)> = self
             .flavors
@@ -432,5 +437,20 @@ mod tests {
     #[should_panic(expected = "ratio")]
     fn zero_ratio_rejected() {
         paper_flavor_catalog().scaled_populations(0.0);
+    }
+
+    #[test]
+    fn scaled_populations_above_one_grow_proportionally() {
+        let cat = paper_flavor_catalog();
+        let scaled = cat.scaled_populations(10.0);
+        let total: u64 = scaled.iter().map(|&(_, n)| n as u64).sum();
+        assert_eq!(total, cat.total_population() as u64 * 10);
+        for (i, n) in scaled {
+            let base = cat.flavors()[i].population;
+            assert!(
+                (n as i64 - base as i64 * 10).abs() <= 1,
+                "flavor {i}: {n} vs 10×{base}"
+            );
+        }
     }
 }

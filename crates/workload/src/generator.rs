@@ -27,7 +27,8 @@ use serde::{Deserialize, Serialize};
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct GeneratorConfig {
     /// Scale applied to the catalog populations (1.0 = the paper's 45,355
-    /// average VMs).
+    /// average VMs; values above 1 grow the population proportionally for
+    /// multi-region estates).
     pub scale: f64,
     /// Observation window length in days (the paper observed 30).
     pub horizon_days: u64,
