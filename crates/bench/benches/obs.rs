@@ -1,11 +1,14 @@
 //! Observability overhead: the same one-day run with recording compiled
-//! out (`run()` / `NullRecorder`), with the recorder attached at full
-//! decision sampling, and with decision sampling off (spans and counters
-//! only). The first two bars are the PR's "zero-cost when disabled" claim;
-//! the gap between the last two isolates the decision audit log's share.
+//! out (`run()` / `NullRecorder`), with the engine-health metrics
+//! registry alone, with the recorder attached at full decision sampling,
+//! and with decision sampling off (spans and counters only). The first
+//! two bars are the PR's "zero-cost when disabled" claim; the
+//! `metrics_recorder` bar pins the registry's budget (≤ 2% over
+//! `null_recorder`); the gap between the last two isolates the decision
+//! audit log's share.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use sapsim_core::obs::{JsonlRecorder, NullRecorder, ObsConfig};
+use sapsim_core::obs::{JsonlRecorder, MetricsRecorder, NullRecorder, ObsConfig};
 use sapsim_core::{SimConfig, SimDriver};
 use std::hint::black_box;
 
@@ -28,6 +31,14 @@ fn obs_overhead(c: &mut Criterion) {
         b.iter(|| {
             let mut rec = NullRecorder;
             black_box(SimDriver::new(base).expect("valid").run_with_recorder(&mut rec))
+        })
+    });
+
+    g.bench_function(BenchmarkId::new("one_day", "metrics_recorder"), |b| {
+        b.iter(|| {
+            let mut rec = MetricsRecorder::new();
+            let result = SimDriver::new(base).expect("valid").run_with_recorder(&mut rec);
+            black_box((result, rec))
         })
     });
 

@@ -9,7 +9,7 @@ pub mod tables;
 
 use crate::args::Parsed;
 use crate::error::CliError;
-use sapsim_core::obs::{JsonlRecorder, ObsConfig};
+use sapsim_core::obs::{JsonlRecorder, MetricsRecorder, MetricsRegistry, ObsConfig};
 use sapsim_core::{
     FaultError, FaultSpec, PlacementGranularity, RunResult, SimConfig, SimDriver, SimError,
 };
@@ -30,10 +30,11 @@ pub const SIM_VALUE_OPTIONS: &[&str] = &[
     "obs-chrome",
     "obs-sample",
     "obs-ring",
+    "metrics-out",
     "faults",
 ];
 /// Boolean flags shared by `simulate` and `export`.
-pub const SIM_BOOL_FLAGS: &[&str] = &["no-drs", "cross-bb", "no-warmup"];
+pub const SIM_BOOL_FLAGS: &[&str] = &["no-drs", "cross-bb", "no-warmup", "progress"];
 
 /// Build a [`SimConfig`] from parsed CLI arguments.
 pub fn sim_config_from(parsed: &Parsed) -> Result<SimConfig, CliError> {
@@ -62,6 +63,9 @@ pub fn sim_config_from(parsed: &Parsed) -> Result<SimConfig, CliError> {
     }
     if parsed.flag("no-warmup") {
         cfg.warmup_days = 0;
+    }
+    if parsed.flag("progress") {
+        cfg.progress = true;
     }
     if let Some(spec) = parsed.get("faults") {
         cfg.faults = parse_fault_spec(spec)?;
@@ -98,23 +102,31 @@ pub struct ObsArgs {
     pub jsonl_path: Option<String>,
     /// Where to write the Chrome trace, if requested.
     pub chrome_path: Option<String>,
+    /// Where to write the `sapsim.metrics/v1` snapshot, if requested.
+    pub metrics_path: Option<String>,
     /// Recorder configuration (sampling rate, ring capacity).
     pub config: ObsConfig,
 }
 
 /// Build the observability arguments from parsed CLI options. Returns
-/// `Ok(None)` when no `--obs-*` output was requested, so callers fall back
-/// to the zero-cost [`sapsim_core::obs::NullRecorder`] path.
+/// `Ok(None)` when no `--obs-*`/`--metrics-out` output was requested, so
+/// callers fall back to the zero-cost
+/// [`sapsim_core::obs::NullRecorder`] path.
 pub fn obs_args_from(parsed: &Parsed) -> Result<Option<ObsArgs>, CliError> {
     let jsonl_path = parsed.get("obs-out").map(str::to_string);
     let chrome_path = parsed.get("obs-chrome").map(str::to_string);
+    let metrics_path = parsed.get("metrics-out").map(str::to_string);
     if jsonl_path.is_none() && chrome_path.is_none() {
+        // The sampling/ring knobs shape the event ring only; a pure
+        // metrics run has no ring to shape.
         if parsed.get("obs-sample").is_some() || parsed.get("obs-ring").is_some() {
             return Err(CliError::Usage(
                 "--obs-sample/--obs-ring have no effect without --obs-out or --obs-chrome".into(),
             ));
         }
-        return Ok(None);
+        if metrics_path.is_none() {
+            return Ok(None);
+        }
     }
     let defaults = ObsConfig::default();
     let config = ObsConfig {
@@ -125,13 +137,19 @@ pub fn obs_args_from(parsed: &Parsed) -> Result<Option<ObsArgs>, CliError> {
     Ok(Some(ObsArgs {
         jsonl_path,
         chrome_path,
+        metrics_path,
         config,
     }))
 }
 
 /// Run the simulation, with the observability recorder attached when any
-/// `--obs-*` output was requested. Writes the requested export files and a
-/// one-line status per file to `out`.
+/// `--obs-*`/`--metrics-out` output was requested. Writes the requested
+/// export files and a one-line status per file to `out`.
+///
+/// A pure `--metrics-out` run uses the lightweight [`MetricsRecorder`]
+/// (no event ring, no decision detail); requesting a JSONL log or Chrome
+/// trace upgrades to a [`JsonlRecorder`] with the metrics registry
+/// attached.
 pub fn run_with_obs(
     cfg: SimConfig,
     obs: Option<&ObsArgs>,
@@ -140,7 +158,20 @@ pub fn run_with_obs(
     let Some(obs) = obs else {
         return Ok(SimDriver::new(cfg)?.run());
     };
+    if obs.jsonl_path.is_none() && obs.chrome_path.is_none() {
+        let mut rec = MetricsRecorder::new();
+        let result = SimDriver::new(cfg)?.run_with_recorder(&mut rec);
+        let path = obs
+            .metrics_path
+            .as_deref()
+            .expect("obs_args_from returns Some only when an output is set");
+        write_metrics_snapshot(rec.registry(), path, out)?;
+        return Ok(result);
+    }
     let mut rec = JsonlRecorder::new(obs.config);
+    if obs.metrics_path.is_some() {
+        rec = rec.with_metrics();
+    }
     let result = SimDriver::new(cfg)?.run_with_recorder(&mut rec);
     if let Some(path) = &obs.jsonl_path {
         let file =
@@ -166,7 +197,30 @@ pub fn run_with_obs(
             "obs: wrote Chrome trace to {path} (open via chrome://tracing)"
         )?;
     }
+    if let Some(path) = &obs.metrics_path {
+        let registry = rec.metrics().expect("with_metrics was enabled above");
+        write_metrics_snapshot(registry, path, out)?;
+    }
     Ok(result)
+}
+
+/// Write one `sapsim.metrics/v1` JSON snapshot to `path` plus a status
+/// line to `out`.
+fn write_metrics_snapshot(
+    registry: &MetricsRegistry,
+    path: &str,
+    out: &mut dyn Write,
+) -> Result<(), CliError> {
+    let mut json = registry.to_json();
+    json.push('\n');
+    std::fs::write(path, &json)
+        .map_err(|e| CliError::Io(format!("cannot create {path}: {e}")))?;
+    writeln!(
+        out,
+        "obs: wrote metrics snapshot ({} series) to {path}",
+        registry.len()
+    )?;
+    Ok(())
 }
 
 #[cfg(test)]
@@ -318,6 +372,74 @@ mod tests {
         let err = obs_args_from(&parse(&["--obs-sample", "0.5"])).unwrap_err();
         assert!(err.to_string().contains("--obs-out"));
         assert_eq!(err.exit_code(), 2);
+    }
+
+    #[test]
+    fn progress_flag_maps_through() {
+        assert!(!sim_config_from(&parse(&[])).unwrap().progress);
+        assert!(sim_config_from(&parse(&["--progress"])).unwrap().progress);
+    }
+
+    #[test]
+    fn metrics_out_alone_enables_the_metrics_recorder_path() {
+        let obs = obs_args_from(&parse(&["--metrics-out", "run.metrics.json"]))
+            .unwrap()
+            .unwrap();
+        assert_eq!(obs.metrics_path.as_deref(), Some("run.metrics.json"));
+        assert!(obs.jsonl_path.is_none());
+        assert!(obs.chrome_path.is_none());
+    }
+
+    #[test]
+    fn metrics_out_composes_with_obs_out() {
+        let obs = obs_args_from(&parse(&[
+            "--obs-out",
+            "run.jsonl",
+            "--metrics-out",
+            "run.metrics.json",
+        ]))
+        .unwrap()
+        .unwrap();
+        assert_eq!(obs.jsonl_path.as_deref(), Some("run.jsonl"));
+        assert_eq!(obs.metrics_path.as_deref(), Some("run.metrics.json"));
+    }
+
+    #[test]
+    fn ring_knobs_with_only_metrics_out_are_still_rejected() {
+        // The ring/sampling knobs shape the event ring; a pure metrics
+        // run has none, so silently ignoring them would mislead.
+        let err =
+            obs_args_from(&parse(&["--metrics-out", "m.json", "--obs-ring", "64"])).unwrap_err();
+        assert_eq!(err.exit_code(), 2);
+    }
+
+    #[test]
+    fn metrics_snapshot_is_written_and_announced() {
+        let dir = std::env::temp_dir().join("sapsim-cli-mod-metrics");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("run.metrics.json");
+        let path_str = path.to_str().unwrap().to_string();
+        let mut cfg = SimConfig::default();
+        cfg.scale = 0.02;
+        cfg.days = 1;
+        cfg.warmup_days = 0;
+        let obs = ObsArgs {
+            jsonl_path: None,
+            chrome_path: None,
+            metrics_path: Some(path_str.clone()),
+            config: ObsConfig::default(),
+        };
+        let mut out = Vec::new();
+        let with_metrics = run_with_obs(cfg, Some(&obs), &mut out).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.starts_with(r#"{"schema":"sapsim.metrics/v1""#));
+        assert!(text.ends_with('\n'));
+        let status = String::from_utf8(out).unwrap();
+        assert!(status.contains("metrics snapshot"));
+        assert!(status.contains(&path_str));
+        // The canonical result is byte-identical with metrics off.
+        let plain = run_with_obs(cfg, None, &mut Vec::new()).unwrap();
+        assert_eq!(with_metrics.canonical_bytes(), plain.canonical_bytes());
     }
 
     #[test]

@@ -6,8 +6,9 @@
 //! on the deterministic work-stealing pool: the printed report — and
 //! every file written via `--out` — is byte-identical at any `--workers`
 //! value, and each scenario matches a standalone `sapsim simulate` of
-//! the same configuration. Only the `--obs-dir` JSONL logs sit outside
-//! that contract (they record wall-clock timings).
+//! the same configuration. Only the `--obs-dir` JSONL logs and the
+//! `--metrics-dir` snapshots sit outside that contract (they record
+//! wall-clock timings and pool-scheduling detail).
 
 use crate::args::Parsed;
 use crate::error::CliError;
@@ -17,7 +18,7 @@ use std::path::Path;
 
 /// Execute the subcommand.
 pub fn run(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
-    let parsed = Parsed::parse(argv, &["workers", "out", "obs-dir"], &["json"])?;
+    let parsed = Parsed::parse(argv, &["workers", "out", "obs-dir", "metrics-dir"], &["json"])?;
     let [manifest_path] = parsed.positionals() else {
         return Err(CliError::Usage(
             "sweep requires exactly one manifest file argument".into(),
@@ -26,6 +27,7 @@ pub fn run(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
     let workers: usize = parsed.get_parsed("workers", 0)?;
     let out_dir = parsed.get("out").map(str::to_string);
     let obs_dir = parsed.get("obs-dir").map(str::to_string);
+    let metrics_dir = parsed.get("metrics-dir").map(str::to_string);
     let json = parsed.flag("json");
 
     let text = std::fs::read_to_string(manifest_path)
@@ -37,6 +39,7 @@ pub fn run(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
         workers,
         collect_artifacts: out_dir.is_some(),
         collect_obs: obs_dir.is_some(),
+        collect_metrics: metrics_dir.is_some(),
     };
     if !json {
         writeln!(
@@ -87,6 +90,36 @@ pub fn run(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
         }
         if !json {
             writeln!(out, "wrote {written} obs logs to {}", dir.display())?;
+        }
+    }
+
+    if let Some(dir) = &metrics_dir {
+        let dir = Path::new(dir);
+        std::fs::create_dir_all(dir)
+            .map_err(|e| CliError::Io(format!("cannot create {}: {e}", dir.display())))?;
+        let mut written = 0usize;
+        for artifact in &output.artifacts {
+            if let Some(json_line) = &artifact.metrics_json {
+                let mut contents = json_line.clone();
+                contents.push('\n');
+                write_file(
+                    &dir.join(format!("{}.metrics.json", artifact.name)),
+                    &contents,
+                )?;
+                written += 1;
+            }
+        }
+        if let Some(pool) = &output.sweep_metrics {
+            let mut contents = pool.to_json();
+            contents.push('\n');
+            write_file(&dir.join("sweep.metrics.json"), &contents)?;
+        }
+        if !json {
+            writeln!(
+                out,
+                "wrote {written} cell snapshots + sweep.metrics.json to {}",
+                dir.display()
+            )?;
         }
     }
     Ok(())

@@ -8,6 +8,7 @@
 //! sapsim export   [OPTIONS] FILE   run a simulation and export the dataset CSV
 //! sapsim import   FILE [OPTIONS]   load a dataset CSV and print summary stats
 //! sapsim obs summary FILE          summarize an --obs-out JSONL log
+//! sapsim obs metrics FILE...       merge sapsim.metrics/v1 snapshots
 //! sapsim tables                    print the static paper tables (3, 4, 5)
 //! sapsim help                      this text
 //! ```
@@ -39,7 +40,7 @@ COMMANDS:
     sweep       run a scenario grid from a manifest and compare the runs
     export      run a simulation and write the telemetry as dataset CSV
     import      load a dataset CSV (simulated or real) and summarize it
-    obs         summarize an observability JSONL log (obs summary FILE)
+    obs         inspect observability artifacts (obs summary | obs metrics)
     tables      print the paper's static tables (3, 4, 5)
     help        show this message
 
@@ -56,6 +57,8 @@ SIMULATION OPTIONS (simulate, export):
     --cross-bb           enable the cross-building-block rebalancer
     --overcommit <F>     general-purpose vCPU:pCPU ratio    [default: 4.0]
     --no-warmup          skip the 7-day pre-observation ramp
+    --progress           live heartbeat on stderr (sim-day, events/s, live
+                         VMs, ETA); observation only, results unchanged
     --faults <SPEC>      inject deterministic faults: a JSON spec file, or
                          inline key=value pairs (fail, downtime, straggler,
                          slowdown, dropout, dropout-hours, retries, backoff),
@@ -74,6 +77,9 @@ SWEEP OPTIONS:
     --obs-dir <DIR>      record each run and write per-scenario JSONL logs
                          (wall-clock timings; outside the byte-equality
                          contract)
+    --metrics-dir <DIR>  write a sapsim.metrics/v1 snapshot per cell plus
+                         sweep.metrics.json with pool health (per-worker
+                         cells, busy time, claim depth); wall-clock data
     --json               print the sweep report as single-line JSON
                          (schema sapsim.sweep-report/v1)
 
@@ -82,11 +88,18 @@ OBSERVABILITY OPTIONS (simulate, export):
     --obs-chrome <FILE>  write a chrome://tracing span trace
     --obs-sample <F>     decision audit sampling rate in [0, 1] [default: 1.0]
     --obs-ring <N>       event ring-buffer capacity           [default: 65536]
+    --metrics-out <FILE> write the engine-health metrics registry (wheel
+                         occupancy, cache hit rates, prune effectiveness,
+                         scrape timings) as a sapsim.metrics/v1 snapshot
 
 OBS COMMAND:
     obs summary <FILE>   aggregate a JSONL log: span timing, decision
                          outcomes, rejection totals, counters
-    --prom               render the log's counters in Prometheus text format
+    obs metrics <FILE>.. merge one or more sapsim.metrics/v1 snapshots:
+                         counters add, gauges last-write-wins, histograms
+                         merge bucket-wise
+    --prom               render in Prometheus text format (counters only
+                         for summary; full families for metrics)
 
 EXPORT OPTIONS:
     --anonymize <SALT>   consistently hash entity names (like the

@@ -408,6 +408,13 @@ impl Cloud {
         }
     }
 
+    /// Activity counters of the incremental host-view cache: refresh and
+    /// hit/dirty rates per layer, for the engine-health metrics export.
+    /// Observational only — reading them cannot affect placement.
+    pub fn view_cache_stats(&self) -> crate::HostViewCacheStats {
+        self.view_cache.stats()
+    }
+
     /// Pick a node for `resources` inside `bb` the way VMware's initial
     /// placement does: the active node with the lowest CPU allocation
     /// ratio that fits. Returns `None` when the block is fragmented

@@ -128,6 +128,14 @@ pub struct SimConfig {
     /// skipped in serialized configs and canonical bytes.
     #[serde(skip)]
     pub heap_event_queue: bool,
+    /// Emit a live progress heartbeat to stderr while the run executes
+    /// (sim-day reached, events/s, live VM count, ETA). Pure observation
+    /// driven by wall-clock sampling — like the profile wall times on
+    /// [`RunResult`](crate::RunResult) it can never feed back into
+    /// simulation state, so it is skipped in serialized configs and
+    /// canonical bytes.
+    #[serde(skip)]
+    pub progress: bool,
 }
 
 impl Default for SimConfig {
@@ -157,6 +165,7 @@ impl Default for SimConfig {
             faults: FaultSpec::none(),
             naive_host_views: false,
             heap_event_queue: false,
+            progress: false,
         }
     }
 }
@@ -345,6 +354,8 @@ impl SimConfigBuilder {
         naive_host_views: bool,
         /// Equivalence oracle: run on the binary-heap event queue.
         heap_event_queue: bool,
+        /// Live progress heartbeat on stderr (observation only).
+        progress: bool,
     }
 
     /// Validate and return the finished config.

@@ -17,7 +17,7 @@ use sapsim_scheduler::{
     ScheduleError, VmLoad,
 };
 use sapsim_sim::par::join_chunks2;
-use sapsim_sim::{QueueBackend, SimDuration, SimRng, SimTime, Simulation};
+use sapsim_sim::{QueueBackend, SimDuration, SimRng, SimTime, Simulation, MILLIS_PER_DAY};
 use sapsim_telemetry::{EntityRef, MetricId, RunningStat, TsdbStore};
 use sapsim_topology::{paper_estate_custom, AzId, BbId, BbPurpose, DcId, NodeId, TopologyBuilder};
 use sapsim_workload::{
@@ -430,9 +430,29 @@ impl SimDriver {
         // drained by retries, departures, or the retry limit.
         let mut pending: Vec<PendingEvac> = Vec::new();
 
+        // Per-region lifecycle tallies for the metrics export. Plain
+        // vector bumps in the hot path; the labeled fold happens once at
+        // end of run, and only multi-region estates emit the breakdown.
+        let mut region_placed: Vec<u64> = vec![0; regions.len()];
+        let mut region_departed: Vec<u64> = vec![0; regions.len()];
+
+        // Live progress heartbeat: wall-clock only, throttled by checking
+        // the clock every 8192 events and printing at most once a second.
+        // Writes to stderr and reads nothing back — it cannot perturb the
+        // run (the determinism suite pins canonical bytes with it on).
+        let mut progress_last = run_start;
+        let mut progress_events: u64 = 0;
+
         // --- Event loop ----------------------------------------------
         while let Some(ev) = sim.next_event_until(horizon) {
             let now = ev.time;
+            if cfg.progress {
+                progress_events += 1;
+                if progress_events & 0x1FFF == 0 && progress_last.elapsed().as_secs() >= 1 {
+                    progress_last = Instant::now();
+                    Self::print_progress(cfg, run_start, now, horizon, sim.stats().fired, &cloud);
+                }
+            }
             match ev.payload {
                 Event::VmArrival(spec_index) => {
                     let spec = &specs[spec_index];
@@ -466,6 +486,7 @@ impl SimDriver {
                                 }
                             }
                             stats.peak_vm_count = stats.peak_vm_count.max(cloud.vm_count());
+                            region_placed[vm_region[spec_index] as usize] += 1;
                             if R::ENABLED {
                                 rec.counter_add("placements", 1);
                                 rec.counter_add("placement_retries", retries as u64);
@@ -486,16 +507,18 @@ impl SimDriver {
                     }
                 }
                 Event::VmDeparture(id) => {
-                    if cloud.remove(id).is_some() {
+                    if let Some(vm) = cloud.remove(id) {
                         stats.departures += 1;
+                        region_departed[vm_region[vm.spec_index] as usize] += 1;
                         if R::ENABLED {
                             rec.counter_add("departures", 1);
                         }
                     } else if let Some(pos) = pending.iter().position(|p| p.vm.id == id) {
                         // The VM's lifetime ended while it was waiting for
                         // re-placement after a host failure.
-                        pending.remove(pos);
+                        let evac = pending.remove(pos);
                         stats.departures += 1;
+                        region_departed[vm_region[evac.vm.spec_index] as usize] += 1;
                         if R::ENABLED {
                             rec.counter_add("departures", 1);
                         }
@@ -535,6 +558,12 @@ impl SimDriver {
                     span_end(rec, &mut profile, SpanKind::Scrape, run_start, t0);
                     if R::ENABLED {
                         rec.counter_add("scrapes", 1);
+                        // Distribution of the live population across
+                        // scrape ticks — a cheap load curve that needs no
+                        // TSDB pass to read back.
+                        if let Some(m) = rec.metrics_mut() {
+                            m.observe("live_vms_at_scrape", cloud.vm_count() as u64);
+                        }
                     }
                     sim.schedule_after(cfg.scrape_interval, Event::Scrape);
                 }
@@ -795,6 +824,25 @@ impl SimDriver {
                 ts_us: 0,
                 dur_us: wall_us,
             });
+            Self::fold_engine_metrics(
+                rec,
+                &sim,
+                &cloud,
+                &policy,
+                &fault_plan,
+                &stats,
+                &region_placed,
+                &region_departed,
+            );
+        }
+        if cfg.progress {
+            let elapsed = run_start.elapsed().as_secs_f64();
+            let fired = sim.stats().fired;
+            eprintln!(
+                "sapsim: run complete | {fired} events in {elapsed:.1}s ({:.0} ev/s) | {} VMs live at horizon",
+                fired as f64 / elapsed.max(1e-9),
+                cloud.vm_count(),
+            );
         }
 
         RunResult {
@@ -805,6 +853,144 @@ impl SimDriver {
             stats,
             cloud,
             profile,
+        }
+    }
+
+    /// One heartbeat line on stderr: sim-time progress, event throughput,
+    /// live population, and a wall-clock ETA extrapolated from the
+    /// sim-time fraction covered so far.
+    fn print_progress(
+        cfg: &SimConfig,
+        run_start: Instant,
+        now: SimTime,
+        horizon: SimTime,
+        fired: u64,
+        cloud: &Cloud,
+    ) {
+        let elapsed = run_start.elapsed().as_secs_f64();
+        let frac = (now.as_millis() as f64 / horizon.as_millis() as f64).min(1.0);
+        let eta_s = if frac > 0.0 {
+            elapsed * (1.0 - frac) / frac
+        } else {
+            0.0
+        };
+        eprintln!(
+            "sapsim: day {:.1}/{} ({:4.1}%) | {fired} events, {:.0} ev/s | {} VMs live | ETA {eta_s:.0}s",
+            now.as_millis() as f64 / MILLIS_PER_DAY as f64,
+            cfg.warmup_days + cfg.days,
+            frac * 100.0,
+            fired as f64 / elapsed.max(1e-9),
+            cloud.vm_count(),
+        );
+    }
+
+    /// Fold every engine-health counter that accumulates *outside* the
+    /// recorder — event queue, timing wheel, host-view cache, candidate
+    /// index, fault plan, per-region tallies — into the recorder's
+    /// metrics registry, if it carries one. Runs once at end of run, so
+    /// none of this prices into the hot path; driver lifecycle counters
+    /// stream separately through `counter_add` as they happen.
+    #[allow(clippy::too_many_arguments)]
+    fn fold_engine_metrics<R: Recorder>(
+        rec: &mut R,
+        sim: &Simulation<Event>,
+        cloud: &Cloud,
+        policy: &PlacementPolicy,
+        fault_plan: &FaultPlan,
+        stats: &DriverStats,
+        region_placed: &[u64],
+        region_departed: &[u64],
+    ) {
+        let Some(m) = rec.metrics_mut() else {
+            return;
+        };
+        let s = sim.stats();
+        m.gauge("sim_events_fired", s.fired as f64);
+        m.gauge("sim_events_scheduled", s.scheduled as f64);
+        m.gauge("sim_events_cancelled", s.cancelled as f64);
+        if let Some(w) = sim.wheel_stats() {
+            m.gauge("wheel_cascades", w.cascades as f64);
+            m.gauge("wheel_cascade_moves", w.cascade_moves as f64);
+            m.gauge("wheel_overflow_refiles", w.overflow_refiles as f64);
+            m.gauge("wheel_overflow_depth", w.overflow_depth as f64);
+            m.gauge("wheel_max_overflow_depth", w.max_overflow_depth as f64);
+            m.gauge("wheel_live_events", w.live as f64);
+            const LEVEL_NAMES: [&str; sapsim_sim::WHEEL_LEVELS] = ["0", "1", "2", "3", "4", "5"];
+            for (level, &occ) in w.occupied_buckets.iter().enumerate() {
+                m.gauge_with("wheel_occupied_buckets", "level", LEVEL_NAMES[level], occ as f64);
+            }
+        }
+        let vc = cloud.view_cache_stats();
+        for (layer, st) in [("node", vc.node), ("bb", vc.bb)] {
+            m.gauge_with("viewcache_refreshes", "layer", layer, st.refreshes as f64);
+            m.gauge_with(
+                "viewcache_clean_refreshes",
+                "layer",
+                layer,
+                st.clean_refreshes as f64,
+            );
+            m.gauge_with(
+                "viewcache_rows_recomputed",
+                "layer",
+                layer,
+                st.rows_recomputed as f64,
+            );
+            m.gauge_with(
+                "viewcache_lifetime_passes",
+                "layer",
+                layer,
+                st.lifetime_passes as f64,
+            );
+            m.gauge_with("viewcache_full_builds", "layer", layer, st.full_builds as f64);
+            m.gauge_with("viewcache_marks", "layer", layer, st.marks as f64);
+        }
+        let (gp, hana) = policy.index_stats();
+        for (pipe, st) in [("general", *gp), ("hana", *hana)] {
+            m.gauge_with(
+                "index_requests",
+                "pipeline",
+                pipe,
+                st.indexed_requests as f64,
+            );
+            m.gauge_with("index_full_scans", "pipeline", pipe, st.full_scans as f64);
+            m.gauge_with(
+                "index_buckets_examined",
+                "pipeline",
+                pipe,
+                st.buckets_examined as f64,
+            );
+            m.gauge_with(
+                "index_buckets_pruned",
+                "pipeline",
+                pipe,
+                st.buckets_pruned as f64,
+            );
+            m.gauge_with("index_hosts_pruned", "pipeline", pipe, st.hosts_pruned as f64);
+        }
+        m.gauge(
+            "fault_planned_host_failures",
+            fault_plan.host_failures.len() as f64,
+        );
+        m.gauge("fault_planned_recoveries", fault_plan.recovery_count() as f64);
+        m.gauge("fault_planned_stragglers", fault_plan.straggler_count() as f64);
+        m.gauge(
+            "fault_planned_dropout_windows",
+            fault_plan.dropout_window_count() as f64,
+        );
+        m.gauge("vm_peak_live", stats.peak_vm_count as f64);
+        m.gauge("vm_final_live", stats.final_vm_count as f64);
+        m.gauge("evac_pending_end", stats.faults.evac_pending_end as f64);
+        // Region breakdowns only exist on replicated estates — a
+        // single-region export stays byte-identical to the historical
+        // schema.
+        if region_placed.len() > 1 {
+            for (r, (&placed, &departed)) in
+                region_placed.iter().zip(region_departed).enumerate()
+            {
+                let label = r.to_string();
+                m.counter_with("region_placements", "region", &label, placed);
+                m.counter_with("region_departures", "region", &label, departed);
+            }
         }
     }
 

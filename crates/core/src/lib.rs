@@ -41,6 +41,7 @@ pub use driver::SimDriver;
 pub use error::SimError;
 pub use result::{DriverStats, FaultStats, RunResult, VmUsageSummary};
 pub use scenario::{fnv1a_64, Scenario, SweepSpec};
+pub use viewcache::{HostViewCacheStats, LayerCacheStats};
 
 /// Re-export of the fault-injection layer: the spec travels on
 /// [`SimConfig::faults`](crate::SimConfig), so embedders configuring faults

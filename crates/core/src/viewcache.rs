@@ -38,6 +38,37 @@ pub(crate) struct WorldRefs<'a> {
     pub reserved_bbs: &'a BTreeSet<BbId>,
 }
 
+/// Cumulative activity counters of one cache layer — how often the layer
+/// was consulted and how much of it actually had to be recomputed. The
+/// refresh/dirty ratio is the cache's effectiveness: a refresh touching
+/// zero dirty rows is a pure hit. Observational only; nothing reads these
+/// back into refresh behaviour.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LayerCacheStats {
+    /// Refresh calls against an already-built snapshot.
+    pub refreshes: u64,
+    /// Refreshes that recomputed no dirty rows (lifetime-only or no-op).
+    pub clean_refreshes: u64,
+    /// Dirty rows recomputed across all refreshes.
+    pub rows_recomputed: u64,
+    /// Refreshes whose `now` moved, forcing the lifetime-column pass.
+    pub lifetime_passes: u64,
+    /// Full from-scratch builds (first use of the layer).
+    pub full_builds: u64,
+    /// Entries marked dirty by mutators (deduplicated per refresh cycle).
+    pub marks: u64,
+}
+
+/// Both layers' [`LayerCacheStats`], as returned by
+/// [`Cloud::view_cache_stats`](crate::Cloud::view_cache_stats).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HostViewCacheStats {
+    /// Node-granularity layer.
+    pub node: LayerCacheStats,
+    /// Building-block-granularity layer.
+    pub bb: LayerCacheStats,
+}
+
 /// Both granularity caches, owned by `Cloud`.
 #[derive(Debug, Default)]
 pub(crate) struct HostViewCache {
@@ -48,6 +79,14 @@ pub(crate) struct HostViewCache {
 impl HostViewCache {
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Snapshot both layers' activity counters.
+    pub fn stats(&self) -> HostViewCacheStats {
+        HostViewCacheStats {
+            node: self.node.stats,
+            bb: self.bb.stats,
+        }
     }
 
     /// Mark one node and its building block stale in both layers — the
@@ -111,6 +150,7 @@ struct LayerCache {
     now_ms: u64,
     dirty: Vec<bool>,
     dirty_list: Vec<u32>,
+    stats: LayerCacheStats,
 }
 
 impl LayerCache {
@@ -119,6 +159,7 @@ impl LayerCache {
         if self.built && !self.dirty[i] {
             self.dirty[i] = true;
             self.dirty_list.push(i as u32);
+            self.stats.marks += 1;
         }
     }
 
@@ -130,8 +171,18 @@ impl LayerCache {
     ) -> (&[HostView], &CandidateIndex) {
         let now_ms = now.as_millis();
         if !self.built {
+            self.stats.full_builds += 1;
             self.build(world, now_ms, granularity);
             return (&self.views, &self.index);
+        }
+        self.stats.refreshes += 1;
+        if self.dirty_list.is_empty() {
+            self.stats.clean_refreshes += 1;
+        } else {
+            self.stats.rows_recomputed += self.dirty_list.len() as u64;
+        }
+        if self.now_ms != now_ms {
+            self.stats.lifetime_passes += 1;
         }
         if self.now_ms != now_ms {
             // Time moved: only the lifetime column depends on `now`.

@@ -373,6 +373,15 @@ impl FaultPlan {
         self.throughput.iter().filter(|&&t| t < 1.0).count()
     }
 
+    /// Number of planned failures that schedule a recovery (the rest stay
+    /// down for the remainder of the run).
+    pub fn recovery_count(&self) -> usize {
+        self.host_failures
+            .iter()
+            .filter(|f| f.recover_at.is_some())
+            .count()
+    }
+
     /// Total number of telemetry dropout windows in the plan.
     pub fn dropout_window_count(&self) -> usize {
         self.dropouts.iter().map(Vec::len).sum()
@@ -444,6 +453,7 @@ mod tests {
         let (warmup, horizon) = window();
         let plan = FaultPlan::generate(&busy_spec(), 300, warmup, horizon, &SimRng::seed_from(3));
         assert!(!plan.host_failures.is_empty());
+        assert_eq!(plan.recovery_count(), plan.host_failures.len());
         for hf in &plan.host_failures {
             assert!(hf.at > warmup && hf.at < horizon);
             let recover = hf.recover_at.expect("12h downtime set");

@@ -18,6 +18,13 @@
 //! * [`DecisionRecord`] — the scheduler decision audit log entry: candidate
 //!   set size, per-filter rejection counts, per-weigher scores of the
 //!   top-k survivors, the chosen host, and retry depth.
+//! * [`MetricsRegistry`] — deterministic engine-health metrics: named
+//!   counters, gauges, and log-linear [`Histogram`]s with fixed
+//!   power-of-two bucket boundaries, so snapshots from different runs or
+//!   sweep cells merge bit-stably. Exported as the versioned
+//!   `sapsim.metrics/v1` JSON line; collected by [`MetricsRecorder`] (or
+//!   [`JsonlRecorder::with_metrics`]) and folded from engine snapshots
+//!   through [`Recorder::metrics_mut`].
 //! * [`RunProfile`] — aggregated wall-clock timing per event-loop phase
 //!   (scrape with its sample/reduce/record breakdown, DRS rounds, cross-BB
 //!   rounds, placements), carried on the driver's `RunResult` but excluded
@@ -37,11 +44,16 @@
 
 mod event;
 mod json;
+mod metrics;
 mod profile;
 mod recorder;
 
 pub use event::{
     DecisionOutcome, DecisionRecord, FaultEventKind, HostScore, ObsEvent, SpanKind, DECISION_TOP_K,
 };
+pub use metrics::{
+    bucket_index, bucket_upper_bound, Histogram, MetricKey, MetricsRegistry, HIST_BUCKETS,
+    HIST_SUB_BITS, HIST_SUB_BUCKETS,
+};
 pub use profile::{PhaseStat, RunProfile};
-pub use recorder::{JsonlRecorder, NullRecorder, ObsConfig, ObsError, Recorder};
+pub use recorder::{JsonlRecorder, MetricsRecorder, NullRecorder, ObsConfig, ObsError, Recorder};

@@ -7,6 +7,7 @@ use std::io;
 
 use crate::event::{ObsEvent, SpanKind};
 use crate::json;
+use crate::metrics::MetricsRegistry;
 
 /// What went wrong while configuring an observability sink.
 ///
@@ -60,6 +61,15 @@ pub trait Recorder {
     /// configured sample rate. Deterministic in `vm_uid`: the answer
     /// never depends on call order, thread count, or any simulation RNG.
     fn wants_decision(&mut self, vm_uid: u64) -> bool;
+
+    /// The engine-health metrics registry this recorder aggregates into,
+    /// when it keeps one. Instrumentation that folds engine snapshots
+    /// (timing-wheel occupancy, cache hit rates, per-region counters)
+    /// gates on `R::ENABLED` and then on this returning `Some`, so
+    /// recorders without a registry pay only a branch.
+    fn metrics_mut(&mut self) -> Option<&mut MetricsRegistry> {
+        None
+    }
 }
 
 /// The disabled recorder: every method is a no-op and `ENABLED` is
@@ -135,18 +145,88 @@ fn splitmix64(uid: u64) -> u64 {
     z ^ (z >> 31)
 }
 
+/// A recorder that aggregates engine-health metrics and nothing else: no
+/// event ring, no decision audit log — every event and counter folds
+/// straight into a [`MetricsRegistry`].
+///
+/// Spans become `span_us` histogram observations labeled by phase, fault
+/// events become `fault_events` counter breakdowns by kind, and named
+/// counters pass through unchanged. Decision sampling is declined
+/// ([`Recorder::wants_decision`] is `false`), so the driver never builds
+/// the comparatively expensive [`DecisionRecord`](crate::DecisionRecord)
+/// for this recorder — that is what keeps the metrics-enabled path within
+/// a few percent of [`NullRecorder`].
+#[derive(Debug, Clone, Default)]
+pub struct MetricsRecorder {
+    registry: MetricsRegistry,
+}
+
+impl MetricsRecorder {
+    /// An empty metrics recorder.
+    pub fn new() -> Self {
+        MetricsRecorder::default()
+    }
+
+    /// The aggregated registry.
+    pub fn registry(&self) -> &MetricsRegistry {
+        &self.registry
+    }
+
+    /// Consume the recorder, keeping the registry.
+    pub fn into_registry(self) -> MetricsRegistry {
+        self.registry
+    }
+}
+
+/// Fold one typed event into a registry — shared by every recorder that
+/// carries one, so the metric names agree across recorders.
+fn fold_event(registry: &mut MetricsRegistry, event: &ObsEvent) {
+    match event {
+        ObsEvent::Span { kind, dur_us, .. } => {
+            registry.observe_with("span_us", "phase", kind.name(), *dur_us);
+        }
+        ObsEvent::Fault { kind, .. } => {
+            registry.counter_with("fault_events", "kind", kind.name(), 1);
+        }
+        ObsEvent::Decision(_) => {}
+    }
+}
+
+impl Recorder for MetricsRecorder {
+    const ENABLED: bool = true;
+
+    fn record(&mut self, event: ObsEvent) {
+        fold_event(&mut self.registry, &event);
+    }
+
+    fn counter_add(&mut self, name: &'static str, delta: u64) {
+        self.registry.counter(name, delta);
+    }
+
+    fn wants_decision(&mut self, _vm_uid: u64) -> bool {
+        false
+    }
+
+    fn metrics_mut(&mut self) -> Option<&mut MetricsRegistry> {
+        Some(&mut self.registry)
+    }
+}
+
 /// Ring-buffered recorder that exports JSON Lines and Chrome traces.
 ///
 /// Events are kept in a bounded `VecDeque`; when full, the oldest event
 /// is evicted and counted in [`JsonlRecorder::dropped`]. Counters are a
 /// small `BTreeMap` keyed by static names, so their export order is
-/// stable.
+/// stable. Optionally ([`JsonlRecorder::with_metrics`]) the recorder also
+/// folds everything into a [`MetricsRegistry`], so one run can feed both
+/// the event log and the metrics export.
 #[derive(Debug, Clone)]
 pub struct JsonlRecorder {
     config: ObsConfig,
     ring: VecDeque<ObsEvent>,
     dropped: u64,
     counters: BTreeMap<&'static str, u64>,
+    metrics: Option<MetricsRegistry>,
 }
 
 impl Default for JsonlRecorder {
@@ -163,7 +243,19 @@ impl JsonlRecorder {
             ring: VecDeque::with_capacity(config.ring_capacity.min(4096)),
             dropped: 0,
             counters: BTreeMap::new(),
+            metrics: None,
         }
+    }
+
+    /// Also aggregate a [`MetricsRegistry`] alongside the event ring.
+    pub fn with_metrics(mut self) -> Self {
+        self.metrics = Some(MetricsRegistry::new());
+        self
+    }
+
+    /// The aggregated metrics registry, when enabled.
+    pub fn metrics(&self) -> Option<&MetricsRegistry> {
+        self.metrics.as_ref()
     }
 
     /// New recorder with [`ObsConfig::default`] knobs (sample everything,
@@ -281,6 +373,9 @@ impl Recorder for JsonlRecorder {
     const ENABLED: bool = true;
 
     fn record(&mut self, event: ObsEvent) {
+        if let Some(metrics) = &mut self.metrics {
+            fold_event(metrics, &event);
+        }
         if self.ring.len() >= self.config.ring_capacity {
             self.ring.pop_front();
             self.dropped += 1;
@@ -289,6 +384,9 @@ impl Recorder for JsonlRecorder {
     }
 
     fn counter_add(&mut self, name: &'static str, delta: u64) {
+        if let Some(metrics) = &mut self.metrics {
+            metrics.counter(name, delta);
+        }
         *self.counters.entry(name).or_insert(0) += delta;
     }
 
@@ -303,6 +401,10 @@ impl Recorder for JsonlRecorder {
         // Top 53 bits of the hash → uniform f64 in [0, 1).
         let unit = (splitmix64(vm_uid) >> 11) as f64 / (1u64 << 53) as f64;
         unit < rate
+    }
+
+    fn metrics_mut(&mut self) -> Option<&mut MetricsRegistry> {
+        self.metrics.as_mut()
     }
 }
 
@@ -428,6 +530,50 @@ mod tests {
         assert_eq!(lines[3]["type"], "counter");
         assert_eq!(lines[3]["name"], "placements");
         assert_eq!(lines[3]["value"], 1);
+    }
+
+    #[test]
+    fn metrics_recorder_folds_spans_faults_and_counters() {
+        use crate::event::FaultEventKind;
+        let mut rec = MetricsRecorder::new();
+        rec.record(span(SpanKind::Scrape, 0, 120));
+        rec.record(span(SpanKind::Scrape, 300, 80));
+        rec.record(decision(9)); // decisions carry no metric
+        rec.record(ObsEvent::Fault {
+            kind: FaultEventKind::HostFail,
+            sim_time_ms: 0,
+            node: 3,
+            vm_uid: 0,
+        });
+        rec.counter_add("placements", 5);
+        assert!(!rec.wants_decision(1), "metrics recorder declines sampling");
+        let m = rec.registry();
+        assert_eq!(m.counter_value("placements"), Some(5));
+        let spans = m
+            .histograms()
+            .find(|(k, _)| k.label.as_ref().is_some_and(|(_, v)| v == "scrape"))
+            .map(|(_, h)| h)
+            .expect("scrape span histogram");
+        assert_eq!(spans.count(), 2);
+        assert_eq!(spans.sum(), 200);
+        let faults: Vec<_> = m
+            .counters()
+            .filter(|(k, _)| k.name == "fault_events")
+            .collect();
+        assert_eq!(faults.len(), 1);
+        assert_eq!(faults[0].1, 1);
+    }
+
+    #[test]
+    fn jsonl_recorder_with_metrics_mirrors_its_counters() {
+        let mut rec = JsonlRecorder::with_defaults().with_metrics();
+        rec.record(span(SpanKind::Placement, 0, 7));
+        rec.counter_add("placements", 2);
+        let m = rec.metrics().expect("registry enabled");
+        assert_eq!(m.counter_value("placements"), Some(2));
+        assert_eq!(m.histograms().count(), 1);
+        // Without with_metrics() no registry exists.
+        assert!(JsonlRecorder::with_defaults().metrics().is_none());
     }
 
     #[test]

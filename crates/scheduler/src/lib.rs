@@ -39,7 +39,7 @@ pub use filter::{
 };
 pub use index::{Bucket, CandidateIndex};
 pub use packing::{pack_all, BinPacker, OfflineStrategyError, PackingOutcome, PackingStrategy};
-pub use pipeline::{FilterScheduler, PipelineStats, RankOptions, Ranking, ScheduleError};
+pub use pipeline::{FilterScheduler, IndexStats, PipelineStats, RankOptions, Ranking, ScheduleError};
 pub use policies::{PlacementPolicy, PolicyKind};
 pub use rebalance::{
     CrossBbRebalancer, DrsConfig, DrsRebalancer, HostLoad, Migration, NodeLoad, RebalanceReport,

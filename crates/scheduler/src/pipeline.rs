@@ -48,6 +48,26 @@ pub struct PipelineStats {
     pub rejections: BTreeMap<RejectReason, u64>,
 }
 
+/// Cumulative effectiveness counters of [`CandidateIndex`] bucket pruning,
+/// kept separate from [`PipelineStats`] on purpose: pruning is a pure
+/// execution detail (the indexed and full-scan paths are bit-identical by
+/// contract, including their `PipelineStats`), so its bookkeeping must
+/// never appear in the stats the equivalence suites compare. These
+/// counters feed the engine-health metrics export only.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IndexStats {
+    /// Rank passes that walked a candidate index.
+    pub indexed_requests: u64,
+    /// Rank passes that scanned the full host slice (no index supplied).
+    pub full_scans: u64,
+    /// Buckets examined across all indexed passes.
+    pub buckets_examined: u64,
+    /// Buckets pruned wholesale (infeasible purpose or AZ).
+    pub buckets_pruned: u64,
+    /// Hosts skipped without running the filter chain, via pruned buckets.
+    pub hosts_pruned: u64,
+}
+
 /// Execution options for one [`FilterScheduler::rank_into`] pass.
 #[derive(Debug, Clone, Copy)]
 pub struct RankOptions<'a> {
@@ -155,6 +175,7 @@ pub struct FilterScheduler {
     filters: Vec<Box<dyn Filter>>,
     weighers: Vec<(f64, Box<dyn Weigher>)>,
     stats: PipelineStats,
+    index_stats: IndexStats,
     scratch: RankScratch,
 }
 
@@ -186,6 +207,7 @@ impl FilterScheduler {
             filters,
             weighers,
             stats: PipelineStats::default(),
+            index_stats: IndexStats::default(),
             scratch: RankScratch::default(),
         }
     }
@@ -193,6 +215,11 @@ impl FilterScheduler {
     /// Pipeline activity counters.
     pub fn stats(&self) -> &PipelineStats {
         &self.stats
+    }
+
+    /// Candidate-index prune-effectiveness counters (see [`IndexStats`]).
+    pub fn index_stats(&self) -> &IndexStats {
+        &self.index_stats
     }
 
     /// Run the pipeline: filter `hosts`, then rank the survivors
@@ -254,6 +281,9 @@ impl FilterScheduler {
         self.scratch.survivors.clear();
         match opts.index {
             None => {
+                if opts.count_stats {
+                    self.index_stats.full_scans += 1;
+                }
                 'candidates: for (i, host) in hosts.iter().enumerate() {
                     for f in &self.filters {
                         if let Err(reason) = f.check(request, host) {
@@ -270,12 +300,18 @@ impl FilterScheduler {
                     hosts.len(),
                     "candidate index must cover the host slice"
                 );
+                if opts.count_stats {
+                    self.index_stats.indexed_requests += 1;
+                }
                 let mut feasible_buckets = 0usize;
                 for bucket in index.buckets() {
                     if bucket.purpose.accepts(request.purpose)
                         && request.az.is_none_or(|az| az == bucket.az)
                     {
                         feasible_buckets += 1;
+                        if opts.count_stats {
+                            self.index_stats.buckets_examined += 1;
+                        }
                         'bucket: for &i in &bucket.hosts {
                             let host = &hosts[i as usize];
                             for f in &self.filters {
@@ -287,6 +323,10 @@ impl FilterScheduler {
                             self.scratch.survivors.push(i as usize);
                         }
                     } else {
+                        if opts.count_stats {
+                            self.index_stats.buckets_pruned += 1;
+                            self.index_stats.hosts_pruned += bucket.hosts.len() as u64;
+                        }
                         // Whole bucket pruned. Attribute each host to the
                         // reason the standard chain would emit: status is
                         // checked first (disabled wins), then AZ, then
@@ -777,6 +817,91 @@ mod tests {
             )
             .unwrap_err();
         assert_eq!(err, full);
+        assert_eq!(naive.stats(), indexed.stats());
+    }
+
+    #[test]
+    fn index_stats_count_prune_effectiveness() {
+        // mixed_fleet partitions into 4 buckets: GeneralPurpose × {az0,
+        // az1} (4 hosts each) and Hana × {az0, az1} (2 hosts each).
+        let hosts = mixed_fleet();
+        let index = CandidateIndex::build(&hosts);
+        let mut s = spread_scheduler();
+        let mut out = Ranking::default();
+
+        // GP request, no AZ pin: both Hana buckets pruned (4 hosts).
+        s.rank_into(
+            &req(4, 100),
+            &hosts,
+            RankOptions {
+                index: Some(&index),
+                top_k: usize::MAX,
+                count_stats: true,
+            },
+            &mut out,
+        )
+        .unwrap();
+        let st = *s.index_stats();
+        assert_eq!(st.indexed_requests, 1);
+        assert_eq!(st.full_scans, 0);
+        assert_eq!(st.buckets_examined, 2);
+        assert_eq!(st.buckets_pruned, 2);
+        assert_eq!(st.hosts_pruned, 4);
+
+        // GP request pinned to az0: only one bucket survives; the other
+        // GP bucket (4 hosts) and both Hana buckets (4 hosts) are pruned.
+        s.rank_into(
+            &req(4, 100).in_az(AzId::from_raw(0)),
+            &hosts,
+            RankOptions {
+                index: Some(&index),
+                top_k: usize::MAX,
+                count_stats: true,
+            },
+            &mut out,
+        )
+        .unwrap();
+        let st = *s.index_stats();
+        assert_eq!(st.indexed_requests, 2);
+        assert_eq!(st.buckets_examined, 3);
+        assert_eq!(st.buckets_pruned, 5);
+        assert_eq!(st.hosts_pruned, 12);
+
+        // A full scan counts as such, and an uncounted continuation pass
+        // leaves every index counter untouched.
+        s.rank_into(&req(4, 100), &hosts, RankOptions::exhaustive(), &mut out)
+            .unwrap();
+        assert_eq!(s.index_stats().full_scans, 1);
+        let before = *s.index_stats();
+        s.rank_into(
+            &req(4, 100),
+            &hosts,
+            RankOptions {
+                index: Some(&index),
+                top_k: usize::MAX,
+                count_stats: false,
+            },
+            &mut out,
+        )
+        .unwrap();
+        assert_eq!(*s.index_stats(), before);
+
+        // And none of this bookkeeping leaks into the comparable stats.
+        let mut naive = spread_scheduler();
+        naive.rank(&req(4, 100), &hosts).unwrap();
+        let mut indexed = spread_scheduler();
+        indexed
+            .rank_into(
+                &req(4, 100),
+                &hosts,
+                RankOptions {
+                    index: Some(&index),
+                    top_k: usize::MAX,
+                    count_stats: true,
+                },
+                &mut out,
+            )
+            .unwrap();
         assert_eq!(naive.stats(), indexed.stats());
     }
 

@@ -172,6 +172,12 @@ impl PlacementPolicy {
     pub fn stats(&self) -> (&PipelineStats, &PipelineStats) {
         (self.general.stats(), self.hana.stats())
     }
+
+    /// Candidate-index prune counters `(general, hana)` — see
+    /// [`IndexStats`](crate::IndexStats).
+    pub fn index_stats(&self) -> (&crate::IndexStats, &crate::IndexStats) {
+        (self.general.index_stats(), self.hana.index_stats())
+    }
 }
 
 #[cfg(test)]

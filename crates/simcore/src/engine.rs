@@ -3,6 +3,7 @@
 
 use crate::queue::{EventHandle, EventQueue, QueueBackend};
 use crate::time::{SimDuration, SimTime};
+use crate::wheel::WheelStats;
 
 /// An event that has fired, handed back to the caller for processing.
 #[derive(Debug)]
@@ -94,6 +95,11 @@ impl<E> Simulation<E> {
     /// Number of live pending events.
     pub fn pending(&self) -> usize {
         self.queue.len()
+    }
+
+    /// Timing-wheel health statistics, `None` on the heap oracle backend.
+    pub fn wheel_stats(&self) -> Option<WheelStats> {
+        self.queue.wheel_stats()
     }
 
     /// Schedule `payload` at an absolute instant.

@@ -56,5 +56,6 @@ mod wheel;
 
 pub use engine::{FiredEvent, Simulation, SimulationStats};
 pub use queue::{EventHandle, EventQueue, QueueBackend, QueuedEvent};
+pub use wheel::{WheelStats, WHEEL_LEVELS};
 pub use rng::SimRng;
 pub use time::{SimDuration, SimTime, MILLIS_PER_DAY, MILLIS_PER_HOUR, MILLIS_PER_MINUTE, MILLIS_PER_SECOND};

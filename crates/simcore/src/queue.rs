@@ -20,7 +20,7 @@
 //! `heap_event_queue` config knob exist to prove exactly that.
 
 use crate::time::SimTime;
-use crate::wheel::{BuildSeqHasher, TimingWheel};
+use crate::wheel::{BuildSeqHasher, TimingWheel, WheelStats};
 use std::cmp::Ordering;
 use std::collections::{BinaryHeap, HashSet};
 
@@ -237,6 +237,15 @@ impl<E> EventQueue<E> {
             Inner::Heap(h) => h.pop(),
         }
     }
+
+    /// Health statistics of the timing-wheel backend, `None` on the heap
+    /// oracle. Observational only: reading them cannot perturb pop order.
+    pub fn wheel_stats(&self) -> Option<WheelStats> {
+        match &self.inner {
+            Inner::Wheel(w) => Some(w.stats()),
+            Inner::Heap(_) => None,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -362,6 +371,16 @@ mod tests {
             assert_eq!(q.pop().unwrap().payload, 7);
             assert_eq!(q.pop().unwrap().payload, 10);
         }
+    }
+
+    #[test]
+    fn wheel_stats_are_wheel_only() {
+        let mut q = EventQueue::with_backend(QueueBackend::TimingWheel);
+        q.push(t(1), ());
+        let stats = q.wheel_stats().expect("wheel backend reports stats");
+        assert_eq!(stats.live, 1);
+        let h: EventQueue<()> = EventQueue::with_backend(QueueBackend::BinaryHeap);
+        assert!(h.wheel_stats().is_none(), "heap oracle has no wheel stats");
     }
 
     #[test]

@@ -47,6 +47,33 @@ const MASK: u64 = BUCKETS as u64 - 1;
 /// Wheel levels. Level `LEVELS-1` buckets span `64^(LEVELS-1)` ms; the
 /// wheels jointly cover `64^LEVELS` ms ≈ 2.2 simulated years past `cur`.
 const LEVELS: usize = 6;
+
+/// Number of levels in the hierarchical wheel, as reported by
+/// [`WheelStats::occupied_buckets`].
+pub const WHEEL_LEVELS: usize = LEVELS;
+
+/// Engine-health statistics of one timing wheel: cumulative cascade work
+/// plus a point-in-time occupancy snapshot. Purely observational — a
+/// wheel maintains these unconditionally (the increments are a rounding
+/// error next to the list surgery they count) and nothing reads them back
+/// into queue behaviour.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WheelStats {
+    /// Coarse-bucket drains that re-filed events into finer levels.
+    pub cascades: u64,
+    /// Live events re-filed (or staged) by those cascades.
+    pub cascade_moves: u64,
+    /// Wholesale overflow-list re-files after the wheels ran dry.
+    pub overflow_refiles: u64,
+    /// Current overflow-list length, husks included.
+    pub overflow_depth: usize,
+    /// High-water mark of the overflow list.
+    pub max_overflow_depth: usize,
+    /// Non-empty buckets per level, finest first.
+    pub occupied_buckets: [u32; WHEEL_LEVELS],
+    /// Live (scheduled, not yet fired or cancelled) events.
+    pub live: usize,
+}
 /// Null link in the intrusive bucket lists.
 const NIL: u32 = u32::MAX;
 
@@ -135,6 +162,14 @@ pub(crate) struct TimingWheel<E> {
     due: VecDeque<DueEntry>,
     /// Live (scheduled, not yet fired or cancelled) event count.
     live: usize,
+    /// Cumulative cascade counter (see [`WheelStats::cascades`]).
+    cascades: u64,
+    /// Cumulative cascade re-file counter.
+    cascade_moves: u64,
+    /// Cumulative overflow re-file counter.
+    overflow_refiles: u64,
+    /// High-water mark of `overflow.len()`.
+    max_overflow: usize,
 }
 
 impl<E> TimingWheel<E> {
@@ -149,11 +184,32 @@ impl<E> TimingWheel<E> {
             cur: 0,
             due: VecDeque::new(),
             live: 0,
+            cascades: 0,
+            cascade_moves: 0,
+            overflow_refiles: 0,
+            max_overflow: 0,
         }
     }
 
     pub(crate) fn len(&self) -> usize {
         self.live
+    }
+
+    /// Snapshot the wheel's health statistics.
+    pub(crate) fn stats(&self) -> WheelStats {
+        let mut occupied_buckets = [0u32; WHEEL_LEVELS];
+        for (out, mask) in occupied_buckets.iter_mut().zip(&self.occupancy) {
+            *out = mask.count_ones();
+        }
+        WheelStats {
+            cascades: self.cascades,
+            cascade_moves: self.cascade_moves,
+            overflow_refiles: self.overflow_refiles,
+            overflow_depth: self.overflow.len(),
+            max_overflow_depth: self.max_overflow,
+            occupied_buckets,
+            live: self.live,
+        }
     }
 
     /// Insert an event under a caller-assigned seq (the facade owns the
@@ -269,7 +325,10 @@ impl<E> TimingWheel<E> {
                 bucket.tail = slot;
                 self.occupancy[level] |= 1 << j;
             }
-            None => self.overflow.push(slot),
+            None => {
+                self.overflow.push(slot);
+                self.max_overflow = self.max_overflow.max(self.overflow.len());
+            }
         }
     }
 
@@ -399,6 +458,7 @@ impl<E> TimingWheel<E> {
     /// on the new `cur` are staged like a level-0 drain.
     fn cascade(&mut self, head: u32) {
         debug_assert!(self.due.is_empty());
+        self.cascades += 1;
         let mut hits: Vec<(u64, u32)> = Vec::new();
         let mut at = head;
         while at != NIL {
@@ -407,8 +467,10 @@ impl<E> TimingWheel<E> {
             if !rec.live {
                 self.release(at);
             } else if rec.time.as_millis() == self.cur {
+                self.cascade_moves += 1;
                 hits.push((rec.seq, at));
             } else {
+                self.cascade_moves += 1;
                 self.file(at);
             }
             at = next;
@@ -447,6 +509,7 @@ impl<E> TimingWheel<E> {
             min_t > self.cur,
             "overflow events are beyond the wheel span"
         );
+        self.overflow_refiles += 1;
         self.cur = min_t;
         let items = std::mem::take(&mut self.overflow);
         let mut hits: Vec<(u64, u32)> = Vec::new();
@@ -552,6 +615,36 @@ mod tests {
         assert_eq!(w.len(), 0);
         // Every slot is back on the free list.
         assert_eq!(w.free.len(), w.slots.len());
+    }
+
+    #[test]
+    fn stats_count_cascades_and_overflow_depth() {
+        let mut w = wheel();
+        assert_eq!(w.stats(), WheelStats::default());
+
+        // Two far-future events cascade through coarse levels on drain.
+        w.insert(SimTime::from_millis(1_000_000), 0, 0);
+        w.insert(SimTime::from_millis(1_000_001), 1, 1);
+        let s = w.stats();
+        assert_eq!(s.live, 2);
+        assert!(s.occupied_buckets.iter().sum::<u32>() >= 1);
+        drain(&mut w);
+        let s = w.stats();
+        assert!(s.cascades >= 1, "coarse drains must count as cascades");
+        assert!(s.cascade_moves >= 2, "both events were re-filed");
+        assert_eq!(s.live, 0);
+
+        // An overflow event raises the depth and the high-water mark, and
+        // draining it counts one wholesale re-file.
+        let far = 64u64.pow(6) + 5;
+        w.insert(SimTime::from_millis(far), 2, 2);
+        assert_eq!(w.stats().overflow_depth, 1);
+        assert_eq!(w.stats().max_overflow_depth, 1);
+        drain(&mut w);
+        let s = w.stats();
+        assert_eq!(s.overflow_depth, 0);
+        assert_eq!(s.max_overflow_depth, 1);
+        assert_eq!(s.overflow_refiles, 1);
     }
 
     #[test]

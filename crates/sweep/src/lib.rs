@@ -37,10 +37,11 @@ pub use summary::{ClassCount, RunSummary, UtilizationBands, RUN_SUMMARY_SCHEMA};
 use sapsim_analysis::cdf::{utilization_cdf, VmResource};
 use sapsim_analysis::contention::contention_aggregate;
 use sapsim_core::{Scenario, SimError, SweepSpec};
-use sapsim_obs::JsonlRecorder;
+use sapsim_obs::{JsonlRecorder, MetricsRecorder, MetricsRegistry};
 use std::fmt;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
+use std::time::Instant;
 
 /// What went wrong while parsing, expanding, or executing a sweep.
 ///
@@ -99,6 +100,13 @@ pub struct SweepOptions {
     /// log. Costs recorder overhead per run; implies nothing about the
     /// report, which stays byte-identical either way.
     pub collect_obs: bool,
+    /// Collect a `sapsim.metrics/v1` snapshot per scenario cell
+    /// ([`ScenarioArtifacts::metrics_json`]) plus a sweep-level registry
+    /// of pool health — per-worker cell counts, busy time, and claim
+    /// depth ([`SweepOutput::sweep_metrics`]). Like the obs JSONL these
+    /// carry wall-clock data and sit outside the byte-equality contract;
+    /// the report itself stays byte-identical either way.
+    pub collect_metrics: bool,
 }
 
 /// Per-scenario side outputs (only with
@@ -118,6 +126,10 @@ pub struct ScenarioArtifacts {
     /// Observability JSONL of the run. **Not** covered by the byte-
     /// equality contract: it contains wall-clock span timings.
     pub obs_jsonl: Option<String>,
+    /// `sapsim.metrics/v1` snapshot of the run (with
+    /// [`SweepOptions::collect_metrics`]). Same caveat as the JSONL: the
+    /// span histograms inside are wall-clock data.
+    pub metrics_json: Option<String>,
 }
 
 /// Everything a sweep produces: the deterministic report plus optional
@@ -128,6 +140,11 @@ pub struct SweepOutput {
     pub report: SweepReport,
     /// Per-scenario artifacts; empty unless requested via options.
     pub artifacts: Vec<ScenarioArtifacts>,
+    /// Pool-health registry (with [`SweepOptions::collect_metrics`]):
+    /// per-worker cell counts and busy time as labeled gauges, cell
+    /// wall-time and claim-depth histograms merged across workers.
+    /// Wall-clock data — not part of the byte-equality contract.
+    pub sweep_metrics: Option<MetricsRegistry>,
 }
 
 impl SweepOutput {
@@ -218,19 +235,40 @@ pub fn run_sweep(
     let next = AtomicUsize::new(0);
     let next = &next;
     let (tx, rx) = mpsc::channel();
-    std::thread::scope(|scope| {
+    let sweep_metrics = std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(workers);
         for _ in 0..workers {
             let tx = tx.clone();
-            scope.spawn(move || loop {
-                let index = next.fetch_add(1, Ordering::Relaxed);
-                if index >= scenarios.len() {
-                    break;
+            handles.push(scope.spawn(move || {
+                // Worker-local pool accounting, merged after the joins so
+                // the hot claim loop never touches shared state beyond
+                // the one atomic.
+                let mut local = MetricsRegistry::new();
+                let mut busy_us: u64 = 0;
+                loop {
+                    let index = next.fetch_add(1, Ordering::Relaxed);
+                    if index >= scenarios.len() {
+                        break;
+                    }
+                    if options.collect_metrics {
+                        // Cells still unclaimed at claim time (including
+                        // this one): the depth of the claim queue.
+                        local.observe("sweep_claim_depth", (scenarios.len() - index) as u64);
+                    }
+                    let t0 = Instant::now();
+                    let outcome = execute_one(&scenarios[index], options);
+                    if options.collect_metrics {
+                        let us = t0.elapsed().as_micros() as u64;
+                        busy_us += us;
+                        local.counter("sweep_cells_completed", 1);
+                        local.observe("sweep_cell_us", us);
+                    }
+                    if tx.send((index, outcome)).is_err() {
+                        break;
+                    }
                 }
-                let outcome = execute_one(&scenarios[index], options);
-                if tx.send((index, outcome)).is_err() {
-                    break;
-                }
-            });
+                (local, busy_us)
+            }));
         }
         drop(tx);
         // Receive in *completion* order, store by *expansion* index —
@@ -238,6 +276,23 @@ pub fn run_sweep(
         for (index, outcome) in rx {
             slots[index] = Some(outcome);
         }
+        if !options.collect_metrics {
+            return None;
+        }
+        // Fold worker registries in spawn order: per-worker utilization
+        // as labeled gauges, the distributions merged bit-stably.
+        let mut registry = MetricsRegistry::new();
+        registry.gauge("sweep_workers", workers as f64);
+        registry.gauge("sweep_cells_total", scenarios.len() as f64);
+        for (w, handle) in handles.into_iter().enumerate() {
+            let (local, busy_us) = handle.join().expect("sweep worker panicked");
+            let cells = local.counter_value("sweep_cells_completed").unwrap_or(0);
+            registry.merge(&local);
+            let label = w.to_string();
+            registry.gauge_with("sweep_worker_cells", "worker", &label, cells as f64);
+            registry.gauge_with("sweep_worker_busy_us", "worker", &label, busy_us as f64);
+        }
+        Some(registry)
     });
 
     let mut outcomes = Vec::with_capacity(scenarios.len());
@@ -246,13 +301,14 @@ pub fn run_sweep(
         let (outcome, artifact) =
             slot.expect("every claimed index sends exactly one result before the scope ends");
         outcomes.push(outcome);
-        if options.collect_artifacts || options.collect_obs {
+        if options.collect_artifacts || options.collect_obs || options.collect_metrics {
             artifacts.push(artifact);
         }
     }
     Ok(SweepOutput {
         report: SweepReport::new(outcomes),
         artifacts,
+        sweep_metrics,
     })
 }
 
@@ -261,16 +317,25 @@ fn execute_one(
     scenario: &Scenario,
     options: &SweepOptions,
 ) -> (ScenarioOutcome, ScenarioArtifacts) {
-    let (run, obs_jsonl) = if options.collect_obs {
+    let (run, obs_jsonl, metrics_json) = if options.collect_obs {
         let mut rec = JsonlRecorder::with_defaults();
+        if options.collect_metrics {
+            rec = rec.with_metrics();
+        }
         let run = scenario.run_with_recorder(&mut rec);
+        let metrics_json = rec.metrics().map(|m| m.to_json());
         let mut buf = Vec::new();
         rec.write_jsonl(&mut buf)
             .expect("writing JSONL into a Vec cannot fail");
         let text = String::from_utf8(buf).expect("JSONL export is UTF-8");
-        (run, Some(text))
+        (run, Some(text), metrics_json)
+    } else if options.collect_metrics {
+        let mut rec = MetricsRecorder::new();
+        let run = scenario.run_with_recorder(&mut rec);
+        let json = rec.registry().to_json();
+        (run, None, Some(json))
     } else {
-        (scenario.run(), None)
+        (scenario.run(), None, None)
     };
 
     let outcome = ScenarioOutcome {
@@ -285,6 +350,7 @@ fn execute_one(
             memory_cdf_csv: utilization_cdf(&run, VmResource::Memory).to_csv(),
             contention_csv: contention_aggregate(&run).to_csv(),
             obs_jsonl,
+            metrics_json,
         }
     } else {
         ScenarioArtifacts {
@@ -293,6 +359,7 @@ fn execute_one(
             memory_cdf_csv: String::new(),
             contention_csv: String::new(),
             obs_jsonl,
+            metrics_json,
         }
     };
     (outcome, artifacts)
@@ -377,6 +444,33 @@ mod tests {
         assert_eq!(output.artifacts.len(), 1);
         let obs = output.artifacts[0].obs_jsonl.as_ref().expect("collected");
         assert!(obs.starts_with("{\"type\":\"meta\""));
+    }
+
+    #[test]
+    fn metrics_artifacts_and_pool_registry_are_collected() {
+        let spec = tiny_spec(); // expands to 4 scenarios
+        let options = SweepOptions {
+            workers: 2,
+            collect_metrics: true,
+            ..SweepOptions::default()
+        };
+        let output = run_spec(&spec, &options).expect("sweep runs");
+        assert_eq!(output.artifacts.len(), 4);
+        for a in &output.artifacts {
+            let json = a.metrics_json.as_ref().expect("per-cell snapshot");
+            assert!(json.starts_with("{\"schema\":\"sapsim.metrics/v1\""));
+            assert!(json.contains("\"placements\""));
+        }
+        let m = output.sweep_metrics.as_ref().expect("pool registry");
+        assert_eq!(m.counter_value("sweep_cells_completed"), Some(4));
+        assert_eq!(m.gauge_value("sweep_cells_total"), Some(4.0));
+        assert_eq!(m.histogram("sweep_cell_us").expect("merged").count(), 4);
+        assert_eq!(m.histogram("sweep_claim_depth").expect("merged").count(), 4);
+        // Metrics collection must not move the deterministic report.
+        let plain = run_spec(&spec, &SweepOptions::default()).expect("sweep runs");
+        assert_eq!(plain.report.to_json(), output.report.to_json());
+        assert!(plain.sweep_metrics.is_none());
+        assert!(plain.artifacts.is_empty());
     }
 
     #[test]

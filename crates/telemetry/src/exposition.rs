@@ -63,34 +63,186 @@ fn format_value(v: f64) -> String {
     }
 }
 
+/// One metric family for [`render_metrics`]: a raw name (the renderer
+/// prefixes `sapsim_` and sanitizes to the metric charset), a help
+/// string, and the samples.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PromFamily<'a> {
+    /// Raw family name (e.g. a recorder counter name).
+    pub name: &'a str,
+    /// `# HELP` text.
+    pub help: &'a str,
+    /// The samples, by kind.
+    pub data: PromData<'a>,
+}
+
+/// The samples of one [`PromFamily`], one entry per label pair (or one
+/// unlabeled entry).
+#[derive(Debug, Clone, PartialEq)]
+pub enum PromData<'a> {
+    /// Monotone counter samples.
+    Counter(Vec<(Option<(&'a str, &'a str)>, u64)>),
+    /// Gauge samples.
+    Gauge(Vec<(Option<(&'a str, &'a str)>, f64)>),
+    /// Histogram samples, each rendered as the standard
+    /// `_bucket`/`_sum`/`_count` series triple.
+    Histogram(Vec<(Option<(&'a str, &'a str)>, PromHistogram<'a>)>),
+}
+
+/// A histogram snapshot for the exposition renderer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PromHistogram<'a> {
+    /// `(upper_bound, cumulative_count)` pairs in ascending bound order.
+    /// The renderer appends the mandatory `le="+Inf"` bucket itself
+    /// (valued [`PromHistogram::count`]), so callers must not include it.
+    pub cumulative: &'a [(f64, u64)],
+    /// Sum of all observations.
+    pub sum: f64,
+    /// Total number of observations.
+    pub count: u64,
+}
+
+/// Render metric families — counters, gauges, and histograms, optionally
+/// labeled — as a Prometheus text exposition page.
+///
+/// Family names are prefixed `sapsim_` and sanitized to the metric
+/// charset (every character outside `[A-Za-z0-9_]` maps to `_`); label
+/// values get the standard backslash escaping (`\\`, `\"`, `\n`).
+/// Iteration order is preserved, so an ordered input (e.g. a registry's
+/// name-sorted entries) renders a stable page.
+pub fn render_metrics<'a, I>(families: I) -> String
+where
+    I: IntoIterator<Item = PromFamily<'a>>,
+{
+    let mut out = String::new();
+    for family in families {
+        let metric = sanitize_name(family.name);
+        match family.data {
+            PromData::Counter(samples) => {
+                let _ = writeln!(out, "# HELP {metric} {}", family.help);
+                let _ = writeln!(out, "# TYPE {metric} counter");
+                for (label, value) in samples {
+                    push_sample(&mut out, &metric, "", label, None, &value.to_string());
+                }
+            }
+            PromData::Gauge(samples) => {
+                let _ = writeln!(out, "# HELP {metric} {}", family.help);
+                let _ = writeln!(out, "# TYPE {metric} gauge");
+                for (label, value) in samples {
+                    push_sample(&mut out, &metric, "", label, None, &format_value(value));
+                }
+            }
+            PromData::Histogram(samples) => {
+                let _ = writeln!(out, "# HELP {metric} {}", family.help);
+                let _ = writeln!(out, "# TYPE {metric} histogram");
+                for (label, h) in samples {
+                    for &(le, cum) in h.cumulative {
+                        push_sample(
+                            &mut out,
+                            &metric,
+                            "_bucket",
+                            label,
+                            Some(format_value(le)),
+                            &cum.to_string(),
+                        );
+                    }
+                    push_sample(
+                        &mut out,
+                        &metric,
+                        "_bucket",
+                        label,
+                        Some("+Inf".to_string()),
+                        &h.count.to_string(),
+                    );
+                    push_sample(&mut out, &metric, "_sum", label, None, &format_value(h.sum));
+                    push_sample(&mut out, &metric, "_count", label, None, &h.count.to_string());
+                }
+            }
+        }
+    }
+    out
+}
+
 /// Render observability recorder counters (placements, retries,
 /// migrations, rejections-by-reason, …) as Prometheus counter families.
 ///
 /// Each `(name, value)` pair becomes one single-sample family named
-/// `sapsim_<name>` with the name sanitized to the Prometheus metric
-/// charset (every character outside `[A-Za-z0-9_]` maps to `_`).
-/// Iteration order is preserved, so an ordered input (e.g. a recorder's
-/// name-sorted counters) renders a stable page.
+/// `sapsim_<name>`. Thin wrapper over [`render_metrics`]; kept for the
+/// established one-counter-per-family page shape.
 pub fn render_counters<'a, I>(counters: I) -> String
 where
     I: IntoIterator<Item = (&'a str, u64)>,
 {
     let mut out = String::new();
     for (name, value) in counters {
-        let mut metric = String::with_capacity("sapsim_".len() + name.len());
-        metric.push_str("sapsim_");
-        for c in name.chars() {
-            metric.push(if c.is_ascii_alphanumeric() || c == '_' {
-                c
-            } else {
-                '_'
-            });
-        }
-        let _ = writeln!(out, "# HELP {metric} Simulator event counter");
-        let _ = writeln!(out, "# TYPE {metric} counter");
-        let _ = writeln!(out, "{metric} {value}");
+        out.push_str(&render_metrics([PromFamily {
+            name,
+            help: "Simulator event counter",
+            data: PromData::Counter(vec![(None, value)]),
+        }]));
     }
     out
+}
+
+/// `sapsim_`-prefixed, charset-sanitized family name.
+fn sanitize_name(name: &str) -> String {
+    let mut metric = String::with_capacity("sapsim_".len() + name.len());
+    metric.push_str("sapsim_");
+    for c in name.chars() {
+        metric.push(if c.is_ascii_alphanumeric() || c == '_' {
+            c
+        } else {
+            '_'
+        });
+    }
+    metric
+}
+
+/// Escape a label value per the exposition format: backslash, double
+/// quote, and line feed get backslash escapes.
+fn escape_label_value(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// One sample line: `metric[suffix]{label,le} value`. The user label (if
+/// any) renders first, then the `le` bucket bound (if any).
+fn push_sample(
+    out: &mut String,
+    metric: &str,
+    suffix: &str,
+    label: Option<(&str, &str)>,
+    le: Option<String>,
+    value: &str,
+) {
+    out.push_str(metric);
+    out.push_str(suffix);
+    if label.is_some() || le.is_some() {
+        out.push('{');
+        let mut first = true;
+        if let Some((k, v)) = label {
+            let _ = write!(out, "{k}=\"{}\"", escape_label_value(v));
+            first = false;
+        }
+        if let Some(le) = le {
+            if !first {
+                out.push(',');
+            }
+            let _ = write!(out, "le=\"{le}\"");
+        }
+        out.push('}');
+    }
+    out.push(' ');
+    out.push_str(value);
+    out.push('\n');
 }
 
 /// Render only one metric family (for targeted scrape endpoints).
@@ -219,5 +371,64 @@ mod tests {
     #[test]
     fn no_counters_render_empty() {
         assert!(render_counters(std::iter::empty::<(&str, u64)>()).is_empty());
+    }
+
+    #[test]
+    fn gauges_render_with_labels() {
+        let page = render_metrics([PromFamily {
+            name: "wheel_occupied_buckets",
+            help: "Occupied buckets per wheel level",
+            data: PromData::Gauge(vec![
+                (Some(("level", "0")), 3.0),
+                (Some(("level", "1")), 1.5),
+            ]),
+        }]);
+        assert!(page.contains("# TYPE sapsim_wheel_occupied_buckets gauge\n"));
+        assert!(page.contains("sapsim_wheel_occupied_buckets{level=\"0\"} 3\n"));
+        assert!(page.contains("sapsim_wheel_occupied_buckets{level=\"1\"} 1.5\n"));
+    }
+
+    #[test]
+    fn histograms_render_bucket_sum_count() {
+        let page = render_metrics([PromFamily {
+            name: "span_us",
+            help: "Span durations",
+            data: PromData::Histogram(vec![(
+                Some(("phase", "scrape")),
+                PromHistogram {
+                    cumulative: &[(3.0, 2), (7.0, 5)],
+                    sum: 19.0,
+                    count: 6,
+                },
+            )]),
+        }]);
+        assert!(page.contains("# TYPE sapsim_span_us histogram\n"));
+        assert!(page.contains("sapsim_span_us_bucket{phase=\"scrape\",le=\"3\"} 2\n"));
+        assert!(page.contains("sapsim_span_us_bucket{phase=\"scrape\",le=\"7\"} 5\n"));
+        assert!(page.contains("sapsim_span_us_bucket{phase=\"scrape\",le=\"+Inf\"} 6\n"));
+        assert!(page.contains("sapsim_span_us_sum{phase=\"scrape\"} 19\n"));
+        assert!(page.contains("sapsim_span_us_count{phase=\"scrape\"} 6\n"));
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        let page = render_metrics([PromFamily {
+            name: "g",
+            help: "h",
+            data: PromData::Gauge(vec![(Some(("k", "a\"b\\c\nd")), 1.0)]),
+        }]);
+        assert!(page.contains("sapsim_g{k=\"a\\\"b\\\\c\\nd\"} 1\n"));
+    }
+
+    #[test]
+    fn wrapper_output_is_unchanged() {
+        // The thin wrapper must keep the historical page byte-for-byte.
+        let page = render_counters([("placements", 812u64)]);
+        assert_eq!(
+            page,
+            "# HELP sapsim_placements Simulator event counter\n\
+             # TYPE sapsim_placements counter\n\
+             sapsim_placements 812\n"
+        );
     }
 }

@@ -23,6 +23,7 @@ cd "$(dirname "$0")/.."
 cargo bench -p sapsim-bench --bench simulator "$@"
 cargo bench -p sapsim-bench --bench scheduler "$@" -- placement_hot_path
 cargo bench -p sapsim-bench --bench event_queue "$@"
+cargo bench -p sapsim-bench --bench obs "$@" -- obs_overhead
 
 out="BENCH_$(date +%Y-%m-%d).json"
 {
