@@ -16,7 +16,7 @@
 
 use crate::args::Parsed;
 use crate::error::CliError;
-use sapsim_core::obs::Histogram;
+use sapsim_core::obs::{bucket_index, bucket_upper_bound, Histogram};
 use sapsim_telemetry::exposition::{
     render_counters, render_metrics, PromData, PromFamily, PromHistogram,
 };
@@ -189,7 +189,10 @@ fn merge_snapshot(text: &str, path: &str, agg: &mut MetricsAgg) -> Result<(), Cl
         let value = entry["value"]
             .as_u64()
             .ok_or_else(|| bad("counter value must be a u64"))?;
-        *agg.counters.entry(key).or_insert(0) += value;
+        // Saturating: file-supplied values near u64::MAX must degrade
+        // deterministically, not overflow.
+        let slot = agg.counters.entry(key).or_insert(0);
+        *slot = slot.saturating_add(value);
     }
     for entry in v["gauges"].as_array().into_iter().flatten() {
         let key = series_key(entry, path)?;
@@ -214,6 +217,14 @@ fn merge_snapshot(text: &str, path: &str, agg: &mut MetricsAgg) -> Result<(), Cl
             let (Some(ub), Some(n)) = (pair[0].as_u64(), pair[1].as_u64()) else {
                 return Err(bad("histogram bucket must be [upper_bound, count]"));
             };
+            // Only canonical log-linear bounds are valid: anything else
+            // came from a corrupt or foreign snapshot and would silently
+            // land in the wrong bucket.
+            if ub != bucket_upper_bound(bucket_index(ub)) {
+                return Err(bad(&format!(
+                    "histogram bucket bound {ub} is not a canonical bucket boundary"
+                )));
+            }
             buckets.push((ub, n));
         }
         let parsed = Histogram::from_parts(buckets, sum, min, max);
@@ -594,6 +605,51 @@ mod tests {
         let argv: Vec<String> = vec!["metrics".into(), path.to_str().unwrap().into()];
         let err = run(&argv, &mut Vec::new()).unwrap_err();
         assert!(err.to_string().contains("sapsim.metrics/v1"));
+    }
+
+    #[test]
+    fn metrics_action_rejects_non_canonical_bucket_bounds() {
+        let dir = std::env::temp_dir().join("sapsim-obs-metrics-badbound");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bad.metrics.json");
+        // 8 is inside the (7, 9] bucket, not a boundary — a corrupt or
+        // foreign snapshot, rejected as a data error rather than binned
+        // somewhere silently.
+        std::fs::write(
+            &path,
+            "{\"schema\":\"sapsim.metrics/v1\",\"counters\":[],\"gauges\":[],\
+             \"histograms\":[{\"name\":\"lat\",\"count\":1,\"sum\":8,\"min\":8,\
+             \"max\":8,\"buckets\":[[8,1]]}]}",
+        )
+        .unwrap();
+        let argv: Vec<String> = vec!["metrics".into(), path.to_str().unwrap().into()];
+        let err = run(&argv, &mut Vec::new()).unwrap_err();
+        assert!(err.to_string().contains("canonical bucket boundary"));
+        assert_eq!(err.exit_code(), 5);
+    }
+
+    #[test]
+    fn metrics_action_accepts_top_octave_bounds() {
+        // u64::MAX is the last bucket's inclusive bound; merging it used
+        // to be out of bounds for the 248-bucket array.
+        let dir = std::env::temp_dir().join("sapsim-obs-metrics-topbound");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("top.metrics.json");
+        std::fs::write(
+            &path,
+            format!(
+                "{{\"schema\":\"sapsim.metrics/v1\",\"counters\":[],\"gauges\":[],\
+                 \"histograms\":[{{\"name\":\"lat\",\"count\":1,\"sum\":{max},\
+                 \"min\":{max},\"max\":{max},\"buckets\":[[{max},1]]}}]}}",
+                max = u64::MAX
+            ),
+        )
+        .unwrap();
+        let argv: Vec<String> = vec!["metrics".into(), path.to_str().unwrap().into()];
+        let mut buf = Vec::new();
+        run(&argv, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("lat: count=1"), "{text}");
     }
 
     #[test]

@@ -904,14 +904,17 @@ impl SimDriver {
         let Some(m) = rec.metrics_mut() else {
             return;
         };
+        // Monotone run totals export as counters so `obs metrics` merges
+        // across runs sum them; gauges are reserved for genuine
+        // point-in-time or peak values (final depths, live counts).
         let s = sim.stats();
-        m.gauge("sim_events_fired", s.fired as f64);
-        m.gauge("sim_events_scheduled", s.scheduled as f64);
-        m.gauge("sim_events_cancelled", s.cancelled as f64);
+        m.counter("sim_events_fired", s.fired);
+        m.counter("sim_events_scheduled", s.scheduled);
+        m.counter("sim_events_cancelled", s.cancelled);
         if let Some(w) = sim.wheel_stats() {
-            m.gauge("wheel_cascades", w.cascades as f64);
-            m.gauge("wheel_cascade_moves", w.cascade_moves as f64);
-            m.gauge("wheel_overflow_refiles", w.overflow_refiles as f64);
+            m.counter("wheel_cascades", w.cascades);
+            m.counter("wheel_cascade_moves", w.cascade_moves);
+            m.counter("wheel_overflow_refiles", w.overflow_refiles);
             m.gauge("wheel_overflow_depth", w.overflow_depth as f64);
             m.gauge("wheel_max_overflow_depth", w.max_overflow_depth as f64);
             m.gauge("wheel_live_events", w.live as f64);
@@ -922,60 +925,50 @@ impl SimDriver {
         }
         let vc = cloud.view_cache_stats();
         for (layer, st) in [("node", vc.node), ("bb", vc.bb)] {
-            m.gauge_with("viewcache_refreshes", "layer", layer, st.refreshes as f64);
-            m.gauge_with(
+            m.counter_with("viewcache_refreshes", "layer", layer, st.refreshes);
+            m.counter_with(
                 "viewcache_clean_refreshes",
                 "layer",
                 layer,
-                st.clean_refreshes as f64,
+                st.clean_refreshes,
             );
-            m.gauge_with(
+            m.counter_with(
                 "viewcache_rows_recomputed",
                 "layer",
                 layer,
-                st.rows_recomputed as f64,
+                st.rows_recomputed,
             );
-            m.gauge_with(
+            m.counter_with(
                 "viewcache_lifetime_passes",
                 "layer",
                 layer,
-                st.lifetime_passes as f64,
+                st.lifetime_passes,
             );
-            m.gauge_with("viewcache_full_builds", "layer", layer, st.full_builds as f64);
-            m.gauge_with("viewcache_marks", "layer", layer, st.marks as f64);
+            m.counter_with("viewcache_full_builds", "layer", layer, st.full_builds);
+            m.counter_with("viewcache_marks", "layer", layer, st.marks);
         }
         let (gp, hana) = policy.index_stats();
         for (pipe, st) in [("general", *gp), ("hana", *hana)] {
-            m.gauge_with(
-                "index_requests",
-                "pipeline",
-                pipe,
-                st.indexed_requests as f64,
-            );
-            m.gauge_with("index_full_scans", "pipeline", pipe, st.full_scans as f64);
-            m.gauge_with(
+            m.counter_with("index_requests", "pipeline", pipe, st.indexed_requests);
+            m.counter_with("index_full_scans", "pipeline", pipe, st.full_scans);
+            m.counter_with(
                 "index_buckets_examined",
                 "pipeline",
                 pipe,
-                st.buckets_examined as f64,
+                st.buckets_examined,
             );
-            m.gauge_with(
-                "index_buckets_pruned",
-                "pipeline",
-                pipe,
-                st.buckets_pruned as f64,
-            );
-            m.gauge_with("index_hosts_pruned", "pipeline", pipe, st.hosts_pruned as f64);
+            m.counter_with("index_buckets_pruned", "pipeline", pipe, st.buckets_pruned);
+            m.counter_with("index_hosts_pruned", "pipeline", pipe, st.hosts_pruned);
         }
-        m.gauge(
+        m.counter(
             "fault_planned_host_failures",
-            fault_plan.host_failures.len() as f64,
+            fault_plan.host_failures.len() as u64,
         );
-        m.gauge("fault_planned_recoveries", fault_plan.recovery_count() as f64);
-        m.gauge("fault_planned_stragglers", fault_plan.straggler_count() as f64);
-        m.gauge(
+        m.counter("fault_planned_recoveries", fault_plan.recovery_count() as u64);
+        m.counter("fault_planned_stragglers", fault_plan.straggler_count() as u64);
+        m.counter(
             "fault_planned_dropout_windows",
-            fault_plan.dropout_window_count() as f64,
+            fault_plan.dropout_window_count() as u64,
         );
         m.gauge("vm_peak_live", stats.peak_vm_count as f64);
         m.gauge("vm_final_live", stats.final_vm_count as f64);

@@ -34,8 +34,10 @@ pub const HIST_SUB_BITS: u32 = 2;
 pub const HIST_SUB_BUCKETS: usize = 1 << HIST_SUB_BITS;
 
 /// Total number of histogram buckets: values `0..4` get exact buckets,
-/// then 62 octaves × 4 sub-buckets cover the rest of the `u64` range.
-pub const HIST_BUCKETS: usize = ((63 - HIST_SUB_BITS as usize) << HIST_SUB_BITS) + HIST_SUB_BUCKETS;
+/// then 62 octaves × 4 sub-buckets cover the rest of the `u64` range
+/// (exponents 2 through 63 inclusive), so the top bucket's inclusive
+/// upper bound is exactly `u64::MAX`.
+pub const HIST_BUCKETS: usize = ((64 - HIST_SUB_BITS as usize) << HIST_SUB_BITS) + HIST_SUB_BUCKETS;
 
 /// The bucket a value falls into. Pure integer arithmetic on the value —
 /// platform- and distribution-independent, which is what makes merged
@@ -107,7 +109,10 @@ impl Histogram {
         self.sum = self.sum.saturating_add(value);
     }
 
-    /// Fold `other` into `self` (element-wise bucket addition).
+    /// Fold `other` into `self` (element-wise bucket addition). Counts
+    /// saturate rather than wrap: histograms are merged from
+    /// file-supplied snapshots, and a saturated count is equally
+    /// saturated on every platform.
     pub fn merge(&mut self, other: &Histogram) {
         if other.count == 0 {
             return;
@@ -116,7 +121,7 @@ impl Histogram {
             self.counts = vec![0; HIST_BUCKETS];
         }
         for (mine, theirs) in self.counts.iter_mut().zip(&other.counts) {
-            *mine += *theirs;
+            *mine = mine.saturating_add(*theirs);
         }
         if self.count == 0 || other.min < self.min {
             self.min = other.min;
@@ -124,7 +129,7 @@ impl Histogram {
         if other.max > self.max {
             self.max = other.max;
         }
-        self.count += other.count;
+        self.count = self.count.saturating_add(other.count);
         self.sum = self.sum.saturating_add(other.sum);
     }
 
@@ -183,8 +188,9 @@ impl Histogram {
             if h.counts.is_empty() {
                 h.counts = vec![0; HIST_BUCKETS];
             }
-            h.counts[bucket_index(upper_bound)] += count;
-            h.count += count;
+            let idx = bucket_index(upper_bound);
+            h.counts[idx] = h.counts[idx].saturating_add(count);
+            h.count = h.count.saturating_add(count);
         }
         if h.count > 0 {
             h.sum = sum;
@@ -442,6 +448,33 @@ mod tests {
             }
             assert!(v <= bucket_upper_bound(i), "{v} exceeds its bucket bound");
         }
+    }
+
+    #[test]
+    fn top_octave_values_are_recordable() {
+        // Regression: observations at and above 2^63 land in the last
+        // octave (indices 248..252) rather than out of bounds.
+        let mut h = Histogram::new();
+        for v in [1u64 << 63, (1 << 63) + 1, u64::MAX - 1, u64::MAX] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.max(), u64::MAX);
+        let (top_ub, top_n) = h.buckets().last().expect("non-empty");
+        assert_eq!(top_ub, u64::MAX);
+        assert_eq!(top_n, 2);
+        let rebuilt = Histogram::from_parts(h.buckets(), h.sum(), h.min(), h.max());
+        assert_eq!(rebuilt, h);
+    }
+
+    #[test]
+    fn merge_saturates_instead_of_wrapping() {
+        let a = Histogram::from_parts([(5u64, u64::MAX - 1)], u64::MAX, 5, 5);
+        let b = Histogram::from_parts([(5u64, 3)], 15, 5, 5);
+        let mut m = a.clone();
+        m.merge(&b);
+        assert_eq!(m.count(), u64::MAX);
+        assert_eq!(m.buckets().next(), Some((5, u64::MAX)));
     }
 
     #[test]

@@ -79,7 +79,7 @@ fn engine_registry_covers_every_subsystem() {
 
     assert!(m.counter_value("placements").unwrap_or(0) > 0);
     assert!(m.counter_value("scrapes").unwrap_or(0) > 0);
-    assert!(m.gauge_value("sim_events_fired").unwrap_or(0.0) > 0.0);
+    assert!(m.counter_value("sim_events_fired").unwrap_or(0) > 0);
 
     // The default backend is the timing wheel; its stats fold in.
     assert!(m.gauge_value("wheel_live_events").is_some());
@@ -90,9 +90,10 @@ fn engine_registry_covers_every_subsystem() {
     assert!(wheel_levels > 1, "per-level wheel occupancy is exported");
 
     // Both host-view cache layers and both scheduler pipelines report.
+    // Monotone totals are counters so cross-run merges sum them.
     for layer in ["node", "bb"] {
         assert!(
-            m.gauges()
+            m.counters()
                 .any(|(k, _)| k.name == "viewcache_refreshes"
                     && k.label.as_ref().is_some_and(|(_, v)| v == layer)),
             "viewcache layer {layer} is exported"
@@ -100,15 +101,15 @@ fn engine_registry_covers_every_subsystem() {
     }
     for pipeline in ["general", "hana"] {
         assert!(
-            m.gauges()
+            m.counters()
                 .any(|(k, _)| k.name == "index_requests"
                     && k.label.as_ref().is_some_and(|(_, v)| v == pipeline)),
             "index pipeline {pipeline} is exported"
         );
     }
 
-    // Fault-plan gauges exist even for a fault-free run (all zero).
-    assert_eq!(m.gauge_value("fault_planned_host_failures"), Some(0.0));
+    // Fault-plan counters exist even for a fault-free run (all zero).
+    assert_eq!(m.counter_value("fault_planned_host_failures"), Some(0));
 
     let peak = m.gauge_value("vm_peak_live").expect("peak gauge");
     let fin = m.gauge_value("vm_final_live").expect("final gauge");
@@ -141,7 +142,7 @@ fn heap_queue_runs_export_no_wheel_gauges() {
         .run_with_recorder(&mut rec)
         .canonical_bytes();
     assert!(rec.registry().gauge_value("wheel_live_events").is_none());
-    assert!(rec.registry().gauge_value("sim_events_fired").is_some());
+    assert!(rec.registry().counter_value("sim_events_fired").is_some());
     let wheel = SimDriver::new(cfg(43)).expect("valid").run().canonical_bytes();
     assert!(heap == wheel);
 }
