@@ -9,9 +9,10 @@ pub mod tables;
 
 use crate::args::Parsed;
 use crate::error::CliError;
-use sapsim_core::obs::{JsonlRecorder, MetricsRecorder, MetricsRegistry, ObsConfig};
+use sapsim_core::obs::{JsonlRecorder, MetricsRecorder, MetricsRegistry, NullRecorder, ObsConfig, Recorder};
 use sapsim_core::{
     FaultError, FaultSpec, PlacementGranularity, RunResult, SimConfig, SimDriver, SimError,
+    SimSnapshot, SimTime,
 };
 use sapsim_scheduler::PolicyKind;
 use std::fs::File;
@@ -79,7 +80,7 @@ pub fn sim_config_from(parsed: &Parsed) -> Result<SimConfig, CliError> {
 /// Syntax failures classify by where the spec came from (usage for
 /// inline, data for a file); a well-formed spec with invalid knobs is a
 /// configuration error either way.
-fn parse_fault_spec(spec: &str) -> Result<FaultSpec, CliError> {
+pub(crate) fn parse_fault_spec(spec: &str) -> Result<FaultSpec, CliError> {
     if std::path::Path::new(spec).is_file() {
         let text = std::fs::read_to_string(spec)
             .map_err(|e| CliError::Io(format!("cannot read fault spec {spec}: {e}")))?;
@@ -142,6 +143,33 @@ pub fn obs_args_from(parsed: &Parsed) -> Result<Option<ObsArgs>, CliError> {
     }))
 }
 
+/// How `simulate` drives the core: a plain cold run, a cold run that
+/// also captures a [`SimSnapshot`] at an instant, or a resume of a
+/// previously captured snapshot to its horizon.
+pub enum RunExec<'a> {
+    /// Run `config` cold from `SimTime::ZERO` to the horizon.
+    Cold(SimConfig),
+    /// Run cold, pausing at the instant to capture a snapshot.
+    Snapshot(SimConfig, SimTime),
+    /// Resume a captured snapshot (the config travels inside it).
+    Resume(&'a SimSnapshot),
+}
+
+impl RunExec<'_> {
+    /// Drive the core under `rec`. The snapshot slot is `Some` exactly
+    /// for [`RunExec::Snapshot`].
+    fn run<R: Recorder>(&self, rec: &mut R) -> Result<(RunResult, Option<SimSnapshot>), SimError> {
+        match self {
+            RunExec::Cold(cfg) => Ok((SimDriver::new(*cfg)?.run_with_recorder(rec), None)),
+            RunExec::Snapshot(cfg, at) => {
+                let (result, snap) = SimDriver::new(*cfg)?.run_with_snapshot(*at, rec)?;
+                Ok((result, Some(snap)))
+            }
+            RunExec::Resume(snap) => Ok((SimDriver::resume_with_recorder(snap, rec)?, None)),
+        }
+    }
+}
+
 /// Run the simulation, with the observability recorder attached when any
 /// `--obs-*`/`--metrics-out` output was requested. Writes the requested
 /// export files and a one-line status per file to `out`.
@@ -155,24 +183,34 @@ pub fn run_with_obs(
     obs: Option<&ObsArgs>,
     out: &mut dyn Write,
 ) -> Result<RunResult, CliError> {
+    execute_with_obs(RunExec::Cold(cfg), obs, out).map(|(result, _)| result)
+}
+
+/// [`run_with_obs`], generalized over the [`RunExec`] drive mode so the
+/// snapshot-capture and resume paths reuse the same recorder wiring.
+pub fn execute_with_obs(
+    exec: RunExec<'_>,
+    obs: Option<&ObsArgs>,
+    out: &mut dyn Write,
+) -> Result<(RunResult, Option<SimSnapshot>), CliError> {
     let Some(obs) = obs else {
-        return Ok(SimDriver::new(cfg)?.run());
+        return Ok(exec.run(&mut NullRecorder)?);
     };
     if obs.jsonl_path.is_none() && obs.chrome_path.is_none() {
         let mut rec = MetricsRecorder::new();
-        let result = SimDriver::new(cfg)?.run_with_recorder(&mut rec);
+        let outcome = exec.run(&mut rec)?;
         let path = obs
             .metrics_path
             .as_deref()
             .expect("obs_args_from returns Some only when an output is set");
         write_metrics_snapshot(rec.registry(), path, out)?;
-        return Ok(result);
+        return Ok(outcome);
     }
     let mut rec = JsonlRecorder::new(obs.config);
     if obs.metrics_path.is_some() {
         rec = rec.with_metrics();
     }
-    let result = SimDriver::new(cfg)?.run_with_recorder(&mut rec);
+    let outcome = exec.run(&mut rec)?;
     if let Some(path) = &obs.jsonl_path {
         let file =
             File::create(path).map_err(|e| CliError::Io(format!("cannot create {path}: {e}")))?;
@@ -201,7 +239,7 @@ pub fn run_with_obs(
         let registry = rec.metrics().expect("with_metrics was enabled above");
         write_metrics_snapshot(registry, path, out)?;
     }
-    Ok(result)
+    Ok(outcome)
 }
 
 /// Write one `sapsim.metrics/v1` JSON snapshot to `path` plus a status

@@ -1,31 +1,51 @@
-//! `sapsim simulate` — run and summarize.
+//! `sapsim simulate` — run and summarize, with optional snapshot
+//! capture (`--snapshot-at`/`--snapshot-out`) and resume (`--resume`).
 
-use super::{obs_args_from, run_with_obs, sim_config_from, SIM_BOOL_FLAGS, SIM_VALUE_OPTIONS};
+use super::{
+    execute_with_obs, obs_args_from, parse_fault_spec, sim_config_from, ObsArgs, RunExec,
+    SIM_BOOL_FLAGS, SIM_VALUE_OPTIONS,
+};
 use crate::args::Parsed;
 use crate::error::CliError;
 use sapsim_analysis::cdf::{utilization_cdf, VmResource};
 use sapsim_analysis::contention::contention_aggregate;
+use sapsim_core::{RunResult, SimConfig, SimSnapshot};
+use sapsim_sim::{SimTime, MILLIS_PER_DAY};
 use sapsim_sweep::RunSummary;
 use std::io::Write;
+
+/// Value options only `simulate` understands, on top of the shared sim
+/// surface: snapshot capture and resume.
+const SNAPSHOT_VALUE_OPTIONS: &[&str] = &["snapshot-at", "snapshot-out", "resume"];
 
 /// Execute the subcommand.
 pub fn run(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
     let flags: Vec<&str> = SIM_BOOL_FLAGS.iter().copied().chain(["json"]).collect();
-    let parsed = Parsed::parse(argv, SIM_VALUE_OPTIONS, &flags)?;
+    let options: Vec<&str> = SIM_VALUE_OPTIONS
+        .iter()
+        .chain(SNAPSHOT_VALUE_OPTIONS)
+        .copied()
+        .collect();
+    let parsed = Parsed::parse(argv, &options, &flags)?;
     if !parsed.positionals().is_empty() {
         return Err(CliError::Usage(
             "simulate takes no positional arguments".into(),
         ));
     }
+    if parsed.get("resume").is_some() {
+        return run_resume(&parsed, out);
+    }
     let cfg = sim_config_from(&parsed)?;
     let obs = obs_args_from(&parsed)?;
+    let capture = capture_args(&parsed)?;
 
     if parsed.flag("json") {
         // Machine-readable mode: the only stdout line is the versioned
-        // run summary. Obs files are still written, but their status
-        // lines are swallowed so the output stays a single JSON object.
+        // run summary. Obs and snapshot files are still written, but
+        // their status lines are swallowed so the output stays a single
+        // JSON object.
         let mut status = Vec::new();
-        let result = run_with_obs(cfg, obs.as_ref(), &mut status)?;
+        let result = execute(cfg, obs.as_ref(), capture, &mut status)?;
         writeln!(out, "{}", RunSummary::from_run(&result).to_json())?;
         return Ok(());
     }
@@ -38,8 +58,129 @@ pub fn run(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
         cfg.policy.name(),
         cfg.seed
     )?;
-    let result = run_with_obs(cfg, obs.as_ref(), out)?;
+    let result = execute(cfg, obs.as_ref(), capture, out)?;
+    print_report(&result, out)
+}
 
+/// Parse the snapshot-capture pair. Both options or neither: a capture
+/// instant without a destination (or vice versa) is a usage error.
+fn capture_args(parsed: &Parsed) -> Result<Option<(SimTime, &str)>, CliError> {
+    match (parsed.get("snapshot-at"), parsed.get("snapshot-out")) {
+        (None, None) => Ok(None),
+        (Some(_), None) => Err(CliError::Usage(
+            "--snapshot-at requires --snapshot-out FILE".into(),
+        )),
+        (None, Some(_)) => Err(CliError::Usage(
+            "--snapshot-out requires --snapshot-at DAYS".into(),
+        )),
+        (Some(raw), Some(path)) => {
+            let days: f64 = raw.parse().map_err(|_| {
+                CliError::Usage(format!("invalid value `{raw}` for `--snapshot-at`"))
+            })?;
+            if !days.is_finite() || days < 0.0 {
+                return Err(CliError::Usage(format!(
+                    "--snapshot-at: `{raw}` is not a non-negative number of days"
+                )));
+            }
+            let at = SimTime::from_millis((days * MILLIS_PER_DAY as f64).round() as u64);
+            Ok(Some((at, path)))
+        }
+    }
+}
+
+/// Run cold, capturing and writing the snapshot file when requested.
+fn execute(
+    cfg: SimConfig,
+    obs: Option<&ObsArgs>,
+    capture: Option<(SimTime, &str)>,
+    out: &mut dyn Write,
+) -> Result<RunResult, CliError> {
+    let Some((at, path)) = capture else {
+        let (result, _) = execute_with_obs(RunExec::Cold(cfg), obs, out)?;
+        return Ok(result);
+    };
+    let (result, snap) = execute_with_obs(RunExec::Snapshot(cfg, at), obs, out)?;
+    let snap = snap.expect("snapshot mode always captures");
+    std::fs::write(path, snap.to_file_string())
+        .map_err(|e| CliError::Io(format!("cannot create {path}: {e}")))?;
+    writeln!(
+        out,
+        "snapshot: wrote day {:.2} state to {path}",
+        at.as_millis() as f64 / MILLIS_PER_DAY as f64
+    )?;
+    Ok(result)
+}
+
+/// `--resume FILE`: load, verify, and run a captured snapshot to its
+/// horizon. The run configuration is embedded in the snapshot, so every
+/// config-shaping option conflicts; `--faults` is the one exception —
+/// it must *restate* the spec the snapshot was captured under (see
+/// [`SimSnapshot::verify_fault_spec`]).
+fn run_resume(parsed: &Parsed, out: &mut dyn Write) -> Result<(), CliError> {
+    let path = parsed.get("resume").expect("checked by the caller");
+    for opt in SIM_VALUE_OPTIONS {
+        let embedded = !matches!(
+            *opt,
+            "faults" | "obs-out" | "obs-chrome" | "obs-sample" | "obs-ring" | "metrics-out"
+        );
+        if embedded && parsed.get(opt).is_some() {
+            return Err(CliError::Usage(format!(
+                "--{opt} conflicts with --resume: the snapshot embeds the run configuration"
+            )));
+        }
+    }
+    for opt in ["snapshot-at", "snapshot-out"] {
+        if parsed.get(opt).is_some() {
+            return Err(CliError::Usage(format!(
+                "--{opt} cannot be combined with --resume"
+            )));
+        }
+    }
+    for flag in SIM_BOOL_FLAGS {
+        if parsed.flag(flag) {
+            return Err(CliError::Usage(format!(
+                "--{flag} conflicts with --resume: the snapshot embeds the run configuration"
+            )));
+        }
+    }
+
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| CliError::Io(format!("cannot read {path}: {e}")))?;
+    // Corruption (truncation, schema drift, hash mismatch) is a data
+    // error; a loadable snapshot whose fault spec is not restated is a
+    // configuration error.
+    let snap =
+        SimSnapshot::from_file_str(&text).map_err(|e| CliError::Data(format!("{path}: {e}")))?;
+    let given = match parsed.get("faults") {
+        Some(spec) => Some(parse_fault_spec(spec)?),
+        None => None,
+    };
+    snap.verify_fault_spec(given.as_ref())?;
+    let obs = obs_args_from(parsed)?;
+
+    if parsed.flag("json") {
+        let mut status = Vec::new();
+        let (result, _) = execute_with_obs(RunExec::Resume(&snap), obs.as_ref(), &mut status)?;
+        writeln!(out, "{}", RunSummary::from_run(&result).to_json())?;
+        return Ok(());
+    }
+
+    let cfg = snap.config();
+    writeln!(
+        out,
+        "resuming day {:.2} of {} at scale {:.2} (policy {}, seed {}) from {path} ...",
+        snap.at().as_millis() as f64 / MILLIS_PER_DAY as f64,
+        cfg.days,
+        cfg.scale,
+        cfg.policy.name(),
+        cfg.seed
+    )?;
+    let (result, _) = execute_with_obs(RunExec::Resume(&snap), obs.as_ref(), out)?;
+    print_report(&result, out)
+}
+
+/// The human-readable run report shared by the cold and resume paths.
+fn print_report(result: &RunResult, out: &mut dyn Write) -> Result<(), CliError> {
     let topo = result.cloud.topology();
     writeln!(out, "\ninfrastructure:")?;
     writeln!(
@@ -110,14 +251,14 @@ pub fn run(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
     writeln!(
         out,
         "  {}",
-        utilization_cdf(&result, VmResource::Cpu).summary_line()
+        utilization_cdf(result, VmResource::Cpu).summary_line()
     )?;
     writeln!(
         out,
         "  {}",
-        utilization_cdf(&result, VmResource::Memory).summary_line()
+        utilization_cdf(result, VmResource::Memory).summary_line()
     )?;
-    let agg = contention_aggregate(&result);
+    let agg = contention_aggregate(result);
     writeln!(
         out,
         "  contention: peak daily mean {:.2}%, peak p95 {:.2}%, max sample {:.1}%",

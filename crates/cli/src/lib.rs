@@ -67,6 +67,18 @@ SIMULATION OPTIONS (simulate, export):
                          run summary (schema sapsim.run-summary/v1) instead
                          of the human-readable report
 
+SNAPSHOT OPTIONS (simulate only):
+    --snapshot-at <D>    pause a cold run at day D (fractions allowed) and
+                         capture the full simulation state, then continue
+                         to the horizon; results are byte-identical either way
+    --snapshot-out <F>   where to write the sapsim.snapshot/v1 file
+                         (required with --snapshot-at)
+    --resume <FILE>      resume a captured snapshot to its horizon; the run
+                         configuration travels inside the snapshot, so
+                         config-shaping options conflict — except --faults,
+                         which must restate the spec the snapshot was taken
+                         under (a mismatch is a configuration error)
+
 SWEEP OPTIONS:
     sweep <MANIFEST>     JSON grid manifest: base-config overrides plus axes
                          (seeds, policies, granularities, drs, faults, scales)

@@ -343,3 +343,155 @@ fn import_missing_file_errors() {
     let err = run_capture(&["import", "/nonexistent/definitely-not-here.csv"]).unwrap_err();
     assert!(err.to_string().contains("cannot open"));
 }
+
+#[test]
+fn simulate_snapshot_then_resume_reproduces_the_run() {
+    let dir = std::env::temp_dir();
+    let snap = dir.join(format!("sapsim-cli-snap-{}.snapshot", std::process::id()));
+    let snap_str = snap.to_str().expect("utf8 path");
+    let base = &[
+        "simulate", "--scale", "0.02", "--days", "1", "--no-warmup", "--seed", "7", "--json",
+    ];
+
+    let cold = run_capture(base).unwrap();
+    let argv: Vec<&str> = base
+        .iter()
+        .copied()
+        .chain(["--snapshot-at", "0.5", "--snapshot-out", snap_str])
+        .collect();
+    let capturing = run_capture(&argv).unwrap();
+    assert_eq!(
+        capturing, cold,
+        "pausing to capture must not move the run summary"
+    );
+    let text = std::fs::read_to_string(&snap).expect("snapshot written");
+    assert!(text.starts_with("{\"schema\":\"sapsim.snapshot/v1\""), "{text}");
+
+    let resumed = run_capture(&["simulate", "--resume", snap_str, "--json"]).unwrap();
+    assert_eq!(resumed, cold, "resume must land on the cold run's summary");
+
+    // The human-readable resume path announces where it starts from.
+    let human = run_capture(&["simulate", "--resume", snap_str]).unwrap();
+    assert!(human.contains("resuming day 0.50 of 1"), "{human}");
+    assert!(human.contains("placements:"), "{human}");
+
+    std::fs::remove_file(&snap).expect("cleanup");
+}
+
+#[test]
+fn snapshot_flags_must_come_in_pairs_and_not_with_resume() {
+    let err = run_capture(&["simulate", "--snapshot-at", "0.5"]).unwrap_err();
+    assert_eq!(err.exit_code(), 2, "{err}");
+    assert!(err.to_string().contains("--snapshot-out"), "{err}");
+
+    let err = run_capture(&["simulate", "--snapshot-out", "x.snapshot"]).unwrap_err();
+    assert_eq!(err.exit_code(), 2, "{err}");
+
+    let err = run_capture(&[
+        "simulate", "--resume", "x.snapshot", "--snapshot-at", "0.5", "--snapshot-out", "y",
+    ])
+    .unwrap_err();
+    assert_eq!(err.exit_code(), 2, "{err}");
+
+    let err = run_capture(&["simulate", "--snapshot-at", "nope", "--snapshot-out", "y"])
+        .unwrap_err();
+    assert_eq!(err.exit_code(), 2, "{err}");
+
+    // A capture instant past the horizon is a config error, not usage.
+    let err = run_capture(&[
+        "simulate", "--scale", "0.02", "--days", "1", "--no-warmup", "--snapshot-at", "5",
+        "--snapshot-out", "never-written.snapshot",
+    ])
+    .unwrap_err();
+    assert_eq!(err.exit_code(), 3, "{err}");
+}
+
+#[test]
+fn resume_rejects_config_shaping_options() {
+    // The conflict check fires before the file is even opened.
+    let conflicts: [&[&str]; 6] = [
+        &["--days", "3"],
+        &["--seed", "9"],
+        &["--policy", "spread"],
+        &["--no-drs"],
+        &["--no-warmup"],
+        &["--progress"],
+    ];
+    for conflicting in conflicts {
+        let mut argv = vec!["simulate", "--resume", "missing.snapshot"];
+        argv.extend(conflicting.iter());
+        let err = run_capture(&argv).unwrap_err();
+        assert_eq!(err.exit_code(), 2, "{err}");
+        assert!(err.to_string().contains("--resume"), "{err}");
+    }
+}
+
+#[test]
+fn corrupt_snapshots_fail_with_typed_exit_codes() {
+    let dir = std::env::temp_dir();
+    let snap = dir.join(format!("sapsim-cli-corrupt-{}.snapshot", std::process::id()));
+    let snap_str = snap.to_str().expect("utf8 path");
+    run_capture(&[
+        "simulate", "--scale", "0.02", "--days", "1", "--no-warmup", "--seed", "7",
+        "--snapshot-at", "0.5", "--snapshot-out", snap_str, "--json",
+    ])
+    .unwrap();
+    let good = std::fs::read_to_string(&snap).unwrap();
+
+    // Missing file: I/O.
+    let err = run_capture(&["simulate", "--resume", "/nonexistent/x.snapshot"]).unwrap_err();
+    assert_eq!(err.exit_code(), 4, "{err}");
+
+    // Truncation, schema drift, and hash tampering: data errors.
+    let header_len = good.find('\n').unwrap();
+    let cases: [String; 4] = [
+        good[..header_len].to_string(),
+        good.replacen("sapsim.snapshot/v1", "sapsim.snapshot/v0", 1),
+        good.replacen(&good[..header_len], "", 1),
+        {
+            let mut tampered = good.clone();
+            tampered.truncate(good.len() - good.len() / 3);
+            tampered
+        },
+    ];
+    for (i, case) in cases.iter().enumerate() {
+        std::fs::write(&snap, case).unwrap();
+        let err = run_capture(&["simulate", "--resume", snap_str]).unwrap_err();
+        assert_eq!(err.exit_code(), 5, "case {i}: {err}");
+    }
+
+    std::fs::remove_file(&snap).expect("cleanup");
+}
+
+#[test]
+fn resume_requires_restating_the_fault_spec() {
+    let dir = std::env::temp_dir();
+    let snap = dir.join(format!("sapsim-cli-refault-{}.snapshot", std::process::id()));
+    let snap_str = snap.to_str().expect("utf8 path");
+    let spec = "fail=30.0,downtime=2";
+    let base = &[
+        "simulate", "--scale", "0.02", "--days", "1", "--no-warmup", "--seed", "7", "--faults",
+        spec, "--json",
+    ];
+    let cold = run_capture(base).unwrap();
+    let argv: Vec<&str> = base
+        .iter()
+        .copied()
+        .chain(["--snapshot-at", "0.5", "--snapshot-out", snap_str])
+        .collect();
+    run_capture(&argv).unwrap();
+
+    // Resuming without restating the spec (or with a different one) is a
+    // configuration error; restating it reproduces the cold run.
+    let err = run_capture(&["simulate", "--resume", snap_str]).unwrap_err();
+    assert_eq!(err.exit_code(), 3, "{err}");
+    assert!(err.to_string().contains("restate"), "{err}");
+    let err = run_capture(&["simulate", "--resume", snap_str, "--faults", "fail=1.0"])
+        .unwrap_err();
+    assert_eq!(err.exit_code(), 3, "{err}");
+    let resumed =
+        run_capture(&["simulate", "--resume", snap_str, "--faults", spec, "--json"]).unwrap();
+    assert_eq!(resumed, cold);
+
+    std::fs::remove_file(&snap).expect("cleanup");
+}

@@ -8,10 +8,14 @@ use sapsim_scheduler::{CandidateIndex, HostView};
 use sapsim_sim::{SimRng, SimTime, MILLIS_PER_DAY};
 use sapsim_topology::{BbId, NodeId, NodeState, Resources, Topology};
 use sapsim_workload::{UsageState, VmId, VmSpec, WorkloadClass};
+use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
 
-/// Runtime state of one placed VM.
-#[derive(Debug, Clone)]
+/// Runtime state of one placed VM. Serializable because each placed VM
+/// carries live mutable state — the demand-model noise and its private
+/// RNG stream — that a snapshot must transport verbatim for the resumed
+/// run to draw the same usage trajectory.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct PlacedVm {
     /// Index into the driver's spec list.
     pub spec_index: usize,
@@ -39,6 +43,36 @@ pub struct PlacedVm {
     /// "migrating VMs that exhibit high CPU or memory operations should be
     /// avoided" (paper Section 3.2).
     pub movable: bool,
+}
+
+/// Serializable image of the cloud's mutable state: everything placement
+/// and fault events have changed since `Cloud::new`, and nothing that the
+/// scenario config re-derives (topology shape, virtual capacities, the
+/// host-view cache). See DESIGN.md, "Snapshot determinism contract".
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CloudState {
+    /// Operational state per node, indexed by `NodeId::raw`. The state
+    /// bit lives inside the (re-derived) topology at runtime, but
+    /// maintenance and fault transitions mutate it, so the snapshot must
+    /// carry it explicitly.
+    pub node_states: Vec<NodeState>,
+    /// Requested resources allocated per node.
+    pub node_alloc: Vec<Resources>,
+    /// Resident VM ids per node, order preserved — scrape aggregation
+    /// and evacuation both walk residency lists in order.
+    pub node_vms: Vec<Vec<VmId>>,
+    /// Most recent sampled contention per node (percent).
+    pub node_contention: Vec<f64>,
+    /// Per-node sum of resident departure instants (ms).
+    pub node_departure_sum_ms: Vec<f64>,
+    /// Aggregated allocation per building block.
+    pub bb_alloc: Vec<Resources>,
+    /// The dense VM slot table (demand state and RNG streams included).
+    pub vm_slots: Vec<Option<PlacedVm>>,
+    /// Number of `Some` entries in `vm_slots`.
+    pub vm_count: usize,
+    /// Reserve building blocks, ascending id order.
+    pub reserved_bbs: Vec<BbId>,
 }
 
 /// Result of a placement attempt.
@@ -646,6 +680,98 @@ impl Cloud {
             .sum()
     }
 
+    /// Copy out the full mutable state for a snapshot. Pure read — the
+    /// cloud is untouched and the image shares no mutable state with it
+    /// (everything is deep-cloned), so capturing then continuing the
+    /// original run cannot perturb either side.
+    pub fn capture_state(&self) -> CloudState {
+        CloudState {
+            node_states: self.topo.nodes().iter().map(|n| n.state).collect(),
+            node_alloc: self.node_alloc.clone(),
+            node_vms: self.node_vms.clone(),
+            node_contention: self.node_contention.clone(),
+            node_departure_sum_ms: self.node_departure_sum_ms.clone(),
+            bb_alloc: self.bb_alloc.clone(),
+            vm_slots: self.vm_slots.clone(),
+            vm_count: self.vm_count,
+            reserved_bbs: self.reserved_bbs.iter().copied().collect(),
+        }
+    }
+
+    /// Rebuild a cloud from a re-derived topology plus a captured state
+    /// image. The host-view cache starts cold and rebuilds lazily — a
+    /// fresh build is field-for-field identical to an incrementally
+    /// maintained one (the cache-coherence suite pins this), so restored
+    /// runs stay byte-equal to uninterrupted ones.
+    ///
+    /// Shape mismatches between the topology and the image (different
+    /// node/block counts, out-of-range ids) surface as
+    /// [`SimError::Snapshot`] — they mean the snapshot was taken under a
+    /// different scenario than the one being restored.
+    pub fn restore_state(topo: Topology, state: CloudState) -> Result<Cloud, SimError> {
+        let mut cloud = Cloud::new(topo);
+        let n = cloud.topo.nodes().len();
+        let b = cloud.topo.bbs().len();
+        let shape_err = |what: &str, got: usize, want: usize| {
+            Err(SimError::Snapshot(format!(
+                "cloud state shape mismatch: {what} has {got} entries, topology expects {want}"
+            )))
+        };
+        if state.node_states.len() != n {
+            return shape_err("node_states", state.node_states.len(), n);
+        }
+        if state.node_alloc.len() != n {
+            return shape_err("node_alloc", state.node_alloc.len(), n);
+        }
+        if state.node_vms.len() != n {
+            return shape_err("node_vms", state.node_vms.len(), n);
+        }
+        if state.node_contention.len() != n {
+            return shape_err("node_contention", state.node_contention.len(), n);
+        }
+        if state.node_departure_sum_ms.len() != n {
+            return shape_err("node_departure_sum_ms", state.node_departure_sum_ms.len(), n);
+        }
+        if state.bb_alloc.len() != b {
+            return shape_err("bb_alloc", state.bb_alloc.len(), b);
+        }
+        let live = state.vm_slots.iter().flatten().count();
+        if live != state.vm_count {
+            return Err(SimError::Snapshot(format!(
+                "cloud state shape mismatch: vm_count says {} but {live} slots are occupied",
+                state.vm_count
+            )));
+        }
+        if let Some(bad) = state.reserved_bbs.iter().find(|bb| bb.index() >= b) {
+            return Err(SimError::Snapshot(format!(
+                "cloud state shape mismatch: reserved block {bad} out of range ({b} blocks)"
+            )));
+        }
+        if let Some(vm) = state
+            .vm_slots
+            .iter()
+            .flatten()
+            .find(|vm| vm.node.index() >= n)
+        {
+            return Err(SimError::Snapshot(format!(
+                "cloud state shape mismatch: {} placed on out-of-range {}",
+                vm.id, vm.node
+            )));
+        }
+        for (i, s) in state.node_states.iter().enumerate() {
+            cloud.topo.node_mut(NodeId::from_raw(i as u32)).state = *s;
+        }
+        cloud.node_alloc = state.node_alloc;
+        cloud.node_vms = state.node_vms;
+        cloud.node_contention = state.node_contention;
+        cloud.node_departure_sum_ms = state.node_departure_sum_ms;
+        cloud.bb_alloc = state.bb_alloc;
+        cloud.vm_slots = state.vm_slots;
+        cloud.vm_count = state.vm_count;
+        cloud.reserved_bbs = state.reserved_bbs.into_iter().collect();
+        Ok(cloud)
+    }
+
     /// Cross-check every accounting invariant; used by tests and debug
     /// assertions. Expensive — O(VMs). A violation surfaces as
     /// [`SimError::Topology`].
@@ -1063,6 +1189,83 @@ mod tests {
             assert!(views[0].enabled, "one failed node must not disable the BB");
         }
         assert_cache_coherent(&mut cloud, now);
+    }
+
+    #[test]
+    fn capture_restore_round_trips_all_mutable_state() {
+        let (mut cloud, mut specs) = tiny_cloud();
+        let nodes = cloud.topology().bbs()[0].nodes.clone();
+        specs.push(spec(0, 4, 32, 20));
+        specs.push(spec(1, 2, 16, 5));
+        cloud.place(0, &specs[0], nodes[0], SimRng::seed_from(1));
+        cloud.place(1, &specs[1], nodes[1], SimRng::seed_from(2));
+        cloud.set_node_contention(nodes[0], 42.5);
+        cloud.set_node_state(nodes[2], NodeState::Maintenance);
+        cloud.set_bb_reserved(BbId::from_raw(0), true);
+
+        let state = cloud.capture_state();
+        // Capture is a deep copy: round-tripping through JSON and
+        // restoring over a freshly built topology reproduces everything,
+        // including per-VM RNG streams and f64 bookkeeping.
+        let json = serde_json::to_string(&state).unwrap();
+        let parsed: CloudState = serde_json::from_str(&json).unwrap();
+        assert_eq!(parsed, state);
+
+        let (fresh, _) = tiny_cloud();
+        let mut restored = Cloud::restore_state(fresh.topo, parsed).unwrap();
+        assert_eq!(restored.vm_count(), 2);
+        assert_eq!(restored.vm(VmId(0)).unwrap(), cloud.vm(VmId(0)).unwrap());
+        assert_eq!(restored.node_allocated(nodes[0]), cloud.node_allocated(nodes[0]));
+        assert_eq!(restored.node_contention(nodes[0]), 42.5);
+        assert_eq!(
+            restored.topology().node(nodes[2]).state,
+            NodeState::Maintenance
+        );
+        assert!(restored.is_bb_reserved(BbId::from_raw(0)));
+        restored.verify_accounting(&specs).unwrap();
+        // The restored (cold) view cache agrees with a fresh build, and
+        // with the donor's warmed cache.
+        let now = SimTime::from_days(1);
+        assert_cache_coherent(&mut restored, now);
+        for g in [
+            PlacementGranularity::Node,
+            PlacementGranularity::BuildingBlock,
+        ] {
+            assert_eq!(restored.host_views(g, now), cloud.host_views(g, now));
+        }
+        // Restoring mutated neither the donor nor shared anything with it:
+        // mutating the restored cloud leaves the donor's accounting alone.
+        restored.remove(VmId(0)).unwrap();
+        assert_eq!(cloud.vm_count(), 2);
+        assert_eq!(cloud.capture_state(), state);
+    }
+
+    #[test]
+    fn restore_rejects_shape_mismatches() {
+        let (cloud, _) = tiny_cloud();
+        let mut state = cloud.capture_state();
+        state.node_alloc.pop();
+        let (fresh, _) = tiny_cloud();
+        let err = Cloud::restore_state(fresh.topo, state).unwrap_err();
+        assert!(
+            matches!(&err, SimError::Snapshot(msg) if msg.contains("node_alloc")),
+            "unexpected error: {err}"
+        );
+
+        let mut state = cloud.capture_state();
+        state.vm_count = 7;
+        let (fresh, _) = tiny_cloud();
+        let err = Cloud::restore_state(fresh.topo, state).unwrap_err();
+        assert!(matches!(err, SimError::Snapshot(_)), "got {err}");
+
+        let mut state = cloud.capture_state();
+        state.reserved_bbs.push(BbId::from_raw(99));
+        let (fresh, _) = tiny_cloud();
+        let err = Cloud::restore_state(fresh.topo, state).unwrap_err();
+        assert!(
+            matches!(&err, SimError::Snapshot(msg) if msg.contains("reserved block")),
+            "unexpected error: {err}"
+        );
     }
 
     #[test]

@@ -1,11 +1,19 @@
 //! The simulation driver: builds the world, runs the event loop, records
 //! telemetry, and produces a [`RunResult`].
+//!
+//! The driver is factored around an explicit [`RunState`] — the complete
+//! mutable state of a run in flight. A cold run builds one and drains it
+//! to the horizon; the snapshot layer ([`SimSnapshot`]) captures the same
+//! state mid-flight and rebuilds it later (or in another process), so a
+//! restored run fires the identical event sequence and produces
+//! byte-identical canonical output.
 
 use crate::cloud::{Cloud, PlacedVm, PlacementOutcome};
 use crate::config::{PlacementGranularity, SimConfig};
 use crate::error::SimError;
 use crate::hypervisor::{self, NodeDemand};
 use crate::result::{DriverStats, FaultStats, RunResult, VmUsageSummary};
+use crate::snapshot::SimSnapshot;
 use rand::Rng;
 use sapsim_faults::FaultPlan;
 use sapsim_obs::{
@@ -23,11 +31,13 @@ use sapsim_topology::{paper_estate_custom, AzId, BbId, BbPurpose, DcId, NodeId, 
 use sapsim_workload::{
     paper_flavor_catalog, GeneratorConfig, VmId, VmSpec, WorkloadClass, WorkloadGenerator,
 };
+use serde::{Deserialize, Serialize};
 use std::time::Instant;
 
-/// Events of the cloud simulation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Event {
+/// Events of the cloud simulation. Serializable because the pending-event
+/// set travels inside a [`SimSnapshot`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub(crate) enum Event {
     /// A VM (by spec index) arrives and must be placed.
     VmArrival(usize),
     /// A VM reaches the end of its lifetime.
@@ -59,10 +69,12 @@ enum Event {
 
 /// A VM displaced by a host failure that found no capacity yet: it waits
 /// in the driver's pending queue between backoff retries, preserving its
-/// demand-model state for the eventual restart.
-struct PendingEvac {
-    vm: PlacedVm,
-    retries: u32,
+/// demand-model state for the eventual restart. Serializable because the
+/// queue travels inside a [`SimSnapshot`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub(crate) struct PendingEvac {
+    pub(crate) vm: PlacedVm,
+    pub(crate) retries: u32,
 }
 
 /// Per-region context of the estate: AZ handles, capacity shares, and
@@ -149,6 +161,79 @@ struct DriverScratch {
     ranking: Ranking,
 }
 
+impl DriverScratch {
+    /// Fresh scratch for an `n`-node estate; the only pre-sized buffer is
+    /// the per-node demand accumulator. Scratch never carries state
+    /// across events, so a snapshot restore just builds a new one.
+    fn for_nodes(n: usize) -> DriverScratch {
+        DriverScratch {
+            demands: vec![NodeDemand::default(); n],
+            node_loads: Vec::new(),
+            bb_loads: Vec::new(),
+            vm_load_pool: Vec::new(),
+            ranking: Ranking::default(),
+        }
+    }
+}
+
+/// Everything about a run that is a pure function of its [`SimConfig`]:
+/// the estate, the workload, and the per-VM region/AZ assignments. A cold
+/// build and a snapshot restore derive this identically — the snapshot
+/// only carries the mutated state layered on top. Every RNG stream used
+/// here is a stateless lineage split of the root, so re-deriving any
+/// subset in any order reproduces the original draws.
+struct DerivedWorld {
+    topo: sapsim_topology::Topology,
+    regions: Vec<RegionCtx>,
+    specs: Vec<VmSpec>,
+    vm_region: Vec<u32>,
+    vm_az: Vec<AzId>,
+    vm_rng_root: SimRng,
+}
+
+/// The complete mutable state of a simulation in flight.
+///
+/// `run_with_recorder` builds one, drains it to the horizon, and folds it
+/// into a [`RunResult`]. The snapshot layer captures it mid-flight
+/// ([`SimDriver::snapshot_at`]) and rebuilds it from a [`SimSnapshot`]
+/// ([`SimDriver::resume`]) — the restored state fires the identical event
+/// sequence because event seqs, RNG stream positions, and every
+/// accumulator travel with the snapshot, while the derived world is
+/// recomputed from the config.
+struct RunState {
+    cfg: SimConfig,
+    regions: Vec<RegionCtx>,
+    cloud: Cloud,
+    specs: Vec<VmSpec>,
+    sim: Simulation<Event>,
+    warmup: SimTime,
+    horizon: SimTime,
+    policy: PlacementPolicy,
+    store: TsdbStore,
+    stats: DriverStats,
+    scratch: DriverScratch,
+    vm_stats: Vec<VmUsageSummary>,
+    vm_region: Vec<u32>,
+    vm_az: Vec<AzId>,
+    vm_rng_root: SimRng,
+    drs: Rebalancer,
+    cross: Rebalancer,
+    fault_plan: FaultPlan,
+    pending: Vec<PendingEvac>,
+    region_placed: Vec<u64>,
+    region_departed: Vec<u64>,
+    /// `sim.stats().scheduled` at the end of world construction: the
+    /// number of events the build itself enqueued (arrivals, periodic
+    /// seeds, maintenance windows, fault plan). Snapshot metadata — the
+    /// fork path needs to know where build-time seqs end and
+    /// handler-scheduled seqs begin.
+    init_scheduled: u64,
+    run_start: Instant,
+    profile: RunProfile,
+    progress_last: Instant,
+    progress_events: u64,
+}
+
 /// Runs one complete simulation from a [`SimConfig`].
 ///
 /// ```
@@ -193,12 +278,85 @@ impl SimDriver {
     /// suite asserts this). Wall-clock timings flow only into the
     /// non-canonical [`RunProfile`] on the result.
     pub fn run_with_recorder<R: Recorder>(&self, rec: &mut R) -> RunResult {
-        let cfg = &self.config;
-        let root_rng = SimRng::seed_from(cfg.seed);
-        let run_start = Instant::now();
-        let mut profile = RunProfile::new(R::ENABLED);
+        let mut st = Self::build_state(&self.config, R::ENABLED);
+        Self::run_to_horizon(&mut st, rec);
+        Self::finalize(st, rec)
+    }
 
-        // --- World construction -------------------------------------
+    /// Run the strictly-before-`at` prefix of this configuration and
+    /// capture the state at instant `at` as a [`SimSnapshot`], without
+    /// finishing the run. `at` is an absolute sim time on the
+    /// warmup-inclusive timeline, i.e. `[0, warmup + days]` in days.
+    /// Events scheduled exactly at `at` stay pending: they belong to the
+    /// resumed continuation, which replays them bit-for-bit.
+    pub fn snapshot_at(&self, at: SimTime) -> Result<SimSnapshot, SimError> {
+        let horizon = SimTime::from_days(self.config.warmup_days + self.config.days);
+        if at > horizon {
+            return Err(SimError::InvalidConfig(format!(
+                "snapshot instant {at} lies past the run horizon {horizon}"
+            )));
+        }
+        let mut st = Self::build_state(&self.config, false);
+        Self::run_prefix_before(&mut st, &mut NullRecorder, at);
+        Ok(Self::capture(&mut st))
+    }
+
+    /// Run to completion like [`run`](Self::run), additionally capturing
+    /// a [`SimSnapshot`] at instant `at` along the way — one pass instead
+    /// of a snapshot run plus a cold re-run. The returned result is
+    /// byte-identical to a plain run of the same config.
+    pub fn run_with_snapshot<R: Recorder>(
+        &self,
+        at: SimTime,
+        rec: &mut R,
+    ) -> Result<(RunResult, SimSnapshot), SimError> {
+        let horizon = SimTime::from_days(self.config.warmup_days + self.config.days);
+        if at > horizon {
+            return Err(SimError::InvalidConfig(format!(
+                "snapshot instant {at} lies past the run horizon {horizon}"
+            )));
+        }
+        let mut st = Self::build_state(&self.config, R::ENABLED);
+        Self::run_prefix_before(&mut st, rec, at);
+        let snapshot = Self::capture(&mut st);
+        Self::run_to_horizon(&mut st, rec);
+        Ok((Self::finalize(st, rec), snapshot))
+    }
+
+    /// Rebuild a run from a snapshot and drive it to the horizon.
+    ///
+    /// The snapshot is only read, never consumed or mutated: resuming the
+    /// same in-memory snapshot any number of times (forking) yields fully
+    /// independent runs, each byte-identical to a solo resume — restore
+    /// deep-copies every mutable table before touching it.
+    pub fn resume(snapshot: &SimSnapshot) -> Result<RunResult, SimError> {
+        Self::resume_with_recorder(snapshot, &mut NullRecorder)
+    }
+
+    /// [`resume`](Self::resume) with observability streamed into `rec`.
+    /// Counters and the profile cover only the resumed leg of the run.
+    pub fn resume_with_recorder<R: Recorder>(
+        snapshot: &SimSnapshot,
+        rec: &mut R,
+    ) -> Result<RunResult, SimError> {
+        let mut st = Self::state_from_snapshot(snapshot, R::ENABLED)?;
+        Self::run_to_horizon(&mut st, rec);
+        Ok(Self::finalize(st, rec))
+    }
+
+    /// Restore `snapshot` and immediately re-capture it without firing a
+    /// single event. Restore→capture is an identity on snapshots — the
+    /// witness the robustness fuzzer pins across the whole config space.
+    pub fn resnapshot(snapshot: &SimSnapshot) -> Result<SimSnapshot, SimError> {
+        let mut st = Self::state_from_snapshot(snapshot, false)?;
+        Ok(Self::capture(&mut st))
+    }
+
+    /// Derive the config-determined world: estate, workload, and per-VM
+    /// assignment streams. Shared verbatim by the cold build and the
+    /// snapshot restore.
+    fn derive_world(cfg: &SimConfig) -> DerivedWorld {
+        let root_rng = SimRng::seed_from(cfg.seed);
         let mut builder = TopologyBuilder::new();
         builder.gp_cpu_overcommit = cfg.gp_cpu_overcommit;
         let (topo, region_dcs) = paper_estate_custom(cfg.scale, cfg.seed, &builder);
@@ -217,40 +375,6 @@ impl SimDriver {
                 }
             })
             .collect();
-        let mut cloud = Cloud::new(topo);
-
-        // Hold back a fraction of general-purpose blocks per DC as
-        // failover/expansion reserve (deterministic selection). One shared
-        // stream walks every region's DC pair in estate order.
-        if cfg.reserve_bb_fraction > 0.0 {
-            let mut reserve_rng = root_rng.split("reserve");
-            for region in &regions {
-                for dc in [region.dc_a, region.dc_b] {
-                    let gp_bbs: Vec<BbId> = cloud
-                        .topology()
-                        .dc(dc)
-                        .bbs
-                        .iter()
-                        .copied()
-                        .filter(|&bb| cloud.topology().bb(bb).purpose == BbPurpose::GeneralPurpose)
-                        .collect();
-                    // Round, but always hold at least one block back when the
-                    // DC has enough general-purpose blocks to spare one.
-                    let mut count =
-                        (gp_bbs.len() as f64 * cfg.reserve_bb_fraction).round() as usize;
-                    if count == 0 && gp_bbs.len() >= 4 {
-                        count = 1;
-                    }
-                    let mut picks = gp_bbs;
-                    // Deterministic partial shuffle: pick `count` blocks.
-                    for i in 0..count.min(picks.len()) {
-                        let j = i + (reserve_rng.gen_range(0..(picks.len() - i) as u64)) as usize;
-                        picks.swap(i, j);
-                        cloud.set_bb_reserved(picks[i], true);
-                    }
-                }
-            }
-        }
 
         let generator = WorkloadGenerator::new(
             paper_flavor_catalog(),
@@ -264,48 +388,7 @@ impl SimDriver {
             },
         );
         let specs = generator.generate();
-        // The generator numbers ids as consecutive spec indices; pre-size
-        // the slot table so the scrape can zip it against per-spec state.
-        cloud.reserve_vm_slots(specs.len());
 
-        // --- Simulation state ----------------------------------------
-        // The timing wheel is the production event engine; the binary
-        // heap stays available as a cross-checking oracle (execution
-        // knob only — canonical output is byte-identical either way).
-        let mut sim: Simulation<Event> = Simulation::with_backend(if cfg.heap_event_queue {
-            QueueBackend::BinaryHeap
-        } else {
-            QueueBackend::TimingWheel
-        });
-        let warmup = SimTime::from_days(cfg.warmup_days);
-        let horizon = SimTime::from_days(cfg.warmup_days + cfg.days);
-        let mut policy = PlacementPolicy::new(cfg.policy);
-        // Dense tables for every node/BB/region series: the scrape's write
-        // path is an indexed store, not a hash-map insert.
-        let mut store = TsdbStore::with_topology(
-            cfg.days as usize,
-            cloud.topology().nodes().len(),
-            cloud.topology().bbs().len(),
-        );
-        let mut stats = DriverStats::default();
-        let mut scratch = DriverScratch {
-            demands: vec![NodeDemand::default(); cloud.topology().nodes().len()],
-            node_loads: Vec::new(),
-            bb_loads: Vec::new(),
-            vm_load_pool: Vec::new(),
-            ranking: Ranking::default(),
-        };
-        let mut vm_stats: Vec<VmUsageSummary> = specs
-            .iter()
-            .enumerate()
-            .map(|(i, s)| VmUsageSummary {
-                id: s.id,
-                spec_index: i,
-                placed: false,
-                cpu_ratio: RunningStat::new(),
-                mem_ratio: RunningStat::new(),
-            })
-            .collect();
         // Per-VM region assignment: weight each region by its node
         // capacity for the VM's class, so replicated estates fill
         // proportionally. Single-region runs skip the stream entirely —
@@ -373,6 +456,105 @@ impl SimDriver {
             .collect();
         let vm_rng_root = root_rng.split("vm-demand");
 
+        DerivedWorld {
+            topo,
+            regions,
+            specs,
+            vm_region,
+            vm_az,
+            vm_rng_root,
+        }
+    }
+
+    /// Build the complete initial [`RunState`] for a cold run: derived
+    /// world, reserve selection, event-queue seeding, maintenance and
+    /// fault plans.
+    fn build_state(cfg: &SimConfig, profile_enabled: bool) -> RunState {
+        let root_rng = SimRng::seed_from(cfg.seed);
+        let run_start = Instant::now();
+        let profile = RunProfile::new(profile_enabled);
+
+        // --- World construction -------------------------------------
+        let DerivedWorld {
+            topo,
+            regions,
+            specs,
+            vm_region,
+            vm_az,
+            vm_rng_root,
+        } = Self::derive_world(cfg);
+        let mut cloud = Cloud::new(topo);
+
+        // Hold back a fraction of general-purpose blocks per DC as
+        // failover/expansion reserve (deterministic selection). One shared
+        // stream walks every region's DC pair in estate order.
+        if cfg.reserve_bb_fraction > 0.0 {
+            let mut reserve_rng = root_rng.split("reserve");
+            for region in &regions {
+                for dc in [region.dc_a, region.dc_b] {
+                    let gp_bbs: Vec<BbId> = cloud
+                        .topology()
+                        .dc(dc)
+                        .bbs
+                        .iter()
+                        .copied()
+                        .filter(|&bb| cloud.topology().bb(bb).purpose == BbPurpose::GeneralPurpose)
+                        .collect();
+                    // Round, but always hold at least one block back when the
+                    // DC has enough general-purpose blocks to spare one.
+                    let mut count =
+                        (gp_bbs.len() as f64 * cfg.reserve_bb_fraction).round() as usize;
+                    if count == 0 && gp_bbs.len() >= 4 {
+                        count = 1;
+                    }
+                    let mut picks = gp_bbs;
+                    // Deterministic partial shuffle: pick `count` blocks.
+                    for i in 0..count.min(picks.len()) {
+                        let j = i + (reserve_rng.gen_range(0..(picks.len() - i) as u64)) as usize;
+                        picks.swap(i, j);
+                        cloud.set_bb_reserved(picks[i], true);
+                    }
+                }
+            }
+        }
+
+        // The generator numbers ids as consecutive spec indices; pre-size
+        // the slot table so the scrape can zip it against per-spec state.
+        cloud.reserve_vm_slots(specs.len());
+
+        // --- Simulation state ----------------------------------------
+        // The timing wheel is the production event engine; the binary
+        // heap stays available as a cross-checking oracle (execution
+        // knob only — canonical output is byte-identical either way).
+        let mut sim: Simulation<Event> = Simulation::with_backend(if cfg.heap_event_queue {
+            QueueBackend::BinaryHeap
+        } else {
+            QueueBackend::TimingWheel
+        });
+        let warmup = SimTime::from_days(cfg.warmup_days);
+        let horizon = SimTime::from_days(cfg.warmup_days + cfg.days);
+        let policy = PlacementPolicy::new(cfg.policy);
+        // Dense tables for every node/BB/region series: the scrape's write
+        // path is an indexed store, not a hash-map insert.
+        let store = TsdbStore::with_topology(
+            cfg.days as usize,
+            cloud.topology().nodes().len(),
+            cloud.topology().bbs().len(),
+        );
+        let mut stats = DriverStats::default();
+        let scratch = DriverScratch::for_nodes(cloud.topology().nodes().len());
+        let vm_stats: Vec<VmUsageSummary> = specs
+            .iter()
+            .enumerate()
+            .map(|(i, s)| VmUsageSummary {
+                id: s.id,
+                spec_index: i,
+                placed: false,
+                cpu_ratio: RunningStat::new(),
+                mem_ratio: RunningStat::new(),
+            })
+            .collect();
+
         for (i, s) in specs.iter().enumerate() {
             sim.schedule_at(s.arrival, Event::VmArrival(i));
         }
@@ -426,399 +608,601 @@ impl SimDriver {
         }
         stats.faults.straggler_nodes = fault_plan.straggler_count() as u64;
         stats.faults.dropout_windows = fault_plan.dropout_window_count() as u64;
-        // VMs displaced by a failure that found no immediate capacity;
-        // drained by retries, departures, or the retry limit.
-        let mut pending: Vec<PendingEvac> = Vec::new();
 
         // Per-region lifecycle tallies for the metrics export. Plain
         // vector bumps in the hot path; the labeled fold happens once at
         // end of run, and only multi-region estates emit the breakdown.
-        let mut region_placed: Vec<u64> = vec![0; regions.len()];
-        let mut region_departed: Vec<u64> = vec![0; regions.len()];
+        let region_placed: Vec<u64> = vec![0; regions.len()];
+        let region_departed: Vec<u64> = vec![0; regions.len()];
 
-        // Live progress heartbeat: wall-clock only, throttled by checking
-        // the clock every 8192 events and printing at most once a second.
-        // Writes to stderr and reads nothing back — it cannot perturb the
-        // run (the determinism suite pins canonical bytes with it on).
-        let mut progress_last = run_start;
-        let mut progress_events: u64 = 0;
+        // Where build-time seqs end: everything scheduled so far came
+        // from world construction, everything after comes from handlers.
+        let init_scheduled = sim.stats().scheduled;
 
-        // --- Event loop ----------------------------------------------
-        while let Some(ev) = sim.next_event_until(horizon) {
-            let now = ev.time;
-            if cfg.progress {
-                progress_events += 1;
-                if progress_events & 0x1FFF == 0 && progress_last.elapsed().as_secs() >= 1 {
-                    progress_last = Instant::now();
-                    Self::print_progress(cfg, run_start, now, horizon, sim.stats().fired, &cloud);
+        RunState {
+            cfg: *cfg,
+            regions,
+            cloud,
+            specs,
+            sim,
+            warmup,
+            horizon,
+            policy,
+            store,
+            stats,
+            scratch,
+            vm_stats,
+            vm_region,
+            vm_az,
+            vm_rng_root,
+            drs,
+            cross,
+            fault_plan,
+            pending: Vec::new(),
+            region_placed,
+            region_departed,
+            init_scheduled,
+            run_start,
+            profile,
+            progress_last: run_start,
+            progress_events: 0,
+        }
+    }
+
+    /// Capture the state of a run in flight as a [`SimSnapshot`].
+    /// Everything a restore cannot re-derive from the config travels in
+    /// the snapshot; the derived world is rebuilt on the other side.
+    /// Takes `&mut` only because draining the pending-event set out of
+    /// the queue backend requires it — the state is left untouched.
+    fn capture(st: &mut RunState) -> SimSnapshot {
+        SimSnapshot {
+            config: st.cfg,
+            now: st.sim.now(),
+            sim_stats: st.sim.stats(),
+            next_seq: st.sim.next_seq(),
+            events: st.sim.snapshot_events(),
+            init_scheduled: st.init_scheduled,
+            cloud: st.cloud.capture_state(),
+            stats: st.stats,
+            vm_stats: st.vm_stats.clone(),
+            store: st.store.clone(),
+            pending: st.pending.clone(),
+            region_placed: st.region_placed.clone(),
+            region_departed: st.region_departed.clone(),
+        }
+    }
+
+    /// Rebuild a [`RunState`] from a snapshot: re-derive the world from
+    /// the carried config, validate the snapshot's shape against it, and
+    /// restore every mutable table. All snapshot tables are deep-copied,
+    /// so one snapshot can seed any number of independent resumes.
+    fn state_from_snapshot(
+        snap: &SimSnapshot,
+        profile_enabled: bool,
+    ) -> Result<RunState, SimError> {
+        let cfg = snap.config;
+        cfg.validate()
+            .map_err(|e| SimError::Snapshot(format!("snapshot config invalid: {e}")))?;
+        let warmup = SimTime::from_days(cfg.warmup_days);
+        let horizon = SimTime::from_days(cfg.warmup_days + cfg.days);
+        if snap.now > horizon {
+            return Err(SimError::Snapshot(format!(
+                "snapshot instant {} lies past the configured horizon {horizon}",
+                snap.now
+            )));
+        }
+        if snap.events.iter().any(|&(t, _, _)| t < snap.now) {
+            return Err(SimError::Snapshot(
+                "snapshot queues an event before its own capture instant".into(),
+            ));
+        }
+        if snap.events.iter().any(|&(_, seq, _)| seq >= snap.next_seq) {
+            return Err(SimError::Snapshot(
+                "snapshot queues an event seq past its own seq counter".into(),
+            ));
+        }
+        let w = Self::derive_world(&cfg);
+        if snap.cloud.vm_slots.len() != w.specs.len() {
+            return Err(SimError::Snapshot(format!(
+                "snapshot carries {} VM slots but the config derives {} specs",
+                snap.cloud.vm_slots.len(),
+                w.specs.len()
+            )));
+        }
+        if snap.vm_stats.len() != w.specs.len() {
+            return Err(SimError::Snapshot(format!(
+                "snapshot carries {} VM summaries but the config derives {} specs",
+                snap.vm_stats.len(),
+                w.specs.len()
+            )));
+        }
+        if snap.region_placed.len() != w.regions.len()
+            || snap.region_departed.len() != w.regions.len()
+        {
+            return Err(SimError::Snapshot(format!(
+                "snapshot carries {} region tallies but the config derives {} regions",
+                snap.region_placed.len(),
+                w.regions.len()
+            )));
+        }
+        let cloud = Cloud::restore_state(w.topo, snap.cloud.clone())?;
+        let sim = Simulation::restore(
+            if cfg.heap_event_queue {
+                QueueBackend::BinaryHeap
+            } else {
+                QueueBackend::TimingWheel
+            },
+            snap.now,
+            snap.sim_stats,
+            snap.next_seq,
+            snap.events.iter().cloned(),
+        );
+        // The fault plan is a pure function of (spec, estate, window,
+        // seed); re-deriving it restores straggler throughput factors and
+        // dropout windows without them ever touching the snapshot.
+        let fault_plan = FaultPlan::generate(
+            &cfg.faults,
+            cloud.topology().nodes().len(),
+            warmup,
+            horizon,
+            &SimRng::seed_from(cfg.seed),
+        );
+        let nodes = cloud.topology().nodes().len();
+        let run_start = Instant::now();
+        Ok(RunState {
+            cfg,
+            regions: w.regions,
+            cloud,
+            specs: w.specs,
+            sim,
+            warmup,
+            horizon,
+            policy: PlacementPolicy::new(cfg.policy),
+            store: snap.store.clone(),
+            stats: snap.stats,
+            scratch: DriverScratch::for_nodes(nodes),
+            vm_stats: snap.vm_stats.clone(),
+            vm_region: w.vm_region,
+            vm_az: w.vm_az,
+            vm_rng_root: w.vm_rng_root,
+            drs: Rebalancer::new(cfg.drs),
+            cross: Rebalancer::new(cfg.drs),
+            fault_plan,
+            pending: snap.pending.clone(),
+            region_placed: snap.region_placed.clone(),
+            region_departed: snap.region_departed.clone(),
+            init_scheduled: snap.init_scheduled,
+            run_start,
+            profile: RunProfile::new(profile_enabled),
+            progress_last: run_start,
+            progress_events: 0,
+        })
+    }
+
+    /// Drain the event loop to the horizon (inclusive).
+    fn run_to_horizon<R: Recorder>(st: &mut RunState, rec: &mut R) {
+        while let Some(ev) = st.sim.next_event_until(st.horizon) {
+            Self::heartbeat(st, ev.time);
+            Self::handle_event(st, rec, ev.time, ev.payload);
+        }
+    }
+
+    /// Fire every event strictly before `cutoff`, then pin the clock at
+    /// `cutoff` itself. Events scheduled exactly at the cutoff stay
+    /// queued: they belong to the resumed continuation. Handlers only run
+    /// when the clock sits at their own fire time, so pinning the clock
+    /// between events cannot perturb anything.
+    fn run_prefix_before<R: Recorder>(st: &mut RunState, rec: &mut R, cutoff: SimTime) {
+        while let Some(ev) = st.sim.next_event_before(cutoff) {
+            Self::heartbeat(st, ev.time);
+            Self::handle_event(st, rec, ev.time, ev.payload);
+        }
+        st.sim.advance_clock_to(cutoff);
+    }
+
+    /// Live progress heartbeat: wall-clock only, throttled by checking
+    /// the clock every 8192 events and printing at most once a second.
+    /// Writes to stderr and reads nothing back — it cannot perturb the
+    /// run (the determinism suite pins canonical bytes with it on).
+    #[inline]
+    fn heartbeat(st: &mut RunState, now: SimTime) {
+        if st.cfg.progress {
+            st.progress_events += 1;
+            if st.progress_events & 0x1FFF == 0 && st.progress_last.elapsed().as_secs() >= 1 {
+                st.progress_last = Instant::now();
+                Self::print_progress(
+                    &st.cfg,
+                    st.run_start,
+                    now,
+                    st.horizon,
+                    st.sim.stats().fired,
+                    &st.cloud,
+                );
+            }
+        }
+    }
+
+    /// Dispatch one fired event against the run state.
+    fn handle_event<R: Recorder>(st: &mut RunState, rec: &mut R, now: SimTime, payload: Event) {
+        let cfg = st.cfg;
+        match payload {
+            Event::VmArrival(spec_index) => {
+                st.stats.placements_attempted += 1;
+                let t0 = span_start::<R>();
+                let outcome = Self::place_vm(
+                    &mut st.cloud,
+                    &mut st.policy,
+                    &cfg,
+                    spec_index,
+                    &st.specs[spec_index],
+                    st.vm_az[spec_index],
+                    now,
+                    &st.vm_rng_root,
+                    st.regions[st.vm_region[spec_index] as usize].ci_farm,
+                    rec,
+                    &mut st.scratch.ranking,
+                );
+                span_end(rec, &mut st.profile, SpanKind::Placement, st.run_start, t0);
+                match outcome {
+                    PlacementOutcome::Placed { retries, .. } => {
+                        let spec = &st.specs[spec_index];
+                        st.stats.placed += 1;
+                        st.stats.placement_retries += retries as u64;
+                        st.vm_stats[spec_index].placed = true;
+                        if spec.departure() <= st.horizon {
+                            st.sim
+                                .schedule_at(spec.departure(), Event::VmDeparture(spec.id));
+                        }
+                        if let Some(t) = spec.resize_time() {
+                            if t > now && t <= st.horizon {
+                                st.sim.schedule_at(t, Event::VmResize(spec.id));
+                            }
+                        }
+                        st.stats.peak_vm_count = st.stats.peak_vm_count.max(st.cloud.vm_count());
+                        st.region_placed[st.vm_region[spec_index] as usize] += 1;
+                        if R::ENABLED {
+                            rec.counter_add("placements", 1);
+                            rec.counter_add("placement_retries", retries as u64);
+                        }
+                    }
+                    PlacementOutcome::NoCandidate => {
+                        st.stats.failed_no_candidate += 1;
+                        if R::ENABLED {
+                            rec.counter_add("placements_failed_no_candidate", 1);
+                        }
+                    }
+                    PlacementOutcome::Fragmented => {
+                        st.stats.failed_fragmented += 1;
+                        if R::ENABLED {
+                            rec.counter_add("placements_failed_fragmented", 1);
+                        }
+                    }
                 }
             }
-            match ev.payload {
-                Event::VmArrival(spec_index) => {
-                    let spec = &specs[spec_index];
-                    stats.placements_attempted += 1;
-                    let t0 = span_start::<R>();
-                    let outcome = Self::place_vm(
-                        &mut cloud,
-                        &mut policy,
-                        cfg,
-                        spec_index,
-                        spec,
-                        vm_az[spec_index],
-                        now,
-                        &vm_rng_root,
-                        regions[vm_region[spec_index] as usize].ci_farm,
-                        rec,
-                        &mut scratch.ranking,
-                    );
-                    span_end(rec, &mut profile, SpanKind::Placement, run_start, t0);
-                    match outcome {
-                        PlacementOutcome::Placed { retries, .. } => {
-                            stats.placed += 1;
-                            stats.placement_retries += retries as u64;
-                            vm_stats[spec_index].placed = true;
-                            if spec.departure() <= horizon {
-                                sim.schedule_at(spec.departure(), Event::VmDeparture(spec.id));
-                            }
-                            if let Some(t) = spec.resize_time() {
-                                if t > now && t <= horizon {
-                                    sim.schedule_at(t, Event::VmResize(spec.id));
-                                }
-                            }
-                            stats.peak_vm_count = stats.peak_vm_count.max(cloud.vm_count());
-                            region_placed[vm_region[spec_index] as usize] += 1;
+            Event::VmDeparture(id) => {
+                if let Some(vm) = st.cloud.remove(id) {
+                    st.stats.departures += 1;
+                    st.region_departed[st.vm_region[vm.spec_index] as usize] += 1;
+                    if R::ENABLED {
+                        rec.counter_add("departures", 1);
+                    }
+                } else if let Some(pos) = st.pending.iter().position(|p| p.vm.id == id) {
+                    // The VM's lifetime ended while it was waiting for
+                    // re-placement after a host failure.
+                    let evac = st.pending.remove(pos);
+                    st.stats.departures += 1;
+                    st.region_departed[st.vm_region[evac.vm.spec_index] as usize] += 1;
+                    if R::ENABLED {
+                        rec.counter_add("departures", 1);
+                    }
+                }
+            }
+            Event::VmResize(id) => {
+                Self::handle_resize(
+                    &mut st.cloud,
+                    &mut st.policy,
+                    &cfg,
+                    &st.specs,
+                    id,
+                    &st.vm_az,
+                    now,
+                    &mut st.stats,
+                    &mut st.scratch.ranking,
+                );
+            }
+            Event::Scrape => {
+                st.stats.scrapes += 1;
+                let t0 = span_start::<R>();
+                Self::scrape(
+                    &mut st.cloud,
+                    &st.specs,
+                    &mut st.vm_stats,
+                    &mut st.store,
+                    &cfg,
+                    now,
+                    st.warmup,
+                    &mut st.scratch,
+                    &st.fault_plan,
+                    &mut st.stats.faults,
+                    rec,
+                    &mut st.profile,
+                    st.run_start,
+                );
+                span_end(rec, &mut st.profile, SpanKind::Scrape, st.run_start, t0);
+                if R::ENABLED {
+                    rec.counter_add("scrapes", 1);
+                    // Distribution of the live population across
+                    // scrape ticks — a cheap load curve that needs no
+                    // TSDB pass to read back.
+                    if let Some(m) = rec.metrics_mut() {
+                        m.observe("live_vms_at_scrape", st.cloud.vm_count() as u64);
+                    }
+                }
+                st.sim.schedule_after(cfg.scrape_interval, Event::Scrape);
+            }
+            Event::OsGauge => {
+                let t0 = span_start::<R>();
+                Self::record_os_gauges(&st.cloud, &mut st.store, now, st.warmup);
+                span_end(rec, &mut st.profile, SpanKind::OsGauge, st.run_start, t0);
+                st.sim.schedule_after(cfg.os_gauge_interval, Event::OsGauge);
+            }
+            Event::DrsRound => {
+                let t0 = span_start::<R>();
+                let migrated = Self::drs_round(&mut st.cloud, &st.drs, &mut st.scratch);
+                span_end(rec, &mut st.profile, SpanKind::DrsRound, st.run_start, t0);
+                st.stats.drs_migrations += migrated;
+                if R::ENABLED {
+                    rec.counter_add("drs_migrations", migrated);
+                }
+                st.sim.schedule_after(cfg.drs_interval, Event::DrsRound);
+            }
+            Event::CrossBbRound => {
+                let t0 = span_start::<R>();
+                let migrated = Self::cross_bb_round(&mut st.cloud, &st.cross, &mut st.scratch);
+                span_end(rec, &mut st.profile, SpanKind::CrossBbRound, st.run_start, t0);
+                st.stats.cross_bb_migrations += migrated;
+                if R::ENABLED {
+                    rec.counter_add("cross_bb_migrations", migrated);
+                }
+                st.sim
+                    .schedule_after(cfg.cross_bb_interval, Event::CrossBbRound);
+            }
+            Event::MaintenanceStart(node) => {
+                if st.cloud.topology().node(node).state != sapsim_topology::NodeState::Active {
+                    // The node is already down (failed): planned
+                    // maintenance cannot start and the window lapses.
+                    st.stats.maintenance_aborted += 1;
+                } else {
+                    // Silence the node first so the evacuation targets
+                    // exclude it, then move everything off. A stuck VM
+                    // (pinned, or no sibling capacity) aborts the window
+                    // and the node returns to service.
+                    st.cloud
+                        .set_node_state(node, sapsim_topology::NodeState::Maintenance);
+                    match st.cloud.evacuate_node(node) {
+                        Ok(moved) => {
+                            st.stats.maintenance_windows += 1;
+                            st.stats.evacuations += moved;
                             if R::ENABLED {
-                                rec.counter_add("placements", 1);
-                                rec.counter_add("placement_retries", retries as u64);
+                                rec.counter_add("evacuations", moved);
                             }
+                            st.sim.schedule_after(
+                                cfg.maintenance_duration,
+                                Event::MaintenanceEnd(node),
+                            );
                         }
-                        PlacementOutcome::NoCandidate => {
-                            stats.failed_no_candidate += 1;
-                            if R::ENABLED {
-                                rec.counter_add("placements_failed_no_candidate", 1);
-                            }
-                        }
-                        PlacementOutcome::Fragmented => {
-                            stats.failed_fragmented += 1;
-                            if R::ENABLED {
-                                rec.counter_add("placements_failed_fragmented", 1);
-                            }
+                        Err(_stuck) => {
+                            st.stats.maintenance_aborted += 1;
+                            st.cloud
+                                .set_node_state(node, sapsim_topology::NodeState::Active);
                         }
                     }
                 }
-                Event::VmDeparture(id) => {
-                    if let Some(vm) = cloud.remove(id) {
-                        stats.departures += 1;
-                        region_departed[vm_region[vm.spec_index] as usize] += 1;
-                        if R::ENABLED {
-                            rec.counter_add("departures", 1);
-                        }
-                    } else if let Some(pos) = pending.iter().position(|p| p.vm.id == id) {
-                        // The VM's lifetime ended while it was waiting for
-                        // re-placement after a host failure.
-                        let evac = pending.remove(pos);
-                        stats.departures += 1;
-                        region_departed[vm_region[evac.vm.spec_index] as usize] += 1;
-                        if R::ENABLED {
-                            rec.counter_add("departures", 1);
-                        }
-                    }
+            }
+            Event::MaintenanceEnd(node) => {
+                if st.cloud.topology().node(node).state == sapsim_topology::NodeState::Maintenance {
+                    st.cloud
+                        .set_node_state(node, sapsim_topology::NodeState::Active);
                 }
-                Event::VmResize(id) => {
-                    Self::handle_resize(
-                        &mut cloud,
-                        &mut policy,
-                        cfg,
-                        &specs,
-                        id,
-                        &vm_az,
+            }
+            Event::HostFail(node) => {
+                if st.cloud.topology().node(node).state != sapsim_topology::NodeState::Active {
+                    // Already out of service (maintenance window in
+                    // progress): the drawn failure is skipped rather
+                    // than stacked on top.
+                    return;
+                }
+                st.cloud
+                    .set_node_state(node, sapsim_topology::NodeState::Failed);
+                st.stats.faults.host_failures += 1;
+                if R::ENABLED {
+                    rec.counter_add("host_failures", 1);
+                    rec.record(ObsEvent::Fault {
+                        kind: FaultEventKind::HostFail,
+                        sim_time_ms: now.as_millis(),
+                        node: node.index() as u32,
+                        vm_uid: None,
+                    });
+                }
+                // Unlike planned maintenance there is no "abort":
+                // every resident is forcibly displaced, and whatever
+                // cannot restart immediately joins the pending queue.
+                let residents: Vec<VmId> = st.cloud.vms_on_node(node).to_vec();
+                for id in residents {
+                    let vm = st.cloud.remove(id).expect("resident VM exists");
+                    st.stats.faults.evacuated += 1;
+                    if R::ENABLED {
+                        rec.counter_add("fault_evacuations", 1);
+                    }
+                    match Self::evac_target(
+                        &mut st.cloud,
+                        &mut st.policy,
+                        &cfg,
+                        &st.specs,
+                        &st.vm_az,
+                        st.regions[st.vm_region[vm.spec_index] as usize].ci_farm,
+                        &vm,
                         now,
-                        &mut stats,
-                        &mut scratch.ranking,
-                    );
-                }
-                Event::Scrape => {
-                    stats.scrapes += 1;
-                    let t0 = span_start::<R>();
-                    Self::scrape(
-                        &mut cloud,
-                        &specs,
-                        &mut vm_stats,
-                        &mut store,
-                        cfg,
-                        now,
-                        warmup,
-                        &mut scratch,
-                        &fault_plan,
-                        &mut stats.faults,
-                        rec,
-                        &mut profile,
-                        run_start,
-                    );
-                    span_end(rec, &mut profile, SpanKind::Scrape, run_start, t0);
-                    if R::ENABLED {
-                        rec.counter_add("scrapes", 1);
-                        // Distribution of the live population across
-                        // scrape ticks — a cheap load curve that needs no
-                        // TSDB pass to read back.
-                        if let Some(m) = rec.metrics_mut() {
-                            m.observe("live_vms_at_scrape", cloud.vm_count() as u64);
-                        }
-                    }
-                    sim.schedule_after(cfg.scrape_interval, Event::Scrape);
-                }
-                Event::OsGauge => {
-                    let t0 = span_start::<R>();
-                    Self::record_os_gauges(&cloud, &mut store, now, warmup);
-                    span_end(rec, &mut profile, SpanKind::OsGauge, run_start, t0);
-                    sim.schedule_after(cfg.os_gauge_interval, Event::OsGauge);
-                }
-                Event::DrsRound => {
-                    let t0 = span_start::<R>();
-                    let migrated = Self::drs_round(&mut cloud, &drs, &mut scratch);
-                    span_end(rec, &mut profile, SpanKind::DrsRound, run_start, t0);
-                    stats.drs_migrations += migrated;
-                    if R::ENABLED {
-                        rec.counter_add("drs_migrations", migrated);
-                    }
-                    sim.schedule_after(cfg.drs_interval, Event::DrsRound);
-                }
-                Event::CrossBbRound => {
-                    let t0 = span_start::<R>();
-                    let migrated = Self::cross_bb_round(&mut cloud, &cross, &mut scratch);
-                    span_end(rec, &mut profile, SpanKind::CrossBbRound, run_start, t0);
-                    stats.cross_bb_migrations += migrated;
-                    if R::ENABLED {
-                        rec.counter_add("cross_bb_migrations", migrated);
-                    }
-                    sim.schedule_after(cfg.cross_bb_interval, Event::CrossBbRound);
-                }
-                Event::MaintenanceStart(node) => {
-                    if cloud.topology().node(node).state != sapsim_topology::NodeState::Active {
-                        // The node is already down (failed): planned
-                        // maintenance cannot start and the window lapses.
-                        stats.maintenance_aborted += 1;
-                    } else {
-                        // Silence the node first so the evacuation targets
-                        // exclude it, then move everything off. A stuck VM
-                        // (pinned, or no sibling capacity) aborts the window
-                        // and the node returns to service.
-                        cloud.set_node_state(node, sapsim_topology::NodeState::Maintenance);
-                        match cloud.evacuate_node(node) {
-                            Ok(moved) => {
-                                stats.maintenance_windows += 1;
-                                stats.evacuations += moved;
-                                if R::ENABLED {
-                                    rec.counter_add("evacuations", moved);
-                                }
-                                sim.schedule_after(
-                                    cfg.maintenance_duration,
-                                    Event::MaintenanceEnd(node),
-                                );
-                            }
-                            Err(_stuck) => {
-                                stats.maintenance_aborted += 1;
-                                cloud.set_node_state(node, sapsim_topology::NodeState::Active);
-                            }
-                        }
-                    }
-                }
-                Event::MaintenanceEnd(node) => {
-                    if cloud.topology().node(node).state == sapsim_topology::NodeState::Maintenance
-                    {
-                        cloud.set_node_state(node, sapsim_topology::NodeState::Active);
-                    }
-                }
-                Event::HostFail(node) => {
-                    if cloud.topology().node(node).state != sapsim_topology::NodeState::Active {
-                        // Already out of service (maintenance window in
-                        // progress): the drawn failure is skipped rather
-                        // than stacked on top.
-                        continue;
-                    }
-                    cloud.set_node_state(node, sapsim_topology::NodeState::Failed);
-                    stats.faults.host_failures += 1;
-                    if R::ENABLED {
-                        rec.counter_add("host_failures", 1);
-                        rec.record(ObsEvent::Fault {
-                            kind: FaultEventKind::HostFail,
-                            sim_time_ms: now.as_millis(),
-                            node: node.index() as u32,
-                            vm_uid: None,
-                        });
-                    }
-                    // Unlike planned maintenance there is no "abort":
-                    // every resident is forcibly displaced, and whatever
-                    // cannot restart immediately joins the pending queue.
-                    let residents: Vec<VmId> = cloud.vms_on_node(node).to_vec();
-                    for id in residents {
-                        let vm = cloud.remove(id).expect("resident VM exists");
-                        stats.faults.evacuated += 1;
-                        if R::ENABLED {
-                            rec.counter_add("fault_evacuations", 1);
-                        }
-                        match Self::evac_target(
-                            &mut cloud,
-                            &mut policy,
-                            cfg,
-                            &specs,
-                            &vm_az,
-                            regions[vm_region[vm.spec_index] as usize].ci_farm,
-                            &vm,
-                            now,
-                            &mut scratch.ranking,
-                        ) {
-                            Some(target) => {
-                                cloud.readmit(vm, target);
-                                stats.faults.evac_replaced += 1;
-                                if R::ENABLED {
-                                    rec.counter_add("fault_evac_replaced", 1);
-                                    rec.record(ObsEvent::Fault {
-                                        kind: FaultEventKind::EvacReplaced,
-                                        sim_time_ms: now.as_millis(),
-                                        node: target.index() as u32,
-                                        vm_uid: Some(id.raw()),
-                                    });
-                                }
-                            }
-                            None => {
-                                if R::ENABLED {
-                                    rec.record(ObsEvent::Fault {
-                                        kind: FaultEventKind::EvacPending,
-                                        sim_time_ms: now.as_millis(),
-                                        node: node.index() as u32,
-                                        vm_uid: Some(id.raw()),
-                                    });
-                                }
-                                pending.push(PendingEvac { vm, retries: 0 });
-                                stats.faults.evac_pending_peak =
-                                    stats.faults.evac_pending_peak.max(pending.len() as u64);
-                                sim.schedule_after(
-                                    SimDuration::from_secs(cfg.faults.evac_retry_backoff_secs),
-                                    Event::EvacRetry(id),
-                                );
-                            }
-                        }
-                    }
-                }
-                Event::HostRecover(node) => {
-                    if cloud.topology().node(node).state == sapsim_topology::NodeState::Failed {
-                        cloud.set_node_state(node, sapsim_topology::NodeState::Active);
-                        stats.faults.host_recoveries += 1;
-                        if R::ENABLED {
-                            rec.counter_add("host_recoveries", 1);
-                            rec.record(ObsEvent::Fault {
-                                kind: FaultEventKind::HostRecover,
-                                sim_time_ms: now.as_millis(),
-                                node: node.index() as u32,
-                                vm_uid: None,
-                            });
-                        }
-                    }
-                }
-                Event::EvacRetry(id) => {
-                    let Some(pos) = pending.iter().position(|p| p.vm.id == id) else {
-                        // Already re-placed, departed, or given up on.
-                        continue;
-                    };
-                    if pending[pos].vm.departure <= now {
-                        // Lifetime ran out while waiting; the regular
-                        // departure event (if any remains) will find
-                        // nothing and count nothing.
-                        pending.remove(pos);
-                        stats.departures += 1;
-                        if R::ENABLED {
-                            rec.counter_add("departures", 1);
-                        }
-                        continue;
-                    }
-                    let target = Self::evac_target(
-                        &mut cloud,
-                        &mut policy,
-                        cfg,
-                        &specs,
-                        &vm_az,
-                        regions[vm_region[pending[pos].vm.spec_index] as usize].ci_farm,
-                        &pending[pos].vm,
-                        now,
-                        &mut scratch.ranking,
-                    );
-                    match target {
-                        Some(node) => {
-                            let entry = pending.remove(pos);
-                            cloud.readmit(entry.vm, node);
-                            stats.faults.evac_replaced += 1;
+                        &mut st.scratch.ranking,
+                    ) {
+                        Some(target) => {
+                            st.cloud.readmit(vm, target);
+                            st.stats.faults.evac_replaced += 1;
                             if R::ENABLED {
                                 rec.counter_add("fault_evac_replaced", 1);
                                 rec.record(ObsEvent::Fault {
                                     kind: FaultEventKind::EvacReplaced,
                                     sim_time_ms: now.as_millis(),
+                                    node: target.index() as u32,
+                                    vm_uid: Some(id.raw()),
+                                });
+                            }
+                        }
+                        None => {
+                            if R::ENABLED {
+                                rec.record(ObsEvent::Fault {
+                                    kind: FaultEventKind::EvacPending,
+                                    sim_time_ms: now.as_millis(),
                                     node: node.index() as u32,
                                     vm_uid: Some(id.raw()),
                                 });
                             }
-                        }
-                        None if pending[pos].retries < cfg.faults.evac_retry_limit => {
-                            pending[pos].retries += 1;
-                            stats.faults.evac_retries += 1;
-                            if R::ENABLED {
-                                rec.counter_add("fault_evac_retries", 1);
-                                rec.record(ObsEvent::Fault {
-                                    kind: FaultEventKind::EvacRetry,
-                                    sim_time_ms: now.as_millis(),
-                                    node: pending[pos].vm.node.index() as u32,
-                                    vm_uid: Some(id.raw()),
-                                });
-                            }
-                            // Bounded exponential backoff: double per
-                            // attempt, capped so the shift stays sane.
-                            let shift = pending[pos].retries.min(10);
-                            sim.schedule_after(
-                                SimDuration::from_secs(cfg.faults.evac_retry_backoff_secs << shift),
+                            st.pending.push(PendingEvac { vm, retries: 0 });
+                            st.stats.faults.evac_pending_peak = st
+                                .stats
+                                .faults
+                                .evac_pending_peak
+                                .max(st.pending.len() as u64);
+                            st.sim.schedule_after(
+                                SimDuration::from_secs(cfg.faults.evac_retry_backoff_secs),
                                 Event::EvacRetry(id),
                             );
                         }
-                        None => {
-                            let entry = pending.remove(pos);
-                            stats.faults.evac_lost += 1;
-                            if R::ENABLED {
-                                rec.counter_add("fault_evac_lost", 1);
-                                rec.record(ObsEvent::Fault {
-                                    kind: FaultEventKind::EvacLost,
-                                    sim_time_ms: now.as_millis(),
-                                    node: entry.vm.node.index() as u32,
-                                    vm_uid: Some(id.raw()),
-                                });
-                            }
+                    }
+                }
+            }
+            Event::HostRecover(node) => {
+                if st.cloud.topology().node(node).state == sapsim_topology::NodeState::Failed {
+                    st.cloud
+                        .set_node_state(node, sapsim_topology::NodeState::Active);
+                    st.stats.faults.host_recoveries += 1;
+                    if R::ENABLED {
+                        rec.counter_add("host_recoveries", 1);
+                        rec.record(ObsEvent::Fault {
+                            kind: FaultEventKind::HostRecover,
+                            sim_time_ms: now.as_millis(),
+                            node: node.index() as u32,
+                            vm_uid: None,
+                        });
+                    }
+                }
+            }
+            Event::EvacRetry(id) => {
+                let Some(pos) = st.pending.iter().position(|p| p.vm.id == id) else {
+                    // Already re-placed, departed, or given up on.
+                    return;
+                };
+                if st.pending[pos].vm.departure <= now {
+                    // Lifetime ran out while waiting; the regular
+                    // departure event (if any remains) will find
+                    // nothing and count nothing.
+                    st.pending.remove(pos);
+                    st.stats.departures += 1;
+                    if R::ENABLED {
+                        rec.counter_add("departures", 1);
+                    }
+                    return;
+                }
+                let target = Self::evac_target(
+                    &mut st.cloud,
+                    &mut st.policy,
+                    &cfg,
+                    &st.specs,
+                    &st.vm_az,
+                    st.regions[st.vm_region[st.pending[pos].vm.spec_index] as usize].ci_farm,
+                    &st.pending[pos].vm,
+                    now,
+                    &mut st.scratch.ranking,
+                );
+                match target {
+                    Some(node) => {
+                        let entry = st.pending.remove(pos);
+                        st.cloud.readmit(entry.vm, node);
+                        st.stats.faults.evac_replaced += 1;
+                        if R::ENABLED {
+                            rec.counter_add("fault_evac_replaced", 1);
+                            rec.record(ObsEvent::Fault {
+                                kind: FaultEventKind::EvacReplaced,
+                                sim_time_ms: now.as_millis(),
+                                node: node.index() as u32,
+                                vm_uid: Some(id.raw()),
+                            });
+                        }
+                    }
+                    None if st.pending[pos].retries < cfg.faults.evac_retry_limit => {
+                        st.pending[pos].retries += 1;
+                        st.stats.faults.evac_retries += 1;
+                        if R::ENABLED {
+                            rec.counter_add("fault_evac_retries", 1);
+                            rec.record(ObsEvent::Fault {
+                                kind: FaultEventKind::EvacRetry,
+                                sim_time_ms: now.as_millis(),
+                                node: st.pending[pos].vm.node.index() as u32,
+                                vm_uid: Some(id.raw()),
+                            });
+                        }
+                        // Bounded exponential backoff: double per
+                        // attempt, capped so the shift stays sane.
+                        let shift = st.pending[pos].retries.min(10);
+                        st.sim.schedule_after(
+                            SimDuration::from_secs(cfg.faults.evac_retry_backoff_secs << shift),
+                            Event::EvacRetry(id),
+                        );
+                    }
+                    None => {
+                        let entry = st.pending.remove(pos);
+                        st.stats.faults.evac_lost += 1;
+                        if R::ENABLED {
+                            rec.counter_add("fault_evac_lost", 1);
+                            rec.record(ObsEvent::Fault {
+                                kind: FaultEventKind::EvacLost,
+                                sim_time_ms: now.as_millis(),
+                                node: entry.vm.node.index() as u32,
+                                vm_uid: Some(id.raw()),
+                            });
                         }
                     }
                 }
             }
         }
+    }
 
-        stats.faults.evac_pending_end = pending.len() as u64;
-        stats.final_vm_count = cloud.vm_count();
-        debug_assert!(cloud.verify_accounting(&specs).is_ok());
+    /// Close out a drained run: final accounting, spec rebase onto the
+    /// observation window, end-of-run metrics fold, and the result.
+    fn finalize<R: Recorder>(mut st: RunState, rec: &mut R) -> RunResult {
+        let cfg = st.cfg;
+        st.stats.faults.evac_pending_end = st.pending.len() as u64;
+        st.stats.final_vm_count = st.cloud.vm_count();
+        debug_assert!(st.cloud.verify_accounting(&st.specs).is_ok());
 
         // Rebase every spec onto observation time (warm-up becomes
         // pre-window age), so downstream analyses see the same [0, days)
         // window the telemetry was recorded against.
-        let mut specs = specs;
         if cfg.warmup_days > 0 {
-            for spec in &mut specs {
-                if spec.arrival >= warmup {
+            for spec in &mut st.specs {
+                if spec.arrival >= st.warmup {
                     spec.arrival =
-                        SimTime::from_millis(spec.arrival.as_millis() - warmup.as_millis());
+                        SimTime::from_millis(spec.arrival.as_millis() - st.warmup.as_millis());
                 } else {
-                    spec.age_at_arrival += warmup - spec.arrival;
+                    spec.age_at_arrival += st.warmup - spec.arrival;
                     spec.arrival = SimTime::ZERO;
                 }
             }
         }
 
         if R::ENABLED {
-            let wall_us = run_start.elapsed().as_micros() as u64;
-            profile.set_wall_us(wall_us);
+            let wall_us = st.run_start.elapsed().as_micros() as u64;
+            st.profile.set_wall_us(wall_us);
             rec.record(ObsEvent::Span {
                 kind: SpanKind::Run,
                 ts_us: 0,
@@ -826,33 +1210,33 @@ impl SimDriver {
             });
             Self::fold_engine_metrics(
                 rec,
-                &sim,
-                &cloud,
-                &policy,
-                &fault_plan,
-                &stats,
-                &region_placed,
-                &region_departed,
+                &st.sim,
+                &st.cloud,
+                &st.policy,
+                &st.fault_plan,
+                &st.stats,
+                &st.region_placed,
+                &st.region_departed,
             );
         }
         if cfg.progress {
-            let elapsed = run_start.elapsed().as_secs_f64();
-            let fired = sim.stats().fired;
+            let elapsed = st.run_start.elapsed().as_secs_f64();
+            let fired = st.sim.stats().fired;
             eprintln!(
                 "sapsim: run complete | {fired} events in {elapsed:.1}s ({:.0} ev/s) | {} VMs live at horizon",
                 fired as f64 / elapsed.max(1e-9),
-                cloud.vm_count(),
+                st.cloud.vm_count(),
             );
         }
 
         RunResult {
-            config: *cfg,
-            store,
-            vm_stats,
-            specs,
-            stats,
-            cloud,
-            profile,
+            config: cfg,
+            store: st.store,
+            vm_stats: st.vm_stats,
+            specs: st.specs,
+            stats: st.stats,
+            cloud: st.cloud,
+            profile: st.profile,
         }
     }
 
@@ -2228,5 +2612,112 @@ mod tests {
             ready_sum(&slow) >= ready_sum(&baseline),
             "halved throughput cannot reduce CPU-ready"
         );
+    }
+
+    #[test]
+    fn snapshot_restore_matches_cold_run() {
+        let mut cfg = SimConfig::smoke_test();
+        cfg.seed = 31;
+        let driver = SimDriver::new(cfg).unwrap();
+        let cold = driver.run();
+        // Edge instants on purpose: before anything fired, mid-run off any
+        // event boundary, and exactly at the horizon.
+        for at in [
+            SimTime::ZERO,
+            SimTime::from_millis(MILLIS_PER_DAY + 12_345),
+            SimTime::from_days(cfg.days),
+        ] {
+            let snap = driver.snapshot_at(at).unwrap();
+            let resumed = SimDriver::resume(&snap).unwrap();
+            assert_eq!(resumed.stats, cold.stats, "at={at}");
+            assert_eq!(
+                resumed.canonical_bytes(),
+                cold.canonical_bytes(),
+                "resume from {at} diverged from the cold run"
+            );
+        }
+    }
+
+    #[test]
+    fn snapshot_restore_matches_cold_run_under_faults() {
+        let driver = SimDriver::new(faulty_cfg(32)).unwrap();
+        let cold = driver.run();
+        let at = SimTime::from_millis(3 * MILLIS_PER_DAY / 2);
+        let snap = driver.snapshot_at(at).unwrap();
+        let resumed = SimDriver::resume(&snap).unwrap();
+        assert_eq!(resumed.stats, cold.stats);
+        assert_eq!(resumed.canonical_bytes(), cold.canonical_bytes());
+    }
+
+    #[test]
+    fn run_with_snapshot_continues_and_resumes_identically() {
+        let mut cfg = SimConfig::smoke_test();
+        cfg.seed = 33;
+        let driver = SimDriver::new(cfg).unwrap();
+        let cold = driver.run();
+        let at = SimTime::from_millis(MILLIS_PER_DAY / 2);
+        let (continued, snap) = driver.run_with_snapshot(at, &mut NullRecorder).unwrap();
+        // The capture pause is invisible to the continued run ...
+        assert_eq!(continued.stats, cold.stats);
+        assert_eq!(continued.canonical_bytes(), cold.canonical_bytes());
+        // ... and the captured state replays to the same bytes.
+        let resumed = SimDriver::resume(&snap).unwrap();
+        assert_eq!(resumed.canonical_bytes(), cold.canonical_bytes());
+    }
+
+    #[test]
+    fn two_forks_from_one_snapshot_are_independent() {
+        let driver = SimDriver::new(faulty_cfg(34)).unwrap();
+        let snap = driver.snapshot_at(SimTime::from_days(1)).unwrap();
+        // Resuming twice from the same in-memory snapshot must not share
+        // or advance any mutable state: both forks match a solo resume.
+        let solo = SimDriver::resume(&snap).unwrap();
+        let fork_a = SimDriver::resume(&snap).unwrap();
+        let fork_b = SimDriver::resume(&snap).unwrap();
+        assert_eq!(fork_a.canonical_bytes(), solo.canonical_bytes());
+        assert_eq!(fork_b.canonical_bytes(), solo.canonical_bytes());
+    }
+
+    #[test]
+    fn forked_fault_branch_matches_cold_run() {
+        let mut base = SimConfig::smoke_test();
+        base.seed = 35;
+        base.warmup_days = 7;
+        base.days = 2;
+        let mut branch_cfg = base;
+        branch_cfg.faults = sapsim_faults::FaultSpec {
+            host_fail_rate_per_month: 10.0,
+            host_downtime_hours: 6.0,
+            dropout_rate_per_month: 6.0,
+            dropout_duration_hours: 4.0,
+            // Stragglers degrade every scrape including warm-up, so a
+            // forkable branch must keep them off.
+            straggler_fraction: 0.0,
+            ..sapsim_faults::FaultSpec::none()
+        };
+        let cold = SimDriver::new(branch_cfg).unwrap().run();
+        let snap = SimDriver::new(base)
+            .unwrap()
+            .snapshot_at(SimTime::from_days(base.warmup_days))
+            .unwrap();
+        let forked = snap.refault(&branch_cfg).unwrap();
+        let resumed = SimDriver::resume(&forked).unwrap();
+        assert_eq!(resumed.stats, cold.stats);
+        assert_eq!(
+            resumed.canonical_bytes(),
+            cold.canonical_bytes(),
+            "warm-started fault branch diverged from its cold run"
+        );
+    }
+
+    #[test]
+    fn snapshot_rejects_an_instant_past_the_horizon() {
+        let mut cfg = SimConfig::smoke_test();
+        cfg.seed = 36;
+        let driver = SimDriver::new(cfg).unwrap();
+        let err = driver
+            .snapshot_at(SimTime::from_days(cfg.days + 1))
+            .unwrap_err();
+        assert!(matches!(err, SimError::InvalidConfig(_)), "{err}");
     }
 }

@@ -33,15 +33,22 @@ mod error;
 pub mod hypervisor;
 mod result;
 pub mod scenario;
+mod snapshot;
 mod viewcache;
 
-pub use cloud::{Cloud, PlacedVm, PlacementOutcome};
+pub use cloud::{Cloud, CloudState, PlacedVm, PlacementOutcome};
 pub use config::{PlacementGranularity, SimConfig, SimConfigBuilder};
 pub use driver::SimDriver;
 pub use error::SimError;
 pub use result::{DriverStats, FaultStats, RunResult, VmUsageSummary};
 pub use scenario::{fnv1a_64, Scenario, SweepSpec};
+pub use snapshot::{SimSnapshot, SNAPSHOT_SCHEMA};
 pub use viewcache::{HostViewCacheStats, LayerCacheStats};
+
+/// Re-export of the simulation clock: [`SimDriver::snapshot_at`] takes an
+/// absolute instant, so embedders capturing snapshots need [`SimTime`]
+/// without naming the `sapsim-sim` crate themselves.
+pub use sapsim_sim::{SimDuration, SimTime};
 
 /// Re-export of the fault-injection layer: the spec travels on
 /// [`SimConfig::faults`](crate::SimConfig), so embedders configuring faults
@@ -65,7 +72,7 @@ pub use sapsim_obs as obs;
 pub mod prelude {
     pub use crate::{
         DriverStats, FaultSpec, PlacementGranularity, RunResult, Scenario, SimConfig,
-        SimConfigBuilder, SimDriver, SimError, SweepSpec,
+        SimConfigBuilder, SimDriver, SimError, SimSnapshot, SweepSpec,
     };
     pub use sapsim_scheduler::PolicyKind;
 }

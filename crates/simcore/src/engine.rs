@@ -4,6 +4,7 @@
 use crate::queue::{EventHandle, EventQueue, QueueBackend};
 use crate::time::{SimDuration, SimTime};
 use crate::wheel::WheelStats;
+use serde::{Deserialize, Serialize};
 
 /// An event that has fired, handed back to the caller for processing.
 #[derive(Debug)]
@@ -17,8 +18,10 @@ pub struct FiredEvent<E> {
     pub payload: E,
 }
 
-/// Counters describing an executed simulation.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+/// Counters describing an executed simulation. Serializable because they
+/// are part of the mutable state a snapshot must carry: a restored run
+/// continues the counters exactly where the captured one stood.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct SimulationStats {
     /// Events that fired (returned by `next_event`).
     pub fired: u64,
@@ -170,6 +173,71 @@ impl<E> Simulation<E> {
             }
         }
     }
+
+    /// Advance the clock to the next event *strictly before* `cutoff`;
+    /// events at exactly `cutoff` stay queued and the clock stays put.
+    ///
+    /// This is the snapshot primitive: a checkpoint at `T` runs every
+    /// event `< T`, pins the clock at `T` via
+    /// [`advance_clock_to`](Self::advance_clock_to), and captures —
+    /// leaving each event at exactly `T` for the resumed half, which is
+    /// precisely where an uninterrupted run would fire it.
+    pub fn next_event_before(&mut self, cutoff: SimTime) -> Option<FiredEvent<E>> {
+        match self.queue.peek_time() {
+            Some(t) if t < cutoff => self.next_event(),
+            _ => None,
+        }
+    }
+
+    /// Move the clock forward to `time` without firing anything. Used to
+    /// pin the captured instant after a strictly-before-`T` prefix.
+    ///
+    /// # Panics
+    /// Panics if `time` is before the current clock.
+    pub fn advance_clock_to(&mut self, time: SimTime) {
+        assert!(
+            time >= self.now,
+            "cannot move the clock backwards: now={}, requested={}",
+            self.now,
+            time
+        );
+        self.now = time;
+    }
+
+    /// The seq the queue will assign to the next scheduled event. Snapshot
+    /// metadata: see [`EventQueue::next_seq`].
+    pub fn next_seq(&self) -> u64 {
+        self.queue.next_seq()
+    }
+
+    /// Copy out the pending-event set in pop order as
+    /// `(time, seq, payload)` triples, leaving the queue intact (see
+    /// [`EventQueue::snapshot_events`]).
+    pub fn snapshot_events(&mut self) -> Vec<(SimTime, u64, E)>
+    where
+        E: Clone,
+    {
+        self.queue.snapshot_events()
+    }
+
+    /// Rebuild a simulation from snapshot state: clock at `now`, counters
+    /// restored, and every pending event re-queued under its original seq
+    /// with the seq counter resumed at `next_seq`. The rebuilt simulation
+    /// fires the same events in the same order with the same handles as
+    /// the one that was captured.
+    pub fn restore(
+        backend: QueueBackend,
+        now: SimTime,
+        stats: SimulationStats,
+        next_seq: u64,
+        events: impl IntoIterator<Item = (SimTime, u64, E)>,
+    ) -> Simulation<E> {
+        Simulation {
+            now,
+            queue: EventQueue::restore(backend, next_seq, events),
+            stats,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -255,6 +323,82 @@ mod tests {
         assert_eq!(s.scheduled, 2);
         assert_eq!(s.cancelled, 1);
         assert_eq!(s.fired, 1);
+    }
+
+    #[test]
+    fn next_event_before_excludes_the_cutoff_instant() {
+        let mut sim = Simulation::new();
+        sim.schedule_at(SimTime::from_secs(1), "early");
+        sim.schedule_at(SimTime::from_secs(5), "edge");
+        let cutoff = SimTime::from_secs(5);
+        let mut fired = Vec::new();
+        while let Some(e) = sim.next_event_before(cutoff) {
+            fired.push(e.payload);
+        }
+        assert_eq!(fired, vec!["early"]);
+        // The clock does NOT advance to the cutoff by itself...
+        assert_eq!(sim.now(), SimTime::from_secs(1));
+        sim.advance_clock_to(cutoff);
+        assert_eq!(sim.now(), cutoff);
+        // ...and the edge event is still pending, firing at exactly the
+        // cutoff afterwards.
+        let e = sim.next_event().unwrap();
+        assert_eq!(e.payload, "edge");
+        assert_eq!(e.time, cutoff);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot move the clock backwards")]
+    fn advance_clock_to_rejects_the_past() {
+        let mut sim: Simulation<()> = Simulation::new();
+        sim.schedule_at(SimTime::from_secs(10), ());
+        sim.next_event();
+        sim.advance_clock_to(SimTime::from_secs(3));
+    }
+
+    #[test]
+    fn restore_replays_the_identical_future_on_both_backends() {
+        for backend in [QueueBackend::TimingWheel, QueueBackend::BinaryHeap] {
+            // Drive a simulation halfway, snapshot its queue and counters,
+            // rebuild a fresh instance, and check both halves replay the
+            // same (time, handle, payload) tail.
+            let mut sim: Simulation<u32> = Simulation::with_backend(backend);
+            for i in 0..30u32 {
+                sim.schedule_at(SimTime::from_secs((i % 7) as u64 * 10), i);
+            }
+            let cutoff = SimTime::from_secs(30);
+            while sim.next_event_before(cutoff).is_some() {}
+            sim.advance_clock_to(cutoff);
+
+            let events = sim.snapshot_events();
+            let mut twin = Simulation::restore(
+                backend,
+                sim.now(),
+                sim.stats(),
+                sim.next_seq(),
+                events,
+            );
+            assert_eq!(twin.now(), sim.now());
+            assert_eq!(twin.stats(), sim.stats());
+            assert_eq!(twin.pending(), sim.pending());
+
+            loop {
+                let a = sim.next_event();
+                let b = twin.next_event();
+                match (a, b) {
+                    (None, None) => break,
+                    (Some(a), Some(b)) => {
+                        assert_eq!((a.time, a.handle, a.payload), (b.time, b.handle, b.payload));
+                    }
+                    (a, b) => panic!("streams diverged: {a:?} vs {b:?}"),
+                }
+            }
+            // Post-drain scheduling also stays in lockstep (seq counter
+            // was restored, so new handles match).
+            let ha = sim.schedule_after(SimDuration::from_secs(1), 99);
+            let hb = twin.schedule_after(SimDuration::from_secs(1), 99);
+            assert_eq!(ha, hb);
+        }
     }
 
     #[test]

@@ -2,17 +2,23 @@
 //!
 //! Everything stochastic in the simulator — workload demand curves, VM
 //! arrival times, lifetime draws, scheduler tie-breaking — flows through
-//! [`SimRng`]. The type wraps a fixed algorithm (`StdRng`, currently
-//! ChaCha12) so that results do not change under `rand`'s `SmallRng`
-//! portability caveats, and adds *labelled stream splitting*: deriving a
-//! child RNG from a parent plus a string label yields a stream that is
-//! statistically independent of, and stable with respect to, every other
-//! label. Adding a new consumer of randomness in one subsystem therefore
-//! never perturbs the draws seen by another — a property the calibration
-//! tests rely on.
+//! [`SimRng`]. The type owns a fixed, self-contained algorithm
+//! (xoshiro256++ seeded through a SplitMix64 stream) so that results do
+//! not change under `rand`'s `SmallRng`/`StdRng` portability caveats, and
+//! adds *labelled stream splitting*: deriving a child RNG from a parent
+//! plus a string label yields a stream that is statistically independent
+//! of, and stable with respect to, every other label. Adding a new
+//! consumer of randomness in one subsystem therefore never perturbs the
+//! draws seen by another — a property the calibration tests rely on.
+//!
+//! The generator state is four plain `u64` words and serializes with
+//! serde, which is what makes full-run snapshots possible: a restored
+//! stream continues bit-for-bit where the captured one stopped. (The
+//! previous `StdRng`/ChaCha12 inner kept its counter private and could
+//! not be captured.)
 
-use rand::rngs::StdRng;
-use rand::{RngCore, SeedableRng};
+use rand::RngCore;
+use serde::{Deserialize, Serialize};
 
 /// A deterministic random number generator with labelled stream splitting.
 ///
@@ -30,9 +36,12 @@ use rand::{RngCore, SeedableRng};
 /// let c: u64 = scheduler.gen();
 /// assert_ne!(a, c);
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct SimRng {
-    inner: StdRng,
+    /// xoshiro256++ state words. Fully public to serde (and only serde):
+    /// serializing and deserializing a stream resumes it mid-sequence,
+    /// the property the snapshot/restore layer is built on.
+    state: [u64; 4],
     /// The seed material this stream was created from, kept so that `split`
     /// derives children from the stream identity rather than its mutable
     /// state (splitting is insensitive to how many draws happened before).
@@ -44,7 +53,7 @@ impl SimRng {
     pub fn seed_from(seed: u64) -> Self {
         let mixed = splitmix64(seed);
         SimRng {
-            inner: StdRng::seed_from_u64(mixed),
+            state: seed_state(mixed),
             lineage: mixed,
         }
     }
@@ -56,7 +65,7 @@ impl SimRng {
     pub fn split(&self, label: &str) -> SimRng {
         let child = splitmix64(self.lineage ^ fnv1a(label.as_bytes()));
         SimRng {
-            inner: StdRng::seed_from_u64(child),
+            state: seed_state(child),
             lineage: child,
         }
     }
@@ -69,7 +78,7 @@ impl SimRng {
         // apart in seed space.
         let child = splitmix64(self.lineage ^ splitmix64(index ^ 0x9e37_79b9_7f4a_7c15));
         SimRng {
-            inner: StdRng::seed_from_u64(child),
+            state: seed_state(child),
             lineage: child,
         }
     }
@@ -77,26 +86,68 @@ impl SimRng {
 
 impl RngCore for SimRng {
     fn next_u32(&mut self) -> u32 {
-        self.inner.next_u32()
+        // Upper half: xoshiro's low bits are its weakest.
+        (self.next_u64() >> 32) as u32
     }
 
     fn next_u64(&mut self) -> u64 {
-        self.inner.next_u64()
+        // xoshiro256++ (Blackman & Vigna, 2019).
+        let s = &mut self.state;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
     }
 
     fn fill_bytes(&mut self, dest: &mut [u8]) {
-        self.inner.fill_bytes(dest)
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let last = self.next_u64().to_le_bytes();
+            rem.copy_from_slice(&last[..rem.len()]);
+        }
     }
 
     fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
-        self.inner.try_fill_bytes(dest)
+        self.fill_bytes(dest);
+        Ok(())
     }
+}
+
+/// Expand a 64-bit seed into a full xoshiro state through the canonical
+/// SplitMix64 stream (the seeding procedure the xoshiro authors
+/// recommend). SplitMix64 is a bijection-based counter generator, so the
+/// four words can never all be zero in practice; the guard below makes
+/// the all-zero fixed point impossible even in principle.
+fn seed_state(seed: u64) -> [u64; 4] {
+    let mut counter = seed;
+    let mut state = [0u64; 4];
+    for word in &mut state {
+        counter = counter.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        *word = mix64(counter);
+    }
+    if state == [0; 4] {
+        state[0] = 0x9e37_79b9_7f4a_7c15;
+    }
+    state
 }
 
 /// SplitMix64 finalizer; used only for seed derivation, never for the
 /// simulation's random draws themselves.
-fn splitmix64(mut z: u64) -> u64 {
-    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+fn splitmix64(z: u64) -> u64 {
+    mix64(z.wrapping_add(0x9e37_79b9_7f4a_7c15))
+}
+
+/// The SplitMix64 output mixing function (no counter increment).
+fn mix64(mut z: u64) -> u64 {
     z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
     z ^ (z >> 31)
@@ -200,5 +251,63 @@ mod tests {
         let mut rng = SimRng::seed_from(123);
         let ones = (0..10_000).filter(|_| rng.next_u64() & 1 == 1).count();
         assert!((4500..5500).contains(&ones), "ones = {ones}");
+    }
+
+    #[test]
+    fn xoshiro_reference_vector() {
+        // Known-answer test against the reference xoshiro256++
+        // implementation with state {1, 2, 3, 4}: pins the generator so a
+        // refactor can never silently change every stream in the
+        // simulator (which would invalidate cross-version snapshots).
+        let mut rng = SimRng {
+            state: [1, 2, 3, 4],
+            lineage: 0,
+        };
+        let expect: [u64; 5] = [
+            0x0000_0000_0280_0001,
+            0x0000_0000_0380_0067,
+            0x000c_c000_0380_0067,
+            0x000c_c201_9944_00b2,
+            0x8012_a201_9ac4_33cd,
+        ];
+        for (i, &want) in expect.iter().enumerate() {
+            assert_eq!(rng.next_u64(), want, "draw {i}");
+        }
+    }
+
+    #[test]
+    fn serde_round_trip_resumes_mid_stream() {
+        // The property the snapshot layer is built on: serialize at an
+        // arbitrary point, deserialize, and the restored stream produces
+        // exactly the continuation — while the original keeps advancing
+        // independently (no shared state).
+        let mut rng = SimRng::seed_from(77);
+        for _ in 0..13 {
+            rng.next_u64();
+        }
+        let frozen = serde_json::to_string(&rng).expect("serializes");
+        let mut restored: SimRng = serde_json::from_str(&frozen).expect("parses");
+        assert_eq!(restored, rng);
+        let expect: Vec<u64> = (0..32).map(|_| rng.next_u64()).collect();
+        let got: Vec<u64> = (0..32).map(|_| restored.next_u64()).collect();
+        assert_eq!(got, expect);
+        // Splitting still derives from lineage after a round trip.
+        assert_eq!(
+            restored.split("child").next_u64(),
+            SimRng::seed_from(77).split("child").next_u64()
+        );
+    }
+
+    #[test]
+    fn fill_bytes_matches_next_u64_le() {
+        let mut a = SimRng::seed_from(9);
+        let mut b = SimRng::seed_from(9);
+        let mut buf = [0u8; 20];
+        a.fill_bytes(&mut buf);
+        let mut expect = [0u8; 20];
+        expect[..8].copy_from_slice(&b.next_u64().to_le_bytes());
+        expect[8..16].copy_from_slice(&b.next_u64().to_le_bytes());
+        expect[16..].copy_from_slice(&b.next_u64().to_le_bytes()[..4]);
+        assert_eq!(buf, expect);
     }
 }
