@@ -1,0 +1,68 @@
+//! Spatial-sharding scaling: one observed day of a replicated
+//! multi-region estate, sequential versus the partitioned event loop at
+//! 1/2/4/8 shard workers. The `shard_threads_1` point isolates the
+//! partition + merge overhead (same code path, no concurrency); the
+//! spread from `sequential` to `shard_threads_4` is the headline
+//! speedup the README performance table reports.
+//!
+//! Default scale is 2 (two full regions) so the bench fits CI. Override
+//! with a comma-separated `SAPSIM_SHARD_BENCH_SCALES` (e.g. `10,50`) to
+//! reproduce the README table — scale 50 runs a ~50-region estate per
+//! iteration, so budget minutes, not seconds.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sapsim_core::{SimConfig, SimDriver};
+use std::hint::black_box;
+
+fn scale_points() -> Vec<f64> {
+    match std::env::var("SAPSIM_SHARD_BENCH_SCALES") {
+        Ok(list) => list
+            .split(',')
+            .map(|s| {
+                s.trim()
+                    .parse()
+                    .expect("SAPSIM_SHARD_BENCH_SCALES must be comma-separated numbers")
+            })
+            .collect(),
+        Err(_) => vec![2.0],
+    }
+}
+
+fn one_day(scale: f64, shard_threads: usize) -> SimConfig {
+    SimConfig::builder()
+        .scale(scale)
+        .days(1)
+        .seed(1)
+        .warmup_days(0)
+        .shard_threads(shard_threads)
+        .build()
+        .expect("valid bench config")
+}
+
+fn shard_scaling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("multi_region_scaling");
+    g.sample_size(10);
+    for &scale in &scale_points() {
+        g.bench_function(
+            BenchmarkId::new(format!("scale_{scale}"), "sequential"),
+            |b| {
+                b.iter(|| black_box(SimDriver::new(one_day(scale, 0)).expect("valid").run()))
+            },
+        );
+        for workers in [1usize, 2, 4, 8] {
+            g.bench_with_input(
+                BenchmarkId::new(format!("scale_{scale}"), format!("shard_threads_{workers}")),
+                &workers,
+                |b, &workers| {
+                    b.iter(|| {
+                        black_box(SimDriver::new(one_day(scale, workers)).expect("valid").run())
+                    })
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, shard_scaling);
+criterion_main!(benches);

@@ -18,13 +18,18 @@ use std::path::Path;
 
 /// Execute the subcommand.
 pub fn run(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
-    let parsed = Parsed::parse(argv, &["workers", "out", "obs-dir", "metrics-dir"], &["json"])?;
+    let parsed = Parsed::parse(
+        argv,
+        &["workers", "shard-threads", "out", "obs-dir", "metrics-dir"],
+        &["json"],
+    )?;
     let [manifest_path] = parsed.positionals() else {
         return Err(CliError::Usage(
             "sweep requires exactly one manifest file argument".into(),
         ));
     };
     let workers: usize = parsed.get_parsed("workers", 0)?;
+    let shard_threads: usize = parsed.get_parsed("shard-threads", 0)?;
     let out_dir = parsed.get("out").map(str::to_string);
     let obs_dir = parsed.get("obs-dir").map(str::to_string);
     let metrics_dir = parsed.get("metrics-dir").map(str::to_string);
@@ -40,6 +45,7 @@ pub fn run(argv: &[String], out: &mut dyn Write) -> Result<(), CliError> {
         collect_artifacts: out_dir.is_some(),
         collect_obs: obs_dir.is_some(),
         collect_metrics: metrics_dir.is_some(),
+        shard_threads,
     };
     if !json {
         writeln!(

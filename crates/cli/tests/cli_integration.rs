@@ -379,6 +379,41 @@ fn simulate_snapshot_then_resume_reproduces_the_run() {
 }
 
 #[test]
+fn shard_threads_is_execution_only_on_the_cli() {
+    // At smoke scale the estate is a single region, so the partitioned
+    // loop declines to engage — which is exactly the contract this pins:
+    // `--shard-threads` parses, threads through, and never moves the
+    // summary. (Multi-region byte-equality is pinned by the core and
+    // integration shard-determinism suites.)
+    let dir = std::env::temp_dir();
+    let snap = dir.join(format!("sapsim-cli-shard-{}.snapshot", std::process::id()));
+    let snap_str = snap.to_str().expect("utf8 path");
+    let base = &[
+        "simulate", "--scale", "0.02", "--days", "1", "--no-warmup", "--seed", "7", "--json",
+    ];
+    let sequential = run_capture(base).unwrap();
+    let argv: Vec<&str> = base.iter().copied().chain(["--shard-threads", "4"]).collect();
+    let sharded = run_capture(&argv).unwrap();
+    assert_eq!(
+        sharded, sequential,
+        "shard workers are execution-only and must not move the summary"
+    );
+
+    // `--resume` accepts the knob: it is never embedded in the snapshot.
+    let argv: Vec<&str> = base
+        .iter()
+        .copied()
+        .chain(["--snapshot-at", "0.5", "--snapshot-out", snap_str])
+        .collect();
+    run_capture(&argv).unwrap();
+    let resumed =
+        run_capture(&["simulate", "--resume", snap_str, "--shard-threads", "4", "--json"])
+            .unwrap();
+    assert_eq!(resumed, sequential, "sharded resume lands on the cold summary");
+    std::fs::remove_file(&snap).expect("cleanup");
+}
+
+#[test]
 fn snapshot_flags_must_come_in_pairs_and_not_with_resume() {
     let err = run_capture(&["simulate", "--snapshot-at", "0.5"]).unwrap_err();
     assert_eq!(err.exit_code(), 2, "{err}");

@@ -181,9 +181,26 @@ impl Cloud {
     /// reallocation mid-run and lets the scrape fan-out zip the slot table
     /// against per-spec state of the same length.
     pub fn reserve_vm_slots(&mut self, n: usize) {
+        debug_assert!(
+            n >= self.vm_slots.len() || self.vm_slots[n..].iter().all(Option::is_none),
+            "reserve_vm_slots({n}) would orphan populated slots beyond the requested size"
+        );
         if self.vm_slots.len() < n {
             self.vm_slots.resize_with(n, || None);
         }
+    }
+
+    /// Grow the slot table through `id` if necessary and hand back the
+    /// (asserted-vacant) slot — the shared admission step of
+    /// [`place`](Cloud::place) and [`readmit`](Cloud::readmit). `action`
+    /// names the caller in the duplicate-occupancy panic.
+    fn slot_entry_mut(&mut self, id: VmId, action: &str) -> &mut Option<PlacedVm> {
+        let idx = id.raw() as usize;
+        if idx >= self.vm_slots.len() {
+            self.vm_slots.resize_with(idx + 1, || None);
+        }
+        assert!(self.vm_slots[idx].is_none(), "duplicate {action} of {id}");
+        &mut self.vm_slots[idx]
     }
 
     /// Mark a building block as capacity reserve: it stays in telemetry
@@ -497,16 +514,7 @@ impl Cloud {
         let bb = self.topo.node(node).bb;
         self.bb_alloc[bb.index()] += spec.resources;
         self.view_cache.mark_node(node.index(), bb.index());
-        let idx = spec.id.raw() as usize;
-        if idx >= self.vm_slots.len() {
-            self.vm_slots.resize_with(idx + 1, || None);
-        }
-        assert!(
-            self.vm_slots[idx].is_none(),
-            "duplicate placement of {}",
-            spec.id
-        );
-        self.vm_slots[idx] = Some(PlacedVm {
+        *self.slot_entry_mut(spec.id, "placement") = Some(PlacedVm {
             spec_index,
             id: spec.id,
             node,
@@ -543,17 +551,8 @@ impl Cloud {
         let bb = self.topo.node(node).bb;
         self.bb_alloc[bb.index()] += vm.resources;
         self.view_cache.mark_node(node.index(), bb.index());
-        let idx = vm.id.raw() as usize;
-        if idx >= self.vm_slots.len() {
-            self.vm_slots.resize_with(idx + 1, || None);
-        }
-        assert!(
-            self.vm_slots[idx].is_none(),
-            "duplicate readmission of {}",
-            vm.id
-        );
         vm.node = node;
-        self.vm_slots[idx] = Some(vm);
+        *self.slot_entry_mut(vm.id, "readmission") = Some(vm);
         self.vm_count += 1;
     }
 
@@ -905,6 +904,27 @@ mod tests {
         assert_eq!(after.departure, before.departure);
         assert_eq!(after.resources, before.resources);
         cloud.verify_accounting(&specs).unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate placement of")]
+    fn duplicate_placement_panics() {
+        let (mut cloud, _) = tiny_cloud();
+        let s = spec(0, 4, 32, 10);
+        let node = cloud.topology().bbs()[0].nodes[0];
+        cloud.place(0, &s, node, SimRng::seed_from(1));
+        cloud.place(0, &s, node, SimRng::seed_from(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate readmission of")]
+    fn duplicate_readmission_panics() {
+        let (mut cloud, _) = tiny_cloud();
+        let s = spec(0, 4, 32, 10);
+        let node = cloud.topology().bbs()[0].nodes[0];
+        cloud.place(0, &s, node, SimRng::seed_from(1));
+        let ghost = cloud.vm(VmId(0)).unwrap().clone();
+        cloud.readmit(ghost, node);
     }
 
     #[test]

@@ -87,6 +87,21 @@ pub struct SimConfig {
     pub maintenance_rate_per_month: f64,
     /// Length of one maintenance window.
     pub maintenance_duration: SimDuration,
+    /// Replicate the studied region this many times at the *per-region*
+    /// [`SimConfig::scale`] — the orthogonal complement of `scale > 1`,
+    /// which replicates only at full size. `region_replicas: 3` with
+    /// `scale: 0.02` builds three tiny regions for less than the cost of
+    /// one full one, which is how the shard-determinism suites exercise
+    /// multi-region behaviour cheaply. Requires `scale <= 1`; the total
+    /// estate (`scale × region_replicas`) stays capped at
+    /// [`SimConfig::MAX_SCALE`]. Defaults to 1 and is skipped from the
+    /// wire format at that value, so pre-existing serialized configs,
+    /// scenario ids, and canonical bytes are unchanged.
+    #[serde(
+        default = "default_region_replicas",
+        skip_serializing_if = "is_default_region_replicas"
+    )]
+    pub region_replicas: usize,
     /// Pre-observation warm-up in days: the initial population ramps in
     /// over this span with telemetry running, so placement policies that
     /// consume utilization history (contention-aware, lifetime-aware)
@@ -128,6 +143,17 @@ pub struct SimConfig {
     /// skipped in serialized configs and canonical bytes.
     #[serde(skip)]
     pub heap_event_queue: bool,
+    /// Shard workers for the spatially-partitioned event loop: `0` (the
+    /// default) runs the classic sequential loop; `n >= 1` partitions a
+    /// multi-region estate into per-region sub-simulations and executes
+    /// them on `min(n, regions)` `std::thread::scope` workers, merging
+    /// the shards back in fixed estate order. A pure execution knob like
+    /// [`SimConfig::threads`]: results are bit-identical at any value
+    /// (the shard-determinism suites pin it), snapshot capture always
+    /// serializes the sequential prefix, and the knob is skipped in
+    /// serialized configs, canonical bytes, and run summaries.
+    #[serde(skip)]
+    pub shard_threads: usize,
     /// Emit a live progress heartbeat to stderr while the run executes
     /// (sim-day reached, events/s, live VM count, ETA). Pure observation
     /// driven by wall-clock sampling — like the profile wall times on
@@ -160,14 +186,29 @@ impl Default for SimConfig {
             resize_probability: 0.02,
             maintenance_rate_per_month: 0.10,
             maintenance_duration: SimDuration::from_hours(18),
+            region_replicas: 1,
             warmup_days: 7,
             threads: 0,
             faults: FaultSpec::none(),
             naive_host_views: false,
             heap_event_queue: false,
+            shard_threads: 0,
             progress: false,
         }
     }
+}
+
+/// Serde default for [`SimConfig::region_replicas`]: pre-existing
+/// serialized configs carry no field and mean a single studied region.
+fn default_region_replicas() -> usize {
+    1
+}
+
+/// Skip predicate keeping default single-region configs byte-identical
+/// to the pre-replica wire format.
+#[allow(clippy::trivially_copy_pass_by_ref)]
+fn is_default_region_replicas(n: &usize) -> bool {
+    *n == 1
 }
 
 impl SimConfig {
@@ -233,6 +274,24 @@ impl SimConfig {
                  calendar anchored, got {}",
                 self.warmup_days
             ));
+        }
+        if self.region_replicas == 0 {
+            return invalid("region_replicas must be at least 1".into());
+        }
+        if self.region_replicas > 1 {
+            if self.scale > 1.0 {
+                return invalid(format!(
+                    "region_replicas > 1 takes a per-region scale in (0, 1], got {}",
+                    self.scale
+                ));
+            }
+            let total = self.scale * self.region_replicas as f64;
+            if total > Self::MAX_SCALE {
+                return invalid(format!(
+                    "scale x region_replicas must stay within {}, got {total}",
+                    Self::MAX_SCALE
+                ));
+            }
         }
         if !(0.0..0.9).contains(&self.reserve_bb_fraction) {
             return invalid(format!(
@@ -343,10 +402,16 @@ impl SimConfigBuilder {
         maintenance_rate_per_month: f64,
         /// Length of one maintenance window.
         maintenance_duration: SimDuration,
+        /// Replicate the studied region this many times at the
+        /// per-region scale (requires `scale <= 1`).
+        region_replicas: usize,
         /// Pre-observation warm-up in days (multiple of 7).
         warmup_days: u64,
         /// Worker threads for the telemetry-scrape fan-out.
         threads: usize,
+        /// Shard workers for the spatially-partitioned event loop
+        /// (`0` = sequential).
+        shard_threads: usize,
         /// Fault injection spec.
         faults: FaultSpec,
         /// Equivalence oracle: rebuild host views from scratch each
@@ -524,6 +589,64 @@ mod tests {
             .build()
             .expect_err("invalid");
         assert!(err.to_string().contains("multiple of 7"));
+    }
+
+    #[test]
+    fn region_replicas_validate_and_stay_off_the_wire() {
+        let mut c = SimConfig::smoke_test();
+        c.region_replicas = 3;
+        assert!(c.validate().is_ok());
+
+        let json = serde_json::to_string(&SimConfig::default()).expect("serializes");
+        assert!(
+            !json.contains("region_replicas"),
+            "single-region configs must keep the pre-replica wire format: {json}"
+        );
+        let json = serde_json::to_string(&c).expect("serializes");
+        assert!(json.contains("\"region_replicas\":3"));
+        let back: SimConfig = serde_json::from_str(&json).expect("deserializes");
+        assert_eq!(back, c);
+
+        let zero = SimConfig {
+            region_replicas: 0,
+            ..SimConfig::default()
+        };
+        assert!(zero.validate().is_err());
+        let oversized = SimConfig {
+            region_replicas: 4,
+            scale: 10.0,
+            ..SimConfig::default()
+        };
+        assert!(
+            oversized.validate().is_err(),
+            "replicas compose with per-region scale, not multi-region scale"
+        );
+        let too_many = SimConfig {
+            region_replicas: 200,
+            scale: 1.0,
+            ..SimConfig::default()
+        };
+        assert!(too_many.validate().is_err(), "total estate stays capped");
+    }
+
+    #[test]
+    fn shard_threads_is_an_execution_knob() {
+        let mut c = SimConfig::smoke_test();
+        c.shard_threads = 8;
+        assert!(c.validate().is_ok());
+        let json = serde_json::to_string(&c).expect("serializes");
+        assert!(
+            !json.contains("shard_threads"),
+            "shard workers must never reach the wire format: {json}"
+        );
+        let built = SimConfig::builder()
+            .shard_threads(4)
+            .region_replicas(2)
+            .scale(0.02)
+            .build()
+            .expect("valid");
+        assert_eq!(built.shard_threads, 4);
+        assert_eq!(built.region_replicas, 2);
     }
 
     #[test]

@@ -33,6 +33,7 @@ mod error;
 pub mod hypervisor;
 mod result;
 pub mod scenario;
+mod shard;
 mod snapshot;
 mod viewcache;
 

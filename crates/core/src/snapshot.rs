@@ -100,6 +100,15 @@ impl SimSnapshot {
         self.now
     }
 
+    /// Override the shard-worker count the resumed continuation runs
+    /// with. `shard_threads` is an execution-only knob — it never touches
+    /// the serialized snapshot (serde-skipped) and the resumed result is
+    /// byte-identical at any value — so a snapshot captured sequentially
+    /// can finish spatially partitioned and vice versa.
+    pub fn set_shard_threads(&mut self, n: usize) {
+        self.config.shard_threads = n;
+    }
+
     /// Serialize to the two-line `sapsim.snapshot/v1` file format.
     pub fn to_file_string(&self) -> String {
         let body = serde_json::to_string(self).expect("snapshot state serializes");

@@ -189,6 +189,45 @@ pub fn paper_estate(scale: f64, seed: u64) -> (Topology, Vec<RegionDcs>) {
     paper_estate_custom(scale, seed, &TopologyBuilder::new())
 }
 
+/// Build a multi-region estate of `replicas` copies of the studied region,
+/// each scaled by `scale ∈ (0, 1]` — the orthogonal complement of
+/// [`paper_estate_custom`], which replicates only at full size. Three tiny
+/// regions (`scale = 0.02, replicas = 3`) cost less than one full region,
+/// which is what the shard-determinism suites sweep.
+///
+/// `replicas == 1` delegates to [`paper_estate_custom`] so the historical
+/// single-region names and RNG streams are preserved bit-for-bit; with
+/// more replicas each region gets the same per-replica namespace and
+/// RNG-stream split that full-size replication uses, so replica `k` here
+/// has the identical hardware mix to replica `k` of a full-size estate
+/// when `scale == 1.0`.
+pub fn paper_estate_replicated(
+    scale: f64,
+    replicas: usize,
+    seed: u64,
+    builder: &TopologyBuilder,
+) -> (Topology, Vec<RegionDcs>) {
+    assert!(replicas >= 1, "a replicated estate needs at least one region");
+    if replicas == 1 {
+        return paper_estate_custom(scale, seed, builder);
+    }
+    assert!(
+        scale > 0.0 && scale <= 1.0,
+        "replicated estates take a per-region ratio in (0, 1], got {scale}"
+    );
+    let preset = if scale >= 1.0 {
+        PresetScale::Full
+    } else {
+        PresetScale::Ratio(scale)
+    };
+    let mut topo = Topology::new();
+    let regions = (0..replicas)
+        .map(|k| add_studied_region(&mut topo, preset, seed, builder, Some(k)))
+        .collect();
+    topo.validate().expect("preset topology must be internally consistent");
+    (topo, regions)
+}
+
 /// Add one copy of the studied region to `topo`. `replica: None` is the
 /// historical single-region layout (names "region-9"/"az-a"/"az-b",
 /// RNG streams "topology"/"dc-a"/"dc-b" — unchanged so existing runs stay

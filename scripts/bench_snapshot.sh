@@ -24,6 +24,9 @@ cargo bench -p sapsim-bench --bench simulator "$@"
 cargo bench -p sapsim-bench --bench scheduler "$@" -- placement_hot_path
 cargo bench -p sapsim-bench --bench event_queue "$@"
 cargo bench -p sapsim-bench --bench obs "$@" -- obs_overhead
+# Spatial-sharding scaling (sequential vs 1/2/4/8 shard workers at scale 2
+# by default; set SAPSIM_SHARD_BENCH_SCALES=10,50 for the README table).
+cargo bench -p sapsim-bench --bench multi_region_scaling "$@"
 
 out="BENCH_$(date +%Y-%m-%d).json"
 {
