@@ -1,0 +1,537 @@
+//! A minimal JSON reader/writer for the wire protocol.
+//!
+//! The service cannot lean on `serde_json` (the API crate is
+//! dependency-light by design, see `Cargo.toml`), so this module carries
+//! a small recursive-descent parser and the same deterministic emit
+//! helpers the observability crate uses. The parser is strict where the
+//! protocol needs it to be: it rejects trailing garbage, caps nesting
+//! depth, decodes every escape (including surrogate pairs), and refuses
+//! numbers that do not fit an `f64` round-trip.
+
+use std::fmt;
+
+/// Maximum nesting depth accepted by [`parse`]. Requests are flat
+/// objects; 32 levels is far beyond anything legitimate and keeps a
+/// hostile body from exhausting the stack.
+const MAX_DEPTH: u32 = 32;
+
+/// A parsed JSON value.
+///
+/// Object keys keep *insertion order* (pairs in a `Vec`), so a
+/// parse→emit round trip is byte-stable; [`JsonValue::get`] does the
+/// linear lookup the flat protocol objects need.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any JSON number (always carried as `f64`).
+    Num(f64),
+    /// A string, fully unescaped.
+    Str(String),
+    /// An array.
+    Arr(Vec<JsonValue>),
+    /// An object as an ordered list of `(key, value)` pairs.
+    Obj(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// Look up a key in an object; `None` for missing keys and
+    /// non-objects.
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload as a non-negative integer. `None` when the
+    /// value is not a number, is negative, has a fractional part, or is
+    /// too large for an exact `f64` integer (2^53).
+    pub fn as_u64(&self) -> Option<u64> {
+        let n = self.as_f64()?;
+        if !n.is_finite() || n < 0.0 || n.fract() != 0.0 || n > 9_007_199_254_740_992.0 {
+            return None;
+        }
+        Some(n as u64)
+    }
+
+    /// The boolean payload, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            JsonValue::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The object pairs, if this is an object.
+    pub fn as_obj(&self) -> Option<&[(String, JsonValue)]> {
+        match self {
+            JsonValue::Obj(pairs) => Some(pairs),
+            _ => None,
+        }
+    }
+
+    /// The array elements, if this is an array.
+    pub fn as_arr(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+/// A parse failure: byte offset plus a short message. Rendered as
+/// `"{msg} at byte {offset}"`, which the protocol layer wraps into
+/// [`crate::ProtocolError::Malformed`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    /// Byte offset of the failure in the input.
+    pub offset: usize,
+    /// Short description of what was expected or found.
+    pub msg: String,
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} at byte {}", self.msg, self.offset)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+/// Parse a complete JSON document. Trailing non-whitespace input is an
+/// error — a request line must be exactly one value.
+pub fn parse(input: &str) -> Result<JsonValue, JsonError> {
+    let mut p = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let value = p.value(0)?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing characters after JSON value"));
+    }
+    Ok(value)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, msg: &str) -> JsonError {
+        JsonError {
+            offset: self.pos,
+            msg: msg.to_string(),
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), JsonError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected `{}`", b as char)))
+        }
+    }
+
+    fn value(&mut self, depth: u32) -> Result<JsonValue, JsonError> {
+        if depth > MAX_DEPTH {
+            return Err(self.err("nesting too deep"));
+        }
+        match self.peek() {
+            Some(b'{') => self.object(depth),
+            Some(b'[') => self.array(depth),
+            Some(b'"') => Ok(JsonValue::Str(self.string()?)),
+            Some(b't') => self.literal("true", JsonValue::Bool(true)),
+            Some(b'f') => self.literal("false", JsonValue::Bool(false)),
+            Some(b'n') => self.literal("null", JsonValue::Null),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            Some(_) => Err(self.err("unexpected character")),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: JsonValue) -> Result<JsonValue, JsonError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(self.err(&format!("expected `{word}`")))
+        }
+    }
+
+    fn object(&mut self, depth: u32) -> Result<JsonValue, JsonError> {
+        self.expect(b'{')?;
+        let mut pairs = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(JsonValue::Obj(pairs));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value(depth + 1)?;
+            pairs.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Obj(pairs));
+                }
+                _ => return Err(self.err("expected `,` or `}` in object")),
+            }
+        }
+    }
+
+    fn array(&mut self, depth: u32) -> Result<JsonValue, JsonError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(JsonValue::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value(depth + 1)?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Arr(items));
+                }
+                _ => return Err(self.err("expected `,` or `]` in array")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'b') => out.push('\u{0008}'),
+                        Some(b'f') => out.push('\u{000C}'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            self.pos += 1;
+                            let unit = self.hex4()?;
+                            let ch = if (0xD800..0xDC00).contains(&unit) {
+                                // High surrogate: a `\uXXXX` low surrogate
+                                // must follow.
+                                if self.peek() != Some(b'\\') {
+                                    return Err(self.err("unpaired surrogate"));
+                                }
+                                self.pos += 1;
+                                if self.peek() != Some(b'u') {
+                                    return Err(self.err("unpaired surrogate"));
+                                }
+                                self.pos += 1;
+                                let low = self.hex4()?;
+                                if !(0xDC00..0xE000).contains(&low) {
+                                    return Err(self.err("invalid low surrogate"));
+                                }
+                                let cp =
+                                    0x10000 + ((unit - 0xD800) << 10) + (low - 0xDC00);
+                                char::from_u32(cp).ok_or_else(|| self.err("bad code point"))?
+                            } else if (0xDC00..0xE000).contains(&unit) {
+                                return Err(self.err("unpaired surrogate"));
+                            } else {
+                                char::from_u32(unit).ok_or_else(|| self.err("bad code point"))?
+                            };
+                            out.push(ch);
+                            // `hex4` advanced past the digits; compensate
+                            // for the `pos += 1` below.
+                            self.pos -= 1;
+                        }
+                        _ => return Err(self.err("invalid escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(c) if c < 0x20 => return Err(self.err("control character in string")),
+                Some(_) => {
+                    // Copy one UTF-8 scalar (input is &str, so boundaries
+                    // are trustworthy).
+                    let rest = &self.bytes[self.pos..];
+                    let s = std::str::from_utf8(rest).map_err(|_| self.err("invalid UTF-8"))?;
+                    let ch = s.chars().next().ok_or_else(|| self.err("unterminated string"))?;
+                    out.push(ch);
+                    self.pos += ch.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, JsonError> {
+        let mut v = 0u32;
+        for _ in 0..4 {
+            let d = match self.peek() {
+                Some(c @ b'0'..=b'9') => (c - b'0') as u32,
+                Some(c @ b'a'..=b'f') => (c - b'a' + 10) as u32,
+                Some(c @ b'A'..=b'F') => (c - b'A' + 10) as u32,
+                _ => return Err(self.err("expected four hex digits")),
+            };
+            v = v * 16 + d;
+            self.pos += 1;
+        }
+        Ok(v)
+    }
+
+    fn number(&mut self) -> Result<JsonValue, JsonError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let digits_start = self.pos;
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        if self.pos == digits_start {
+            return Err(self.err("expected digits"));
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            let frac_start = self.pos;
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+            if self.pos == frac_start {
+                return Err(self.err("expected digits after `.`"));
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            let exp_start = self.pos;
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+            if self.pos == exp_start {
+                return Err(self.err("expected digits in exponent"));
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii");
+        let n: f64 = text.parse().map_err(|_| self.err("bad number"))?;
+        if !n.is_finite() {
+            return Err(self.err("number out of range"));
+        }
+        Ok(JsonValue::Num(n))
+    }
+}
+
+// ---------------------------------------------------------------------
+// Deterministic emit helpers (mirrors sapsim-obs's private json module).
+// ---------------------------------------------------------------------
+
+/// Append a JSON string literal (quoted, escaped).
+pub fn push_str(out: &mut String, s: &str) {
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Append an unsigned integer.
+pub fn push_u64(out: &mut String, v: u64) {
+    out.push_str(&v.to_string());
+}
+
+/// Append an `f64` using Rust's shortest-round-trip `Display`; non-finite
+/// values become `null` (JSON has no NaN/Inf).
+pub fn push_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        out.push_str(&v.to_string());
+    } else {
+        out.push_str("null");
+    }
+}
+
+/// Escape-unaware check used by strict-mode field validation: `true` when
+/// every key of `obj` appears in `allowed`.
+pub fn unknown_key<'a>(obj: &'a [(String, JsonValue)], allowed: &[&str]) -> Option<&'a str> {
+    obj.iter()
+        .map(|(k, _)| k.as_str())
+        .find(|k| !allowed.contains(k))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_flat_request_object() {
+        let v = parse(r#"{"schema":"sapsim.api/v1","op":"place","vcpus":4,"dry_run":true}"#)
+            .expect("parses");
+        assert_eq!(v.get("schema").and_then(JsonValue::as_str), Some("sapsim.api/v1"));
+        assert_eq!(v.get("vcpus").and_then(JsonValue::as_u64), Some(4));
+        assert_eq!(v.get("dry_run").and_then(JsonValue::as_bool), Some(true));
+        assert_eq!(v.get("missing"), None);
+    }
+
+    #[test]
+    fn rejects_trailing_garbage_and_truncation() {
+        assert!(parse(r#"{"a":1} extra"#).is_err());
+        assert!(parse(r#"{"a":1"#).is_err());
+        assert!(parse(r#"{"a":}"#).is_err());
+        assert!(parse("").is_err());
+        assert!(parse("nul").is_err());
+    }
+
+    #[test]
+    fn rejects_deep_nesting() {
+        let mut s = String::new();
+        for _ in 0..64 {
+            s.push('[');
+        }
+        for _ in 0..64 {
+            s.push(']');
+        }
+        assert!(parse(&s).is_err());
+    }
+
+    #[test]
+    fn decodes_escapes_and_surrogate_pairs() {
+        let v = parse(r#""a\n\t\"\\ é 😀""#).expect("parses");
+        assert_eq!(v.as_str(), Some("a\n\t\"\\ \u{e9} \u{1F600}"));
+        assert!(parse(r#""\ud83d""#).is_err()); // unpaired high surrogate
+        assert!(parse(r#""\udc00""#).is_err()); // lone low surrogate
+        assert!(parse(r#""\ud83dx""#).is_err());
+    }
+
+    #[test]
+    fn numbers_round_trip_and_overflow_is_caught() {
+        assert_eq!(parse("42").unwrap().as_u64(), Some(42));
+        assert_eq!(parse("-1").unwrap().as_u64(), None);
+        assert_eq!(parse("1.5").unwrap().as_f64(), Some(1.5));
+        assert_eq!(parse("1.5").unwrap().as_u64(), None);
+        assert_eq!(parse("1e3").unwrap().as_f64(), Some(1000.0));
+        assert!(parse("1e999").is_err());
+        assert!(parse("1.").is_err());
+        assert!(parse("--1").is_err());
+    }
+
+    #[test]
+    fn object_key_order_is_preserved() {
+        let v = parse(r#"{"b":1,"a":2}"#).unwrap();
+        let pairs = v.as_obj().unwrap();
+        assert_eq!(pairs[0].0, "b");
+        assert_eq!(pairs[1].0, "a");
+    }
+
+    #[test]
+    fn unknown_key_finds_the_intruder() {
+        let v = parse(r#"{"op":"state","bogus":1}"#).unwrap();
+        let obj = v.as_obj().unwrap();
+        assert_eq!(unknown_key(obj, &["op", "schema"]), Some("bogus"));
+        assert_eq!(unknown_key(obj, &["op", "bogus"]), None);
+    }
+
+    #[test]
+    fn emitters_match_serde_json() {
+        let mut out = String::new();
+        push_str(&mut out, "a\"b\\c\nd\u{1}");
+        assert_eq!(out, serde_json::to_string("a\"b\\c\nd\u{1}").unwrap());
+        let mut out = String::new();
+        push_f64(&mut out, 0.25);
+        assert_eq!(out, "0.25");
+        let mut out = String::new();
+        push_f64(&mut out, f64::NAN);
+        assert_eq!(out, "null");
+    }
+
+    #[test]
+    fn parser_agrees_with_serde_on_a_corpus() {
+        let corpus = [
+            r#"{"a":[1,2,{"b":null}],"c":"x","d":false,"e":1.25e2}"#,
+            r#"[[],{},"",0,-0.5]"#,
+            r#""Aß東""#,
+        ];
+        for doc in corpus {
+            let ours = parse(doc).expect("ours parses");
+            let theirs: serde_json::Value = serde_json::from_str(doc).expect("serde parses");
+            assert_eq!(to_serde(&ours), theirs, "doc: {doc}");
+        }
+    }
+
+    #[cfg(test)]
+    fn to_serde(v: &JsonValue) -> serde_json::Value {
+        match v {
+            JsonValue::Null => serde_json::Value::Null,
+            JsonValue::Bool(b) => serde_json::Value::Bool(*b),
+            JsonValue::Num(n) => serde_json::json!(*n),
+            JsonValue::Str(s) => serde_json::Value::String(s.clone()),
+            JsonValue::Arr(items) => {
+                serde_json::Value::Array(items.iter().map(to_serde).collect())
+            }
+            JsonValue::Obj(pairs) => serde_json::Value::Object(
+                pairs
+                    .iter()
+                    .map(|(k, v)| (k.clone(), to_serde(v)))
+                    .collect(),
+            ),
+        }
+    }
+}

@@ -1,0 +1,786 @@
+//! Typed placement-service requests and their wire codec.
+//!
+//! Every request is one `sapsim.api/v1` envelope object — over HTTP as
+//! a POST body, over the TCP fast path as one JSON line. The structs
+//! are `#[non_exhaustive]` with chainable builders, so fields can be
+//! added in `/v1` without breaking callers; the reader tolerates
+//! unknown fields by default and rejects them in strict mode.
+
+use crate::error::ProtocolError;
+use crate::json::{self, JsonValue};
+use crate::schema::SchemaId;
+use std::fmt;
+use std::str::FromStr;
+
+/// Largest `count` accepted for a batched (Nova multi-create style)
+/// placement.
+pub const MAX_BATCH: u64 = 128;
+
+/// The workload class of a placement request, deciding which
+/// building-block purpose the scheduler may use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum VmClass {
+    /// Ordinary workloads on general-purpose (overcommitted) capacity.
+    #[default]
+    GeneralPurpose,
+    /// SAP HANA: dedicated, non-overcommitted building blocks.
+    Hana,
+    /// CI farm batch capacity (falls back to general purpose when the
+    /// estate has no CI-farm blocks).
+    CiFarm,
+}
+
+impl VmClass {
+    /// The wire spelling.
+    pub const fn as_str(self) -> &'static str {
+        match self {
+            VmClass::GeneralPurpose => "general-purpose",
+            VmClass::Hana => "hana",
+            VmClass::CiFarm => "ci-farm",
+        }
+    }
+}
+
+impl fmt::Display for VmClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl FromStr for VmClass {
+    type Err = ProtocolError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "general-purpose" => Ok(VmClass::GeneralPurpose),
+            "hana" => Ok(VmClass::Hana),
+            "ci-farm" => Ok(VmClass::CiFarm),
+            other => Err(ProtocolError::Invalid(format!(
+                "unknown class `{other}` (use general-purpose|hana|ci-farm)"
+            ))),
+        }
+    }
+}
+
+/// Place one VM — or `count` identical VMs, Nova multi-create style.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub struct PlaceRequest {
+    /// Optional client correlation id, echoed on the response.
+    pub id: Option<String>,
+    /// Virtual CPU cores per VM (must be ≥ 1).
+    pub vcpus: u32,
+    /// Memory per VM in MiB (must be ≥ 1).
+    pub memory_mib: u64,
+    /// Disk per VM in GiB.
+    pub disk_gib: u64,
+    /// Workload class.
+    pub class: VmClass,
+    /// Pin to an availability zone by name (e.g. `"az-a"`).
+    pub az: Option<String>,
+    /// How many identical VMs to place (1..=[`MAX_BATCH`]).
+    pub count: u64,
+    /// Expected lifetime in days, feeding the lifetime-aware weigher.
+    pub lifetime_days: Option<f64>,
+    /// Plan only: run on a snapshot fork and return a `txn` token for a
+    /// later `commit`.
+    pub dry_run: bool,
+}
+
+impl PlaceRequest {
+    /// A single general-purpose placement of the given shape.
+    pub fn new(vcpus: u32, memory_mib: u64) -> Self {
+        PlaceRequest {
+            id: None,
+            vcpus,
+            memory_mib,
+            disk_gib: 0,
+            class: VmClass::GeneralPurpose,
+            az: None,
+            count: 1,
+            lifetime_days: None,
+            dry_run: false,
+        }
+    }
+
+    /// Set the client correlation id.
+    pub fn with_id(mut self, id: impl Into<String>) -> Self {
+        self.id = Some(id.into());
+        self
+    }
+
+    /// Set the per-VM disk size.
+    pub fn with_disk_gib(mut self, gib: u64) -> Self {
+        self.disk_gib = gib;
+        self
+    }
+
+    /// Set the workload class.
+    pub fn with_class(mut self, class: VmClass) -> Self {
+        self.class = class;
+        self
+    }
+
+    /// Pin the placement to an availability zone.
+    pub fn in_az(mut self, az: impl Into<String>) -> Self {
+        self.az = Some(az.into());
+        self
+    }
+
+    /// Batch: place `count` identical VMs.
+    pub fn with_count(mut self, count: u64) -> Self {
+        self.count = count;
+        self
+    }
+
+    /// Declare the expected lifetime in days.
+    pub fn with_lifetime_days(mut self, days: f64) -> Self {
+        self.lifetime_days = Some(days);
+        self
+    }
+
+    /// Plan without mutating: returns a `txn` token to `commit`.
+    pub fn dry_run(mut self) -> Self {
+        self.dry_run = true;
+        self
+    }
+}
+
+/// Resize an existing VM (in place when the host fits, otherwise a
+/// migration through the full placement pipeline).
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub struct ResizeRequest {
+    /// Optional client correlation id, echoed on the response.
+    pub id: Option<String>,
+    /// The VM to resize.
+    pub vm: u64,
+    /// New vCPU count (must be ≥ 1).
+    pub vcpus: u32,
+    /// New memory in MiB (must be ≥ 1).
+    pub memory_mib: u64,
+    /// New disk in GiB; `None` keeps the current allocation.
+    pub disk_gib: Option<u64>,
+    /// Plan only (see [`PlaceRequest::dry_run`]).
+    pub dry_run: bool,
+}
+
+impl ResizeRequest {
+    /// Resize `vm` to the given shape.
+    pub fn new(vm: u64, vcpus: u32, memory_mib: u64) -> Self {
+        ResizeRequest {
+            id: None,
+            vm,
+            vcpus,
+            memory_mib,
+            disk_gib: None,
+            dry_run: false,
+        }
+    }
+
+    /// Set the client correlation id.
+    pub fn with_id(mut self, id: impl Into<String>) -> Self {
+        self.id = Some(id.into());
+        self
+    }
+
+    /// Also change the disk allocation.
+    pub fn with_disk_gib(mut self, gib: u64) -> Self {
+        self.disk_gib = Some(gib);
+        self
+    }
+
+    /// Plan without mutating.
+    pub fn dry_run(mut self) -> Self {
+        self.dry_run = true;
+        self
+    }
+}
+
+/// Drain a compute node: mark it under maintenance and re-place every
+/// resident VM through the scheduler (restart semantics).
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub struct EvacuateRequest {
+    /// Optional client correlation id, echoed on the response.
+    pub id: Option<String>,
+    /// The node to drain, by topology name (e.g. `"bb-042-n003"`).
+    pub node: String,
+    /// Plan only (see [`PlaceRequest::dry_run`]).
+    pub dry_run: bool,
+}
+
+impl EvacuateRequest {
+    /// Evacuate the named node.
+    pub fn new(node: impl Into<String>) -> Self {
+        EvacuateRequest {
+            id: None,
+            node: node.into(),
+            dry_run: false,
+        }
+    }
+
+    /// Set the client correlation id.
+    pub fn with_id(mut self, id: impl Into<String>) -> Self {
+        self.id = Some(id.into());
+        self
+    }
+
+    /// Plan without mutating.
+    pub fn dry_run(mut self) -> Self {
+        self.dry_run = true;
+        self
+    }
+}
+
+/// Apply a previously dry-run plan, if the engine state has not moved.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub struct CommitRequest {
+    /// Optional client correlation id, echoed on the response.
+    pub id: Option<String>,
+    /// The 16-hex-digit token a dry-run response returned.
+    pub txn: String,
+}
+
+impl CommitRequest {
+    /// Commit the plan identified by `txn`.
+    pub fn new(txn: impl Into<String>) -> Self {
+        CommitRequest {
+            id: None,
+            txn: txn.into(),
+        }
+    }
+
+    /// Set the client correlation id.
+    pub fn with_id(mut self, id: impl Into<String>) -> Self {
+        self.id = Some(id.into());
+        self
+    }
+}
+
+/// Read the engine's summary state (version, counts, canonical hash).
+#[derive(Debug, Clone, PartialEq, Default)]
+#[non_exhaustive]
+pub struct StateRequest {
+    /// Optional client correlation id, echoed on the response.
+    pub id: Option<String>,
+}
+
+impl StateRequest {
+    /// A plain state query.
+    pub fn new() -> Self {
+        StateRequest::default()
+    }
+
+    /// Set the client correlation id.
+    pub fn with_id(mut self, id: impl Into<String>) -> Self {
+        self.id = Some(id.into());
+        self
+    }
+}
+
+/// Ask the service to stop accepting requests and exit.
+#[derive(Debug, Clone, PartialEq, Default)]
+#[non_exhaustive]
+pub struct ShutdownRequest {
+    /// Optional client correlation id, echoed on the response.
+    pub id: Option<String>,
+}
+
+impl ShutdownRequest {
+    /// A shutdown request.
+    pub fn new() -> Self {
+        ShutdownRequest::default()
+    }
+
+    /// Set the client correlation id.
+    pub fn with_id(mut self, id: impl Into<String>) -> Self {
+        self.id = Some(id.into());
+        self
+    }
+}
+
+/// Any protocol request.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ApiRequest {
+    /// Place one VM or a batch.
+    Place(PlaceRequest),
+    /// Resize an existing VM.
+    Resize(ResizeRequest),
+    /// Drain a node.
+    Evacuate(EvacuateRequest),
+    /// Apply a dry-run plan.
+    Commit(CommitRequest),
+    /// Read engine state.
+    State(StateRequest),
+    /// Stop the service.
+    Shutdown(ShutdownRequest),
+}
+
+impl ApiRequest {
+    /// The wire `op` label.
+    pub const fn op(&self) -> &'static str {
+        match self {
+            ApiRequest::Place(_) => "place",
+            ApiRequest::Resize(_) => "resize",
+            ApiRequest::Evacuate(_) => "evacuate",
+            ApiRequest::Commit(_) => "commit",
+            ApiRequest::State(_) => "state",
+            ApiRequest::Shutdown(_) => "shutdown",
+        }
+    }
+
+    /// The client correlation id, if one was set.
+    pub fn client_id(&self) -> Option<&str> {
+        match self {
+            ApiRequest::Place(r) => r.id.as_deref(),
+            ApiRequest::Resize(r) => r.id.as_deref(),
+            ApiRequest::Evacuate(r) => r.id.as_deref(),
+            ApiRequest::Commit(r) => r.id.as_deref(),
+            ApiRequest::State(r) => r.id.as_deref(),
+            ApiRequest::Shutdown(r) => r.id.as_deref(),
+        }
+    }
+
+    /// `true` for ops that (outside dry-run) mutate engine state and
+    /// must therefore run on the serialized writer.
+    pub fn is_mutation(&self) -> bool {
+        match self {
+            ApiRequest::Place(r) => !r.dry_run,
+            ApiRequest::Resize(r) => !r.dry_run,
+            ApiRequest::Evacuate(r) => !r.dry_run,
+            ApiRequest::Commit(_) => true,
+            ApiRequest::State(_) | ApiRequest::Shutdown(_) => false,
+        }
+    }
+
+    /// Semantic validation beyond shape: ranges, batch caps, token
+    /// format. [`parse_line`](Self::parse_line) calls this; callers
+    /// constructing requests with builders can run it themselves before
+    /// dispatch.
+    pub fn validate(&self) -> Result<(), ProtocolError> {
+        match self {
+            ApiRequest::Place(r) => {
+                if r.vcpus == 0 {
+                    return Err(ProtocolError::Invalid("vcpus must be at least 1".into()));
+                }
+                if r.memory_mib == 0 {
+                    return Err(ProtocolError::Invalid(
+                        "memory_mib must be at least 1".into(),
+                    ));
+                }
+                if r.count == 0 || r.count > MAX_BATCH {
+                    return Err(ProtocolError::Invalid(format!(
+                        "count must be in 1..={MAX_BATCH}, got {}",
+                        r.count
+                    )));
+                }
+                if let Some(days) = r.lifetime_days {
+                    if !days.is_finite() || days <= 0.0 {
+                        return Err(ProtocolError::Invalid(format!(
+                            "lifetime_days must be positive and finite, got {days}"
+                        )));
+                    }
+                }
+            }
+            ApiRequest::Resize(r) => {
+                if r.vcpus == 0 {
+                    return Err(ProtocolError::Invalid("vcpus must be at least 1".into()));
+                }
+                if r.memory_mib == 0 {
+                    return Err(ProtocolError::Invalid(
+                        "memory_mib must be at least 1".into(),
+                    ));
+                }
+            }
+            ApiRequest::Evacuate(r) => {
+                if r.node.is_empty() {
+                    return Err(ProtocolError::Invalid("node must be non-empty".into()));
+                }
+            }
+            ApiRequest::Commit(r) => {
+                if r.txn.len() != 16 || !r.txn.bytes().all(|b| b.is_ascii_hexdigit()) {
+                    return Err(ProtocolError::Invalid(format!(
+                        "txn must be 16 hex digits, got `{}`",
+                        r.txn
+                    )));
+                }
+            }
+            ApiRequest::State(_) | ApiRequest::Shutdown(_) => {}
+        }
+        Ok(())
+    }
+
+    /// Serialize as one canonical envelope line (no trailing newline).
+    /// Field order is fixed and defaults are spelled out, so equal
+    /// requests produce equal bytes — the dry-run transaction token
+    /// hashes these bytes.
+    pub fn to_json_line(&self) -> String {
+        let mut out = crate::envelope::line_prefix(SchemaId::ApiV1);
+        out.push_str(",\"op\":");
+        json::push_str(&mut out, self.op());
+        if let Some(id) = self.client_id() {
+            out.push_str(",\"id\":");
+            json::push_str(&mut out, id);
+        }
+        match self {
+            ApiRequest::Place(r) => {
+                out.push_str(",\"vcpus\":");
+                json::push_u64(&mut out, u64::from(r.vcpus));
+                out.push_str(",\"memory_mib\":");
+                json::push_u64(&mut out, r.memory_mib);
+                out.push_str(",\"disk_gib\":");
+                json::push_u64(&mut out, r.disk_gib);
+                out.push_str(",\"class\":");
+                json::push_str(&mut out, r.class.as_str());
+                if let Some(az) = &r.az {
+                    out.push_str(",\"az\":");
+                    json::push_str(&mut out, az);
+                }
+                out.push_str(",\"count\":");
+                json::push_u64(&mut out, r.count);
+                if let Some(days) = r.lifetime_days {
+                    out.push_str(",\"lifetime_days\":");
+                    json::push_f64(&mut out, days);
+                }
+                out.push_str(",\"dry_run\":");
+                out.push_str(if r.dry_run { "true" } else { "false" });
+            }
+            ApiRequest::Resize(r) => {
+                out.push_str(",\"vm\":");
+                json::push_u64(&mut out, r.vm);
+                out.push_str(",\"vcpus\":");
+                json::push_u64(&mut out, u64::from(r.vcpus));
+                out.push_str(",\"memory_mib\":");
+                json::push_u64(&mut out, r.memory_mib);
+                if let Some(gib) = r.disk_gib {
+                    out.push_str(",\"disk_gib\":");
+                    json::push_u64(&mut out, gib);
+                }
+                out.push_str(",\"dry_run\":");
+                out.push_str(if r.dry_run { "true" } else { "false" });
+            }
+            ApiRequest::Evacuate(r) => {
+                out.push_str(",\"node\":");
+                json::push_str(&mut out, &r.node);
+                out.push_str(",\"dry_run\":");
+                out.push_str(if r.dry_run { "true" } else { "false" });
+            }
+            ApiRequest::Commit(r) => {
+                out.push_str(",\"txn\":");
+                json::push_str(&mut out, &r.txn);
+            }
+            ApiRequest::State(_) | ApiRequest::Shutdown(_) => {}
+        }
+        out.push('}');
+        out
+    }
+
+    /// Decode one envelope line (or HTTP body).
+    ///
+    /// Unknown fields are ignored unless `strict` is set, in which case
+    /// they are a [`ProtocolError::UnknownField`]. Shape errors (bad
+    /// JSON, missing/mistyped fields) are
+    /// [`Malformed`](ProtocolError::Malformed); an unrecognized
+    /// `schema` is [`UnknownSchema`](ProtocolError::UnknownSchema);
+    /// range/semantic violations are
+    /// [`Invalid`](ProtocolError::Invalid).
+    pub fn parse_line(text: &str, strict: bool) -> Result<ApiRequest, ProtocolError> {
+        let value =
+            json::parse(text).map_err(|e| ProtocolError::Malformed(format!("bad JSON: {e}")))?;
+        let obj = value
+            .as_obj()
+            .ok_or_else(|| ProtocolError::Malformed("request must be a JSON object".into()))?;
+        let schema = require_str(&value, "schema")?;
+        crate::envelope::expect_schema(schema, SchemaId::ApiV1)?;
+        let op = require_str(&value, "op")?;
+        let id = optional_str(&value, "id")?.map(str::to_string);
+
+        const COMMON: [&str; 3] = ["schema", "op", "id"];
+        let check_fields = |allowed: &[&str]| -> Result<(), ProtocolError> {
+            if !strict {
+                return Ok(());
+            }
+            let mut all: Vec<&str> = COMMON.to_vec();
+            all.extend_from_slice(allowed);
+            match json::unknown_key(obj, &all) {
+                Some(key) => Err(ProtocolError::UnknownField(format!(
+                    "unknown field `{key}` for op `{op}`"
+                ))),
+                None => Ok(()),
+            }
+        };
+
+        let request = match op {
+            "place" => {
+                check_fields(&[
+                    "vcpus",
+                    "memory_mib",
+                    "disk_gib",
+                    "class",
+                    "az",
+                    "count",
+                    "lifetime_days",
+                    "dry_run",
+                ])?;
+                ApiRequest::Place(PlaceRequest {
+                    id,
+                    vcpus: require_u64(&value, "vcpus")?.try_into().map_err(|_| {
+                        ProtocolError::Invalid("vcpus does not fit in 32 bits".into())
+                    })?,
+                    memory_mib: require_u64(&value, "memory_mib")?,
+                    disk_gib: optional_u64(&value, "disk_gib")?.unwrap_or(0),
+                    class: match optional_str(&value, "class")? {
+                        Some(s) => s.parse()?,
+                        None => VmClass::GeneralPurpose,
+                    },
+                    az: optional_str(&value, "az")?.map(str::to_string),
+                    count: optional_u64(&value, "count")?.unwrap_or(1),
+                    lifetime_days: optional_f64(&value, "lifetime_days")?,
+                    dry_run: optional_bool(&value, "dry_run")?.unwrap_or(false),
+                })
+            }
+            "resize" => {
+                check_fields(&["vm", "vcpus", "memory_mib", "disk_gib", "dry_run"])?;
+                ApiRequest::Resize(ResizeRequest {
+                    id,
+                    vm: require_u64(&value, "vm")?,
+                    vcpus: require_u64(&value, "vcpus")?.try_into().map_err(|_| {
+                        ProtocolError::Invalid("vcpus does not fit in 32 bits".into())
+                    })?,
+                    memory_mib: require_u64(&value, "memory_mib")?,
+                    disk_gib: optional_u64(&value, "disk_gib")?,
+                    dry_run: optional_bool(&value, "dry_run")?.unwrap_or(false),
+                })
+            }
+            "evacuate" => {
+                check_fields(&["node", "dry_run"])?;
+                ApiRequest::Evacuate(EvacuateRequest {
+                    id,
+                    node: require_str(&value, "node")?.to_string(),
+                    dry_run: optional_bool(&value, "dry_run")?.unwrap_or(false),
+                })
+            }
+            "commit" => {
+                check_fields(&["txn"])?;
+                ApiRequest::Commit(CommitRequest {
+                    id,
+                    txn: require_str(&value, "txn")?.to_string(),
+                })
+            }
+            "state" => {
+                check_fields(&[])?;
+                ApiRequest::State(StateRequest { id })
+            }
+            "shutdown" => {
+                check_fields(&[])?;
+                ApiRequest::Shutdown(ShutdownRequest { id })
+            }
+            other => {
+                return Err(ProtocolError::Malformed(format!(
+                    "unknown op `{other}` (use place|resize|evacuate|commit|state|shutdown)"
+                )))
+            }
+        };
+        request.validate()?;
+        Ok(request)
+    }
+}
+
+fn require_str<'v>(value: &'v JsonValue, key: &str) -> Result<&'v str, ProtocolError> {
+    match value.get(key) {
+        Some(v) => v
+            .as_str()
+            .ok_or_else(|| ProtocolError::Malformed(format!("field `{key}` must be a string"))),
+        None => Err(ProtocolError::Malformed(format!("missing field `{key}`"))),
+    }
+}
+
+fn optional_str<'v>(value: &'v JsonValue, key: &str) -> Result<Option<&'v str>, ProtocolError> {
+    match value.get(key) {
+        None | Some(JsonValue::Null) => Ok(None),
+        Some(v) => v
+            .as_str()
+            .map(Some)
+            .ok_or_else(|| ProtocolError::Malformed(format!("field `{key}` must be a string"))),
+    }
+}
+
+fn require_u64(value: &JsonValue, key: &str) -> Result<u64, ProtocolError> {
+    match value.get(key) {
+        Some(v) => v.as_u64().ok_or_else(|| {
+            ProtocolError::Malformed(format!("field `{key}` must be a non-negative integer"))
+        }),
+        None => Err(ProtocolError::Malformed(format!("missing field `{key}`"))),
+    }
+}
+
+fn optional_u64(value: &JsonValue, key: &str) -> Result<Option<u64>, ProtocolError> {
+    match value.get(key) {
+        None | Some(JsonValue::Null) => Ok(None),
+        Some(v) => v.as_u64().map(Some).ok_or_else(|| {
+            ProtocolError::Malformed(format!("field `{key}` must be a non-negative integer"))
+        }),
+    }
+}
+
+fn optional_f64(value: &JsonValue, key: &str) -> Result<Option<f64>, ProtocolError> {
+    match value.get(key) {
+        None | Some(JsonValue::Null) => Ok(None),
+        Some(v) => v
+            .as_f64()
+            .map(Some)
+            .ok_or_else(|| ProtocolError::Malformed(format!("field `{key}` must be a number"))),
+    }
+}
+
+fn optional_bool(value: &JsonValue, key: &str) -> Result<Option<bool>, ProtocolError> {
+    match value.get(key) {
+        None | Some(JsonValue::Null) => Ok(None),
+        Some(v) => v
+            .as_bool()
+            .map(Some)
+            .ok_or_else(|| ProtocolError::Malformed(format!("field `{key}` must be a boolean"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_request_round_trips_through_the_codec() {
+        let requests = vec![
+            ApiRequest::Place(
+                PlaceRequest::new(4, 32_768)
+                    .with_id("r1")
+                    .with_disk_gib(100)
+                    .with_class(VmClass::Hana)
+                    .in_az("az-a")
+                    .with_count(3)
+                    .with_lifetime_days(30.5)
+                    .dry_run(),
+            ),
+            ApiRequest::Place(PlaceRequest::new(1, 1024)),
+            ApiRequest::Resize(ResizeRequest::new(7, 8, 65_536).with_disk_gib(50).dry_run()),
+            ApiRequest::Resize(ResizeRequest::new(0, 2, 2048).with_id("r2")),
+            ApiRequest::Evacuate(EvacuateRequest::new("bb-000-n001").with_id("r3").dry_run()),
+            ApiRequest::Commit(CommitRequest::new("0123456789abcdef")),
+            ApiRequest::State(StateRequest::new().with_id("q")),
+            ApiRequest::Shutdown(ShutdownRequest::new()),
+        ];
+        for req in requests {
+            let line = req.to_json_line();
+            assert!(line.starts_with("{\"schema\":\"sapsim.api/v1\",\"op\":"), "{line}");
+            let back = ApiRequest::parse_line(&line, true).expect("round trip");
+            assert_eq!(back, req, "line: {line}");
+            // Canonical: emit(parse(emit(x))) == emit(x).
+            assert_eq!(back.to_json_line(), line);
+        }
+    }
+
+    #[test]
+    fn defaults_are_applied_on_read() {
+        let req = ApiRequest::parse_line(
+            r#"{"schema":"sapsim.api/v1","op":"place","vcpus":2,"memory_mib":4096}"#,
+            true,
+        )
+        .unwrap();
+        let ApiRequest::Place(p) = &req else { panic!() };
+        assert_eq!(p.disk_gib, 0);
+        assert_eq!(p.class, VmClass::GeneralPurpose);
+        assert_eq!(p.count, 1);
+        assert_eq!(p.lifetime_days, None);
+        assert!(!p.dry_run);
+        assert!(req.is_mutation(), "live place is a mutation");
+    }
+
+    #[test]
+    fn shape_errors_are_malformed() {
+        let cases = [
+            ("{not json", "bad JSON"),
+            ("[1,2]", "must be a JSON object"),
+            (r#"{"op":"state"}"#, "missing field `schema`"),
+            (r#"{"schema":"sapsim.api/v1"}"#, "missing field `op`"),
+            (
+                r#"{"schema":"sapsim.api/v1","op":"nope"}"#,
+                "unknown op `nope`",
+            ),
+            (
+                r#"{"schema":"sapsim.api/v1","op":"place","vcpus":"four","memory_mib":1}"#,
+                "field `vcpus` must be a non-negative integer",
+            ),
+            (
+                r#"{"schema":"sapsim.api/v1","op":"place","memory_mib":1}"#,
+                "missing field `vcpus`",
+            ),
+        ];
+        for (line, needle) in cases {
+            let err = ApiRequest::parse_line(line, false).unwrap_err();
+            assert_eq!(err.code(), "bad-request", "line: {line}");
+            assert!(err.to_string().contains(needle), "{err} !~ {needle}");
+        }
+    }
+
+    #[test]
+    fn schema_mismatch_is_unknown_schema() {
+        let err = ApiRequest::parse_line(
+            r#"{"schema":"sapsim.api/v2","op":"state"}"#,
+            false,
+        )
+        .unwrap_err();
+        assert_eq!(err.code(), "unknown-schema");
+        assert_eq!(
+            err.to_string(),
+            "unsupported schema `sapsim.api/v2` (expected `sapsim.api/v1`)"
+        );
+    }
+
+    #[test]
+    fn unknown_fields_tolerated_lenient_rejected_strict() {
+        let line = r#"{"schema":"sapsim.api/v1","op":"state","future_flag":true}"#;
+        assert!(ApiRequest::parse_line(line, false).is_ok());
+        let err = ApiRequest::parse_line(line, true).unwrap_err();
+        assert_eq!(err.code(), "unknown-field");
+        assert_eq!(err.to_string(), "unknown field `future_flag` for op `state`");
+    }
+
+    #[test]
+    fn semantic_violations_are_invalid() {
+        let cases = [
+            r#"{"schema":"sapsim.api/v1","op":"place","vcpus":0,"memory_mib":1}"#,
+            r#"{"schema":"sapsim.api/v1","op":"place","vcpus":1,"memory_mib":0}"#,
+            r#"{"schema":"sapsim.api/v1","op":"place","vcpus":1,"memory_mib":1,"count":0}"#,
+            r#"{"schema":"sapsim.api/v1","op":"place","vcpus":1,"memory_mib":1,"count":129}"#,
+            r#"{"schema":"sapsim.api/v1","op":"place","vcpus":1,"memory_mib":1,"lifetime_days":-1}"#,
+            r#"{"schema":"sapsim.api/v1","op":"place","vcpus":1,"memory_mib":1,"class":"mystery"}"#,
+            r#"{"schema":"sapsim.api/v1","op":"resize","vm":1,"vcpus":0,"memory_mib":1}"#,
+            r#"{"schema":"sapsim.api/v1","op":"evacuate","node":""}"#,
+            r#"{"schema":"sapsim.api/v1","op":"commit","txn":"xyz"}"#,
+            r#"{"schema":"sapsim.api/v1","op":"commit","txn":"0123456789abcdeg"}"#,
+        ];
+        for line in cases {
+            let err = ApiRequest::parse_line(line, false).unwrap_err();
+            assert_eq!(err.code(), "invalid-request", "line: {line}");
+        }
+    }
+
+    #[test]
+    fn vm_class_round_trips() {
+        for class in [VmClass::GeneralPurpose, VmClass::Hana, VmClass::CiFarm] {
+            assert_eq!(class.to_string().parse::<VmClass>().unwrap(), class);
+        }
+        assert!("spicy".parse::<VmClass>().is_err());
+    }
+
+    #[test]
+    fn mutation_classification_drives_the_writer_path() {
+        assert!(ApiRequest::Place(PlaceRequest::new(1, 1)).is_mutation());
+        assert!(!ApiRequest::Place(PlaceRequest::new(1, 1).dry_run()).is_mutation());
+        assert!(ApiRequest::Commit(CommitRequest::new("0000000000000000")).is_mutation());
+        assert!(!ApiRequest::State(StateRequest::new()).is_mutation());
+        assert!(!ApiRequest::Shutdown(ShutdownRequest::new()).is_mutation());
+    }
+}

@@ -1,0 +1,817 @@
+//! Typed placement-service responses and their wire codec.
+//!
+//! Responses mirror requests: one `sapsim.api/v1` envelope object per
+//! answer, fixed field order, `#[non_exhaustive]` structs built through
+//! chainable constructors so the service (a different crate) can
+//! assemble them without freezing the field set.
+
+use crate::error::ProtocolError;
+use crate::json::{self, JsonValue};
+use crate::schema::SchemaId;
+use std::fmt;
+use std::str::FromStr;
+
+/// One successfully placed VM inside a [`PlaceResponse`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Placement {
+    /// The VM id the engine assigned.
+    pub vm: u64,
+    /// Hosting node, by topology name.
+    pub node: String,
+    /// The node's building block.
+    pub bb: String,
+    /// The node's availability zone.
+    pub az: String,
+    /// Fragmentation retries the greedy walk needed before this VM fit.
+    pub retries: u64,
+}
+
+/// One VM of a batch that could not be placed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlaceFailure {
+    /// Zero-based index into the requested batch.
+    pub index: u64,
+    /// `"no-candidate"` (no host passed the filters) or `"fragmented"`
+    /// (hosts ranked but none could actually fit the VM).
+    pub reason: String,
+}
+
+/// One migration inside an [`EvacuateResponse`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Moved {
+    /// The VM that moved.
+    pub vm: u64,
+    /// Its new node.
+    pub node: String,
+}
+
+/// Answer to a `place` request.
+#[derive(Debug, Clone, PartialEq, Default)]
+#[non_exhaustive]
+pub struct PlaceResponse {
+    /// Echo of the request id.
+    pub id: Option<String>,
+    /// Whether this was a plan (`dry_run`) or a live mutation.
+    pub dry_run: bool,
+    /// The commit token (dry-run only).
+    pub txn: Option<String>,
+    /// Engine version: the base version for a dry-run plan, the version
+    /// after the mutation for a live request.
+    pub version: u64,
+    /// Successfully placed VMs, in batch order.
+    pub placed: Vec<Placement>,
+    /// Batch slots that could not be placed.
+    pub failed: Vec<PlaceFailure>,
+}
+
+impl PlaceResponse {
+    /// A response at the given engine version.
+    pub fn new(version: u64) -> Self {
+        PlaceResponse {
+            version,
+            ..PlaceResponse::default()
+        }
+    }
+
+    /// Echo the request id.
+    pub fn with_id(mut self, id: Option<String>) -> Self {
+        self.id = id;
+        self
+    }
+
+    /// Mark as a dry-run plan carrying a commit token.
+    pub fn as_dry_run(mut self, txn: String) -> Self {
+        self.dry_run = true;
+        self.txn = Some(txn);
+        self
+    }
+
+    /// Append one placement.
+    pub fn push_placed(&mut self, placement: Placement) {
+        self.placed.push(placement);
+    }
+
+    /// Append one failed batch slot.
+    pub fn push_failed(&mut self, index: u64, reason: &str) {
+        self.failed.push(PlaceFailure {
+            index,
+            reason: reason.to_string(),
+        });
+    }
+}
+
+/// How a `resize` was satisfied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ResizeOutcome {
+    /// The current host absorbed the new shape.
+    InPlace,
+    /// The VM moved to a new host through the placement pipeline.
+    Migrated,
+    /// No host (old or new) could take the new shape; state unchanged.
+    Failed,
+}
+
+impl ResizeOutcome {
+    /// The wire spelling.
+    pub const fn as_str(self) -> &'static str {
+        match self {
+            ResizeOutcome::InPlace => "in-place",
+            ResizeOutcome::Migrated => "migrated",
+            ResizeOutcome::Failed => "failed",
+        }
+    }
+}
+
+impl fmt::Display for ResizeOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl FromStr for ResizeOutcome {
+    type Err = ProtocolError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "in-place" => Ok(ResizeOutcome::InPlace),
+            "migrated" => Ok(ResizeOutcome::Migrated),
+            "failed" => Ok(ResizeOutcome::Failed),
+            other => Err(ProtocolError::Malformed(format!(
+                "unknown resize outcome `{other}`"
+            ))),
+        }
+    }
+}
+
+/// Answer to a `resize` request.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub struct ResizeResponse {
+    /// Echo of the request id.
+    pub id: Option<String>,
+    /// Whether this was a plan or a live mutation.
+    pub dry_run: bool,
+    /// The commit token (dry-run only).
+    pub txn: Option<String>,
+    /// Engine version (see [`PlaceResponse::version`]).
+    pub version: u64,
+    /// The VM that was resized.
+    pub vm: u64,
+    /// How the resize was satisfied.
+    pub outcome: ResizeOutcome,
+    /// The hosting node after the operation (absent when it failed).
+    pub node: Option<String>,
+}
+
+impl ResizeResponse {
+    /// A response for `vm` with the given outcome.
+    pub fn new(version: u64, vm: u64, outcome: ResizeOutcome) -> Self {
+        ResizeResponse {
+            id: None,
+            dry_run: false,
+            txn: None,
+            version,
+            vm,
+            outcome,
+            node: None,
+        }
+    }
+
+    /// Echo the request id.
+    pub fn with_id(mut self, id: Option<String>) -> Self {
+        self.id = id;
+        self
+    }
+
+    /// Mark as a dry-run plan carrying a commit token.
+    pub fn as_dry_run(mut self, txn: String) -> Self {
+        self.dry_run = true;
+        self.txn = Some(txn);
+        self
+    }
+
+    /// Record the hosting node after the operation.
+    pub fn on_node(mut self, node: impl Into<String>) -> Self {
+        self.node = Some(node.into());
+        self
+    }
+}
+
+/// Answer to an `evacuate` request.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub struct EvacuateResponse {
+    /// Echo of the request id.
+    pub id: Option<String>,
+    /// Whether this was a plan or a live mutation.
+    pub dry_run: bool,
+    /// The commit token (dry-run only).
+    pub txn: Option<String>,
+    /// Engine version (see [`PlaceResponse::version`]).
+    pub version: u64,
+    /// The drained node.
+    pub node: String,
+    /// Every VM that found a new host, in eviction order.
+    pub moved: Vec<Moved>,
+    /// VMs no host could absorb (terminated by the drain).
+    pub lost: Vec<u64>,
+}
+
+impl EvacuateResponse {
+    /// A response for draining `node`.
+    pub fn new(version: u64, node: impl Into<String>) -> Self {
+        EvacuateResponse {
+            id: None,
+            dry_run: false,
+            txn: None,
+            version,
+            node: node.into(),
+            moved: Vec::new(),
+            lost: Vec::new(),
+        }
+    }
+
+    /// Echo the request id.
+    pub fn with_id(mut self, id: Option<String>) -> Self {
+        self.id = id;
+        self
+    }
+
+    /// Mark as a dry-run plan carrying a commit token.
+    pub fn as_dry_run(mut self, txn: String) -> Self {
+        self.dry_run = true;
+        self.txn = Some(txn);
+        self
+    }
+}
+
+/// Answer to a `commit` request: the replayed operation's own response,
+/// wrapped with the consumed token.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub struct CommitResponse {
+    /// Echo of the request id.
+    pub id: Option<String>,
+    /// The token that was consumed.
+    pub txn: String,
+    /// The live response of the replayed operation.
+    pub applied: Box<ApiResponse>,
+}
+
+impl CommitResponse {
+    /// A commit that applied `applied` under `txn`.
+    pub fn new(txn: impl Into<String>, applied: ApiResponse) -> Self {
+        CommitResponse {
+            id: None,
+            txn: txn.into(),
+            applied: Box::new(applied),
+        }
+    }
+
+    /// Echo the request id.
+    pub fn with_id(mut self, id: Option<String>) -> Self {
+        self.id = id;
+        self
+    }
+}
+
+/// Answer to a `state` request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub struct StateResponse {
+    /// Echo of the request id.
+    pub id: Option<String>,
+    /// Engine version (bumps once per applied mutation).
+    pub version: u64,
+    /// Live VM count.
+    pub vms: u64,
+    /// Total compute nodes in the estate.
+    pub nodes: u64,
+    /// Nodes currently in the `Active` state.
+    pub active_nodes: u64,
+    /// 16-hex-digit canonical hash of the full cloud state.
+    pub hash: String,
+}
+
+impl StateResponse {
+    /// A state snapshot.
+    pub fn new(version: u64, vms: u64, nodes: u64, active_nodes: u64, hash: String) -> Self {
+        StateResponse {
+            id: None,
+            version,
+            vms,
+            nodes,
+            active_nodes,
+            hash,
+        }
+    }
+
+    /// Echo the request id.
+    pub fn with_id(mut self, id: Option<String>) -> Self {
+        self.id = id;
+        self
+    }
+}
+
+/// Answer to a `shutdown` request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub struct ShutdownResponse {
+    /// Echo of the request id.
+    pub id: Option<String>,
+    /// Always `true`; the connection closes after this line.
+    pub ok: bool,
+}
+
+impl ShutdownResponse {
+    /// An acknowledged shutdown.
+    pub fn new() -> Self {
+        ShutdownResponse { id: None, ok: true }
+    }
+
+    /// Echo the request id.
+    pub fn with_id(mut self, id: Option<String>) -> Self {
+        self.id = id;
+        self
+    }
+}
+
+impl Default for ShutdownResponse {
+    fn default() -> Self {
+        ShutdownResponse::new()
+    }
+}
+
+/// A protocol failure on the wire (see [`ProtocolError`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub struct ErrorResponse {
+    /// Echo of the request id, when the request parsed far enough to
+    /// recover one.
+    pub id: Option<String>,
+    /// Stable kebab-case code ([`ProtocolError::code`]).
+    pub code: String,
+    /// The HTTP status this failure maps onto.
+    pub status: u16,
+    /// Human-readable detail.
+    pub error: String,
+}
+
+/// Any protocol response.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ApiResponse {
+    /// Answer to `place`.
+    Place(PlaceResponse),
+    /// Answer to `resize`.
+    Resize(ResizeResponse),
+    /// Answer to `evacuate`.
+    Evacuate(EvacuateResponse),
+    /// Answer to `commit`.
+    Commit(CommitResponse),
+    /// Answer to `state`.
+    State(StateResponse),
+    /// Answer to `shutdown`.
+    Shutdown(ShutdownResponse),
+    /// A protocol failure.
+    Error(ErrorResponse),
+}
+
+impl ApiResponse {
+    /// The wire `op` label.
+    pub const fn op(&self) -> &'static str {
+        match self {
+            ApiResponse::Place(_) => "place",
+            ApiResponse::Resize(_) => "resize",
+            ApiResponse::Evacuate(_) => "evacuate",
+            ApiResponse::Commit(_) => "commit",
+            ApiResponse::State(_) => "state",
+            ApiResponse::Shutdown(_) => "shutdown",
+            ApiResponse::Error(_) => "error",
+        }
+    }
+
+    /// Build the wire form of a [`ProtocolError`], echoing the request
+    /// id when one was recovered before the failure.
+    pub fn from_error(err: &ProtocolError, id: Option<String>) -> ApiResponse {
+        ApiResponse::Error(ErrorResponse {
+            id,
+            code: err.code().to_string(),
+            status: err.http_status(),
+            error: err.to_string(),
+        })
+    }
+
+    /// The HTTP status for this response: the error's mapped status, or
+    /// `200` for every success.
+    pub fn http_status(&self) -> u16 {
+        match self {
+            ApiResponse::Error(e) => e.status,
+            _ => 200,
+        }
+    }
+
+    /// Serialize as one envelope line (no trailing newline); fixed
+    /// field order, so equal responses are equal bytes.
+    pub fn to_json_line(&self) -> String {
+        let mut out = crate::envelope::line_prefix(SchemaId::ApiV1);
+        out.push_str(",\"op\":");
+        json::push_str(&mut out, self.op());
+        let id = match self {
+            ApiResponse::Place(r) => &r.id,
+            ApiResponse::Resize(r) => &r.id,
+            ApiResponse::Evacuate(r) => &r.id,
+            ApiResponse::Commit(r) => &r.id,
+            ApiResponse::State(r) => &r.id,
+            ApiResponse::Shutdown(r) => &r.id,
+            ApiResponse::Error(r) => &r.id,
+        };
+        if let Some(id) = id {
+            out.push_str(",\"id\":");
+            json::push_str(&mut out, id);
+        }
+        match self {
+            ApiResponse::Place(r) => {
+                push_plan_fields(&mut out, r.dry_run, &r.txn, r.version);
+                out.push_str(",\"placed\":[");
+                for (i, p) in r.placed.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push_str("{\"vm\":");
+                    json::push_u64(&mut out, p.vm);
+                    out.push_str(",\"node\":");
+                    json::push_str(&mut out, &p.node);
+                    out.push_str(",\"bb\":");
+                    json::push_str(&mut out, &p.bb);
+                    out.push_str(",\"az\":");
+                    json::push_str(&mut out, &p.az);
+                    out.push_str(",\"retries\":");
+                    json::push_u64(&mut out, p.retries);
+                    out.push('}');
+                }
+                out.push_str("],\"failed\":[");
+                for (i, f) in r.failed.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push_str("{\"index\":");
+                    json::push_u64(&mut out, f.index);
+                    out.push_str(",\"reason\":");
+                    json::push_str(&mut out, &f.reason);
+                    out.push('}');
+                }
+                out.push(']');
+            }
+            ApiResponse::Resize(r) => {
+                push_plan_fields(&mut out, r.dry_run, &r.txn, r.version);
+                out.push_str(",\"vm\":");
+                json::push_u64(&mut out, r.vm);
+                out.push_str(",\"outcome\":");
+                json::push_str(&mut out, r.outcome.as_str());
+                if let Some(node) = &r.node {
+                    out.push_str(",\"node\":");
+                    json::push_str(&mut out, node);
+                }
+            }
+            ApiResponse::Evacuate(r) => {
+                push_plan_fields(&mut out, r.dry_run, &r.txn, r.version);
+                out.push_str(",\"node\":");
+                json::push_str(&mut out, &r.node);
+                out.push_str(",\"moved\":[");
+                for (i, m) in r.moved.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push_str("{\"vm\":");
+                    json::push_u64(&mut out, m.vm);
+                    out.push_str(",\"node\":");
+                    json::push_str(&mut out, &m.node);
+                    out.push('}');
+                }
+                out.push_str("],\"lost\":[");
+                for (i, vm) in r.lost.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    json::push_u64(&mut out, *vm);
+                }
+                out.push(']');
+            }
+            ApiResponse::Commit(r) => {
+                out.push_str(",\"txn\":");
+                json::push_str(&mut out, &r.txn);
+                out.push_str(",\"applied\":");
+                out.push_str(&r.applied.to_json_line());
+            }
+            ApiResponse::State(r) => {
+                out.push_str(",\"version\":");
+                json::push_u64(&mut out, r.version);
+                out.push_str(",\"vms\":");
+                json::push_u64(&mut out, r.vms);
+                out.push_str(",\"nodes\":");
+                json::push_u64(&mut out, r.nodes);
+                out.push_str(",\"active_nodes\":");
+                json::push_u64(&mut out, r.active_nodes);
+                out.push_str(",\"hash\":");
+                json::push_str(&mut out, &r.hash);
+            }
+            ApiResponse::Shutdown(r) => {
+                out.push_str(",\"ok\":");
+                out.push_str(if r.ok { "true" } else { "false" });
+            }
+            ApiResponse::Error(r) => {
+                out.push_str(",\"code\":");
+                json::push_str(&mut out, &r.code);
+                out.push_str(",\"status\":");
+                json::push_u64(&mut out, u64::from(r.status));
+                out.push_str(",\"error\":");
+                json::push_str(&mut out, &r.error);
+            }
+        }
+        out.push('}');
+        out
+    }
+
+    /// Decode one response line. Unknown fields are always tolerated
+    /// (responses flow server→client; a newer server may say more).
+    pub fn parse_line(text: &str) -> Result<ApiResponse, ProtocolError> {
+        let value =
+            json::parse(text).map_err(|e| ProtocolError::Malformed(format!("bad JSON: {e}")))?;
+        parse_value(&value)
+    }
+}
+
+fn push_plan_fields(out: &mut String, dry_run: bool, txn: &Option<String>, version: u64) {
+    out.push_str(",\"dry_run\":");
+    out.push_str(if dry_run { "true" } else { "false" });
+    if let Some(txn) = txn {
+        out.push_str(",\"txn\":");
+        json::push_str(out, txn);
+    }
+    out.push_str(",\"version\":");
+    json::push_u64(out, version);
+}
+
+fn parse_value(value: &JsonValue) -> Result<ApiResponse, ProtocolError> {
+    let malformed = |msg: &str| ProtocolError::Malformed(format!("bad response: {msg}"));
+    if value.as_obj().is_none() {
+        return Err(malformed("not a JSON object"));
+    }
+    let schema = value
+        .get("schema")
+        .and_then(JsonValue::as_str)
+        .ok_or_else(|| malformed("missing schema"))?;
+    crate::envelope::expect_schema(schema, SchemaId::ApiV1)?;
+    let op = value
+        .get("op")
+        .and_then(JsonValue::as_str)
+        .ok_or_else(|| malformed("missing op"))?;
+    let id = value
+        .get("id")
+        .and_then(JsonValue::as_str)
+        .map(str::to_string);
+    let get_u64 = |key: &str| -> Result<u64, ProtocolError> {
+        value
+            .get(key)
+            .and_then(JsonValue::as_u64)
+            .ok_or_else(|| malformed(&format!("missing or mistyped `{key}`")))
+    };
+    let get_str = |key: &str| -> Result<String, ProtocolError> {
+        value
+            .get(key)
+            .and_then(JsonValue::as_str)
+            .map(str::to_string)
+            .ok_or_else(|| malformed(&format!("missing or mistyped `{key}`")))
+    };
+    let dry_run = value
+        .get("dry_run")
+        .and_then(JsonValue::as_bool)
+        .unwrap_or(false);
+    let txn = value
+        .get("txn")
+        .and_then(JsonValue::as_str)
+        .map(str::to_string);
+
+    match op {
+        "place" => {
+            let mut resp = PlaceResponse::new(get_u64("version")?).with_id(id);
+            resp.dry_run = dry_run;
+            resp.txn = txn;
+            for item in value
+                .get("placed")
+                .and_then(JsonValue::as_arr)
+                .ok_or_else(|| malformed("missing `placed`"))?
+            {
+                resp.placed.push(Placement {
+                    vm: item
+                        .get("vm")
+                        .and_then(JsonValue::as_u64)
+                        .ok_or_else(|| malformed("placed[].vm"))?,
+                    node: item
+                        .get("node")
+                        .and_then(JsonValue::as_str)
+                        .ok_or_else(|| malformed("placed[].node"))?
+                        .to_string(),
+                    bb: item
+                        .get("bb")
+                        .and_then(JsonValue::as_str)
+                        .ok_or_else(|| malformed("placed[].bb"))?
+                        .to_string(),
+                    az: item
+                        .get("az")
+                        .and_then(JsonValue::as_str)
+                        .ok_or_else(|| malformed("placed[].az"))?
+                        .to_string(),
+                    retries: item.get("retries").and_then(JsonValue::as_u64).unwrap_or(0),
+                });
+            }
+            for item in value
+                .get("failed")
+                .and_then(JsonValue::as_arr)
+                .ok_or_else(|| malformed("missing `failed`"))?
+            {
+                resp.failed.push(PlaceFailure {
+                    index: item
+                        .get("index")
+                        .and_then(JsonValue::as_u64)
+                        .ok_or_else(|| malformed("failed[].index"))?,
+                    reason: item
+                        .get("reason")
+                        .and_then(JsonValue::as_str)
+                        .ok_or_else(|| malformed("failed[].reason"))?
+                        .to_string(),
+                });
+            }
+            Ok(ApiResponse::Place(resp))
+        }
+        "resize" => {
+            let outcome: ResizeOutcome = get_str("outcome")?.parse()?;
+            let mut resp =
+                ResizeResponse::new(get_u64("version")?, get_u64("vm")?, outcome).with_id(id);
+            resp.dry_run = dry_run;
+            resp.txn = txn;
+            resp.node = value
+                .get("node")
+                .and_then(JsonValue::as_str)
+                .map(str::to_string);
+            Ok(ApiResponse::Resize(resp))
+        }
+        "evacuate" => {
+            let mut resp =
+                EvacuateResponse::new(get_u64("version")?, get_str("node")?).with_id(id);
+            resp.dry_run = dry_run;
+            resp.txn = txn;
+            for item in value
+                .get("moved")
+                .and_then(JsonValue::as_arr)
+                .ok_or_else(|| malformed("missing `moved`"))?
+            {
+                resp.moved.push(Moved {
+                    vm: item
+                        .get("vm")
+                        .and_then(JsonValue::as_u64)
+                        .ok_or_else(|| malformed("moved[].vm"))?,
+                    node: item
+                        .get("node")
+                        .and_then(JsonValue::as_str)
+                        .ok_or_else(|| malformed("moved[].node"))?
+                        .to_string(),
+                });
+            }
+            for item in value
+                .get("lost")
+                .and_then(JsonValue::as_arr)
+                .ok_or_else(|| malformed("missing `lost`"))?
+            {
+                resp.lost
+                    .push(item.as_u64().ok_or_else(|| malformed("lost[]"))?);
+            }
+            Ok(ApiResponse::Evacuate(resp))
+        }
+        "commit" => {
+            let applied = value
+                .get("applied")
+                .ok_or_else(|| malformed("missing `applied`"))?;
+            Ok(ApiResponse::Commit(
+                CommitResponse::new(get_str("txn")?, parse_value(applied)?).with_id(id),
+            ))
+        }
+        "state" => Ok(ApiResponse::State(
+            StateResponse::new(
+                get_u64("version")?,
+                get_u64("vms")?,
+                get_u64("nodes")?,
+                get_u64("active_nodes")?,
+                get_str("hash")?,
+            )
+            .with_id(id),
+        )),
+        "shutdown" => Ok(ApiResponse::Shutdown(ShutdownResponse {
+            id,
+            ok: value
+                .get("ok")
+                .and_then(JsonValue::as_bool)
+                .ok_or_else(|| malformed("missing `ok`"))?,
+        })),
+        "error" => {
+            let status = get_u64("status")?;
+            Ok(ApiResponse::Error(ErrorResponse {
+                id,
+                code: get_str("code")?,
+                status: u16::try_from(status)
+                    .map_err(|_| malformed("status out of range"))?,
+                error: get_str("error")?,
+            }))
+        }
+        other => Err(malformed(&format!("unknown op `{other}`"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_response_round_trips_through_the_codec() {
+        let mut place = PlaceResponse::new(7).with_id(Some("r1".into()));
+        place.push_placed(Placement {
+            vm: 12,
+            node: "bb-000-n001".into(),
+            bb: "bb-000".into(),
+            az: "az-a".into(),
+            retries: 2,
+        });
+        place.push_failed(1, "no-candidate");
+        let dry =
+            PlaceResponse::new(3).as_dry_run("00000000000000ff".into());
+        let mut evac = EvacuateResponse::new(9, "bb-001-n000");
+        evac.moved.push(Moved {
+            vm: 4,
+            node: "bb-001-n001".into(),
+        });
+        evac.lost.push(5);
+        let responses = vec![
+            ApiResponse::Place(place),
+            ApiResponse::Place(dry),
+            ApiResponse::Resize(
+                ResizeResponse::new(4, 7, ResizeOutcome::Migrated).on_node("bb-000-n002"),
+            ),
+            ApiResponse::Resize(ResizeResponse::new(4, 7, ResizeOutcome::Failed)),
+            ApiResponse::Evacuate(evac),
+            ApiResponse::Commit(CommitResponse::new(
+                "0123456789abcdef",
+                ApiResponse::Resize(ResizeResponse::new(5, 7, ResizeOutcome::InPlace)),
+            )),
+            ApiResponse::State(StateResponse::new(
+                11,
+                100,
+                1823,
+                1820,
+                "00ff00ff00ff00ff".into(),
+            )),
+            ApiResponse::Shutdown(ShutdownResponse::new().with_id(Some("bye".into()))),
+            ApiResponse::from_error(
+                &ProtocolError::Conflict("state moved".into()),
+                Some("r9".into()),
+            ),
+        ];
+        for resp in responses {
+            let line = resp.to_json_line();
+            assert!(line.starts_with("{\"schema\":\"sapsim.api/v1\",\"op\":"), "{line}");
+            let back = ApiResponse::parse_line(&line).expect("round trip");
+            assert_eq!(back, resp, "line: {line}");
+            assert_eq!(back.to_json_line(), line);
+        }
+    }
+
+    #[test]
+    fn error_responses_carry_the_three_projections() {
+        for err in ProtocolError::samples() {
+            let resp = ApiResponse::from_error(&err, None);
+            assert_eq!(resp.http_status(), err.http_status());
+            let line = resp.to_json_line();
+            assert!(line.contains(&format!("\"code\":\"{}\"", err.code())), "{line}");
+        }
+    }
+
+    #[test]
+    fn resize_outcome_round_trips() {
+        for o in [
+            ResizeOutcome::InPlace,
+            ResizeOutcome::Migrated,
+            ResizeOutcome::Failed,
+        ] {
+            assert_eq!(o.to_string().parse::<ResizeOutcome>().unwrap(), o);
+        }
+        assert!("sideways".parse::<ResizeOutcome>().is_err());
+    }
+
+    #[test]
+    fn success_status_is_200() {
+        assert_eq!(
+            ApiResponse::State(StateResponse::new(0, 0, 0, 0, "0".into())).http_status(),
+            200
+        );
+    }
+}

@@ -1,0 +1,126 @@
+//! Placement-service hot path at region scale.
+//!
+//! Boots the full paper region (scale 1.0 — 1,823 nodes) and measures
+//! the request path `sapsim serve` runs per placement: envelope decode,
+//! engine mutation, envelope encode. A custom `main` first prints a
+//! latency distribution summary (p50 / p99 and placements/sec over a
+//! fixed request train — the service's stated SLO numbers), then runs
+//! the criterion groups for the individual stages:
+//!
+//! * `place_release` — one live placement (plus the release that keeps
+//!   the estate at a steady size across iterations)
+//! * `dry_run_plan`  — fork-and-place, the what-if read path
+//! * `snapshot_fork` — the writer's post-mutation snapshot republish
+//! * `codec`         — envelope parse + canonical re-encode only
+//!
+//! Run with `cargo bench --bench serve_hot_path`.
+
+use criterion::{criterion_group, Criterion};
+use sapsim_api::{ApiRequest, PlaceRequest};
+use sapsim_cli::serve::service::Service;
+use sapsim_core::{PlaceOutcome, PlaceSpec, PlacementEngine, SimConfig};
+use sapsim_topology::Resources;
+use sapsim_workload::WorkloadClass;
+use std::hint::black_box;
+use std::time::Instant;
+
+/// The full studied region.
+fn region_config() -> SimConfig {
+    SimConfig::builder()
+        .scale(1.0)
+        .seed(0)
+        .build()
+        .expect("valid region config")
+}
+
+fn region_engine() -> PlacementEngine {
+    PlacementEngine::new(region_config()).expect("region estate boots")
+}
+
+fn gp_spec() -> PlaceSpec {
+    PlaceSpec {
+        resources: Resources::new(4, 16_384, 64),
+        class: WorkloadClass::GeneralPurpose,
+        az: None,
+        lifetime_days: 30.0,
+    }
+}
+
+/// The headline numbers: request latency percentiles and throughput
+/// over a fixed train of single-placement requests through the same
+/// `Service::execute` path the server's writer thread runs.
+fn report_percentiles() {
+    const REQUESTS: usize = 1_000;
+    let mut service = Service::new(region_config()).expect("service boots");
+    let (nodes, _) = service.engine.node_counts();
+    let line = ApiRequest::Place(PlaceRequest::new(4, 16_384)).to_json_line();
+
+    let mut latencies_us = Vec::with_capacity(REQUESTS);
+    let train_started = Instant::now();
+    for _ in 0..REQUESTS {
+        let started = Instant::now();
+        let request = ApiRequest::parse_line(&line, false).expect("canonical line");
+        let response = service.execute(&request);
+        black_box(response.to_json_line());
+        latencies_us.push(started.elapsed().as_secs_f64() * 1e6);
+    }
+    let total = train_started.elapsed().as_secs_f64();
+
+    latencies_us.sort_by(f64::total_cmp);
+    let pct = |p: f64| latencies_us[((latencies_us.len() - 1) as f64 * p) as usize];
+    println!(
+        "serve_hot_path: {nodes}-node region, {REQUESTS} placements: \
+         p50 = {:.1} us, p99 = {:.1} us, {:.0} placements/sec",
+        pct(0.50),
+        pct(0.99),
+        REQUESTS as f64 / total
+    );
+}
+
+fn hot_path(c: &mut Criterion) {
+    let mut g = c.benchmark_group("serve_hot_path");
+    g.sample_size(10);
+
+    let mut engine = region_engine();
+    let spec = gp_spec();
+    g.bench_function("place_release", |b| {
+        b.iter(|| {
+            match engine.place(black_box(&spec)) {
+                PlaceOutcome::Placed { vm, .. } => {
+                    engine.release(vm);
+                }
+                other => {
+                    black_box(other);
+                }
+            };
+        })
+    });
+
+    let view = region_engine();
+    g.bench_function("dry_run_plan", |b| {
+        b.iter(|| {
+            let mut fork = view.fork();
+            black_box(fork.place(black_box(&spec)))
+        })
+    });
+
+    g.bench_function("snapshot_fork", |b| b.iter(|| black_box(view.fork())));
+
+    let line = ApiRequest::Place(PlaceRequest::new(4, 16_384).with_count(8)).to_json_line();
+    g.bench_function("codec", |b| {
+        b.iter(|| {
+            let request = ApiRequest::parse_line(black_box(&line), false).expect("valid line");
+            black_box(request.to_json_line())
+        })
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, hot_path);
+
+fn main() {
+    report_percentiles();
+    benches();
+    Criterion::default().configure_from_args().final_summary();
+}

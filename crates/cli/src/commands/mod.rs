@@ -45,18 +45,16 @@ pub fn sim_config_from(parsed: &Parsed) -> Result<SimConfig, CliError> {
     cfg.days = parsed.get_parsed("days", 5u64)?;
     cfg.seed = parsed.get_parsed("seed", 0u64)?;
     cfg.gp_cpu_overcommit = parsed.get_parsed("overcommit", 4.0)?;
-    let policy_name = parsed.get("policy").unwrap_or("paper-default");
-    cfg.policy = PolicyKind::from_name(policy_name)
-        .ok_or_else(|| CliError::Usage(format!("unknown policy `{policy_name}`")))?;
-    cfg.granularity = match parsed.get("granularity").unwrap_or("bb") {
-        "bb" => PlacementGranularity::BuildingBlock,
-        "node" => PlacementGranularity::Node,
-        other => {
-            return Err(CliError::Usage(format!(
-                "unknown granularity `{other}` (use bb|node)"
-            )))
-        }
-    };
+    cfg.policy = parsed
+        .get("policy")
+        .unwrap_or("paper-default")
+        .parse::<PolicyKind>()
+        .map_err(CliError::Usage)?;
+    cfg.granularity = parsed
+        .get("granularity")
+        .unwrap_or("bb")
+        .parse::<PlacementGranularity>()
+        .map_err(CliError::Usage)?;
     if parsed.flag("no-drs") {
         cfg.drs_enabled = false;
     }
@@ -248,13 +246,14 @@ pub fn execute_with_obs(
 }
 
 /// Write one `sapsim.metrics/v1` JSON snapshot to `path` plus a status
-/// line to `out`.
+/// line to `out`. The line is rendered through the `sapsim-api` envelope
+/// writer, which owns the schema spelling.
 fn write_metrics_snapshot(
     registry: &MetricsRegistry,
     path: &str,
     out: &mut dyn Write,
 ) -> Result<(), CliError> {
-    let mut json = registry.to_json();
+    let mut json = sapsim_api::envelope::metrics_line(registry);
     json.push('\n');
     std::fs::write(path, &json)
         .map_err(|e| CliError::Io(format!("cannot create {path}: {e}")))?;

@@ -103,6 +103,22 @@ impl From<std::io::Error> for CliError {
     }
 }
 
+impl From<sapsim_api::ProtocolError> for CliError {
+    /// Protocol failures on the serve *setup* path (per-request failures
+    /// are answered as error envelopes, not process exits). The variant
+    /// is chosen so [`CliError::exit_code`] equals
+    /// [`ProtocolError::exit_code`](sapsim_api::ProtocolError::exit_code)
+    /// — both tables project the same taxonomy.
+    fn from(err: sapsim_api::ProtocolError) -> Self {
+        match err.exit_code() {
+            2 => CliError::Usage(err.to_string()),
+            3 => CliError::Config(SimError::InvalidConfig(err.to_string())),
+            4 => CliError::Io(err.to_string()),
+            _ => CliError::Data(err.to_string()),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -137,6 +153,15 @@ mod tests {
         let io: CliError = SweepError::Io("cannot read x".into()).into();
         assert_eq!(io.exit_code(), 4);
         assert_eq!(CliError::from(SweepError::NoScenarios).exit_code(), 5);
+    }
+
+    #[test]
+    fn protocol_errors_keep_their_exit_code_through_the_conversion() {
+        for err in sapsim_api::ProtocolError::samples() {
+            let expected = err.exit_code();
+            let cli: CliError = err.into();
+            assert_eq!(cli.exit_code(), expected, "{cli}");
+        }
     }
 
     #[test]

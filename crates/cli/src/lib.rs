@@ -9,6 +9,7 @@
 //! sapsim import   FILE [OPTIONS]   load a dataset CSV and print summary stats
 //! sapsim obs summary FILE          summarize an --obs-out JSONL log
 //! sapsim obs metrics FILE...       merge sapsim.metrics/v1 snapshots
+//! sapsim serve    [OPTIONS]        run the placement service (or drive one)
 //! sapsim tables                    print the static paper tables (3, 4, 5)
 //! sapsim help                      this text
 //! ```
@@ -24,6 +25,7 @@
 pub mod args;
 pub mod commands;
 pub mod error;
+pub mod serve;
 
 pub use args::{ArgError, Parsed};
 pub use error::CliError;
@@ -41,6 +43,7 @@ COMMANDS:
     export      run a simulation and write the telemetry as dataset CSV
     import      load a dataset CSV (simulated or real) and summarize it
     obs         inspect observability artifacts (obs summary | obs metrics)
+    serve       run the incremental scheduler as a placement service
     tables      print the paper's static tables (3, 4, 5)
     help        show this message
 
@@ -122,6 +125,26 @@ OBS COMMAND:
     --prom               render in Prometheus text format (counters only
                          for summary; full families for metrics)
 
+SERVE OPTIONS:
+    --listen <ADDR>      HTTP bind address        [default: 127.0.0.1:7070]
+                         endpoints: POST /v1/request (one sapsim.api/v1
+                         envelope per body), GET /v1/state, GET /healthz,
+                         GET /metrics (Prometheus text)
+    --tcp <ADDR>         also serve JSONL-over-TCP (one envelope per line,
+                         persistent connections, same codec as HTTP)
+    --workers <N>        read-path worker threads          [default: 4]
+                         mutations always serialize onto one writer thread
+    --strict             reject unknown envelope fields (default tolerates)
+    --max-body-kib <N>   largest request body / line, KiB  [default: 64]
+    --read-timeout-ms <N> socket read budget per request   [default: 2000]
+    --scale/--seed/--policy/--granularity/--overcommit
+                         estate knobs, as for simulate
+    --script <FILE>      without --connect: apply the script's envelope
+                         lines to an in-process engine and print each
+                         response (the offline differential oracle)
+    --connect <ADDR>     drive a running server over HTTP with --script
+    --connect-tcp <ADDR> drive a running server over TCP with --script
+
 EXPORT OPTIONS:
     --anonymize <SALT>   consistently hash entity names (like the
                          published dataset)
@@ -161,6 +184,7 @@ pub fn run_to(argv: &[String], out: &mut dyn std::io::Write) -> Result<(), CliEr
         "export" => commands::export::run(rest, out),
         "import" => commands::import::run(rest, out),
         "obs" => commands::obs::run(rest, out),
+        "serve" => serve::run(rest, out),
         "tables" => commands::tables::run(rest, out),
         "help" | "--help" | "-h" => {
             writeln!(out, "{USAGE}")?;

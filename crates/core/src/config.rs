@@ -20,6 +20,36 @@ pub enum PlacementGranularity {
     Node,
 }
 
+impl PlacementGranularity {
+    /// The stable CLI/manifest spelling (`bb` | `node`).
+    pub const fn as_str(self) -> &'static str {
+        match self {
+            PlacementGranularity::BuildingBlock => "bb",
+            PlacementGranularity::Node => "node",
+        }
+    }
+}
+
+impl std::fmt::Display for PlacementGranularity {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl std::str::FromStr for PlacementGranularity {
+    type Err = String;
+
+    /// The error message is exactly what the CLI prints for
+    /// `--granularity`, keeping both paths under one pinned contract.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "bb" => Ok(PlacementGranularity::BuildingBlock),
+            "node" => Ok(PlacementGranularity::Node),
+            other => Err(format!("unknown granularity `{other}` (use bb|node)")),
+        }
+    }
+}
+
 /// Full configuration of one simulation run. A run is a pure function of
 /// this value — two runs with equal configs produce identical results.
 ///

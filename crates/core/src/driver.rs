@@ -1784,7 +1784,7 @@ impl SimDriver {
     /// Both paths produce byte-identical runs; the equivalence suites pin
     /// that contract.
     #[allow(clippy::too_many_arguments)]
-    fn rank_request(
+    pub(crate) fn rank_request(
         cloud: &mut Cloud,
         policy: &mut PlacementPolicy,
         cfg: &SimConfig,

@@ -29,6 +29,7 @@
 mod cloud;
 mod config;
 mod driver;
+mod engine;
 mod error;
 pub mod hypervisor;
 mod result;
@@ -40,6 +41,7 @@ mod viewcache;
 pub use cloud::{Cloud, CloudState, PlacedVm, PlacementOutcome};
 pub use config::{PlacementGranularity, SimConfig, SimConfigBuilder};
 pub use driver::SimDriver;
+pub use engine::{EvacReport, PlaceOutcome, PlaceSpec, PlacementEngine, ResizeResult};
 pub use error::SimError;
 pub use result::{DriverStats, FaultStats, RunResult, VmUsageSummary};
 pub use scenario::{fnv1a_64, Scenario, SweepSpec};

@@ -208,6 +208,40 @@ impl FaultSpec {
         Ok(spec)
     }
 
+    /// The inline `key=value` spelling of this spec: only keys that
+    /// differ from [`FaultSpec::none`] are emitted, in the documented
+    /// key order, so `none()` displays as the empty string and every
+    /// spec round-trips through [`FaultSpec::parse_inline`].
+    fn inline_spec(&self) -> String {
+        let base = FaultSpec::none();
+        let mut parts: Vec<String> = Vec::new();
+        if self.host_fail_rate_per_month != base.host_fail_rate_per_month {
+            parts.push(format!("fail={}", self.host_fail_rate_per_month));
+        }
+        if self.host_downtime_hours != base.host_downtime_hours {
+            parts.push(format!("downtime={}", self.host_downtime_hours));
+        }
+        if self.straggler_fraction != base.straggler_fraction {
+            parts.push(format!("straggler={}", self.straggler_fraction));
+        }
+        if self.straggler_slowdown != base.straggler_slowdown {
+            parts.push(format!("slowdown={}", self.straggler_slowdown));
+        }
+        if self.dropout_rate_per_month != base.dropout_rate_per_month {
+            parts.push(format!("dropout={}", self.dropout_rate_per_month));
+        }
+        if self.dropout_duration_hours != base.dropout_duration_hours {
+            parts.push(format!("dropout-hours={}", self.dropout_duration_hours));
+        }
+        if self.evac_retry_limit != base.evac_retry_limit {
+            parts.push(format!("retries={}", self.evac_retry_limit));
+        }
+        if self.evac_retry_backoff_secs != base.evac_retry_backoff_secs {
+            parts.push(format!("backoff={}", self.evac_retry_backoff_secs));
+        }
+        parts.join(",")
+    }
+
     /// Parse a JSON file body (the `--faults <FILE>` form). Absent fields
     /// fall back to [`FaultSpec::none`] defaults.
     pub fn from_json_str(text: &str) -> Result<Self, FaultError> {
@@ -215,6 +249,22 @@ impl FaultSpec {
             .map_err(|e| FaultError::JsonSyntax(format!("faults: bad JSON spec: {e}")))?;
         spec.validate()?;
         Ok(spec)
+    }
+}
+
+impl std::fmt::Display for FaultSpec {
+    /// The inline `--faults` spelling (non-default keys only); the
+    /// inverse of [`FromStr`], with `none()` rendering as `""`.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.inline_spec())
+    }
+}
+
+impl std::str::FromStr for FaultSpec {
+    type Err = FaultError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        FaultSpec::parse_inline(s)
     }
 }
 

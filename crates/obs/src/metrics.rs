@@ -158,6 +158,26 @@ impl Histogram {
         (self.count > 0).then(|| self.sum as f64 / self.count as f64)
     }
 
+    /// The bucket upper bound at or below which a `q` fraction of the
+    /// observations fall (`q` clamped to `[0, 1]`); `None` when empty.
+    /// Bucket-resolution, like a Prometheus `histogram_quantile`: the
+    /// serve front end reports request-latency p50/p99 through this.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = (q * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (ub, n) in self.buckets() {
+            seen += n;
+            if seen >= rank {
+                return Some(ub);
+            }
+        }
+        Some(self.max)
+    }
+
     /// Non-empty buckets as `(inclusive upper bound, count)`, in bound
     /// order.
     pub fn buckets(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
@@ -348,7 +368,20 @@ impl MetricsRegistry {
     /// bounds so consumers never need this crate's bucket math.
     pub fn to_json(&self) -> String {
         let mut out = String::with_capacity(256);
-        out.push_str("{\"schema\":\"sapsim.metrics/v1\",\"counters\":[");
+        out.push_str("{\"schema\":\"sapsim.metrics/v1\",");
+        out.push_str(&self.fields_json());
+        out.push('}');
+        out
+    }
+
+    /// The body of the `sapsim.metrics/v1` line — everything after the
+    /// `schema` key, without the enclosing braces. The envelope writer
+    /// in `sapsim-api` wraps this so the schema id has a single owner;
+    /// [`to_json`](Self::to_json) is the historical all-in-one spelling
+    /// and stays byte-identical.
+    pub fn fields_json(&self) -> String {
+        let mut out = String::with_capacity(256);
+        out.push_str("\"counters\":[");
         for (i, (key, value)) in self.counters.iter().enumerate() {
             if i > 0 {
                 out.push(',');
@@ -395,7 +428,7 @@ impl MetricsRegistry {
             }
             out.push_str("]}");
         }
-        out.push_str("]}");
+        out.push(']');
         out
     }
 }
@@ -424,6 +457,37 @@ mod tests {
             assert_eq!(bucket_upper_bound(i), ub, "bucket {i}");
         }
         assert_eq!(bucket_upper_bound(HIST_BUCKETS - 1), u64::MAX);
+    }
+
+    #[test]
+    fn quantiles_resolve_to_bucket_upper_bounds() {
+        let mut h = Histogram::default();
+        assert_eq!(h.quantile(0.5), None);
+        for v in 1..=100u64 {
+            h.record(v);
+        }
+        // Bucket resolution: the answer is the upper bound of the bucket
+        // containing the rank, so it is >= the exact quantile and never
+        // beyond the recorded max's bucket.
+        let p50 = h.quantile(0.5).unwrap();
+        let p99 = h.quantile(0.99).unwrap();
+        assert!(p50 >= 50 && p50 < 100, "p50 = {p50}");
+        assert!(p99 >= 99, "p99 = {p99}");
+        assert!(h.quantile(0.0).unwrap() >= 1);
+        assert!(h.quantile(1.0).unwrap() >= p99);
+        let mut single = Histogram::default();
+        single.record(7);
+        assert_eq!(single.quantile(0.5), Some(7));
+    }
+
+    #[test]
+    fn fields_json_is_the_envelope_body_of_to_json() {
+        let mut reg = MetricsRegistry::new();
+        reg.counter("a", 1);
+        reg.gauge("b", 2.5);
+        reg.observe("c", 3);
+        let wrapped = format!("{{\"schema\":\"sapsim.metrics/v1\",{}}}", reg.fields_json());
+        assert_eq!(wrapped, reg.to_json());
     }
 
     #[test]

@@ -135,6 +135,59 @@ impl ObsConfig {
     }
 }
 
+impl fmt::Display for ObsConfig {
+    /// The compact spec spelling, `sample=<rate>,ring=<capacity>` —
+    /// the inverse of [`FromStr`], so configs round-trip through their
+    /// own display form.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "sample={},ring={}",
+            self.decision_sample_rate, self.ring_capacity
+        )
+    }
+}
+
+impl std::str::FromStr for ObsConfig {
+    type Err = ObsError;
+
+    /// Parse a compact spec: comma-separated `sample=<rate>` and
+    /// `ring=<capacity>` pairs in any order, each optional (missing
+    /// keys keep their defaults). The empty string is the default
+    /// config. The result is [`validate`](ObsConfig::validate)d.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let mut config = ObsConfig::default();
+        for part in s.split(',').filter(|p| !p.is_empty()) {
+            let (key, value) = part.split_once('=').ok_or_else(|| {
+                ObsError::InvalidConfig(format!("obs spec: expected key=value, got `{part}`"))
+            })?;
+            match key {
+                "sample" => {
+                    config.decision_sample_rate = value.parse().map_err(|_| {
+                        ObsError::InvalidConfig(format!(
+                            "obs spec: `sample` wants a number, got `{value}`"
+                        ))
+                    })?;
+                }
+                "ring" => {
+                    config.ring_capacity = value.parse().map_err(|_| {
+                        ObsError::InvalidConfig(format!(
+                            "obs spec: `ring` wants a positive integer, got `{value}`"
+                        ))
+                    })?;
+                }
+                other => {
+                    return Err(ObsError::InvalidConfig(format!(
+                        "obs spec: unknown key `{other}` (use sample|ring)"
+                    )))
+                }
+            }
+        }
+        config.validate()?;
+        Ok(config)
+    }
+}
+
 /// SplitMix64 finalizer: a cheap, well-mixed 64-bit hash. Used to turn a
 /// VM uid into a uniform `[0, 1)` value for sampling without consuming
 /// any simulation randomness.
@@ -414,6 +467,34 @@ mod tests {
     use crate::event::{DecisionOutcome, DecisionRecord};
     use serde_json::Value;
 
+    #[test]
+    fn obs_config_round_trips_through_its_display_form() {
+        let configs = [
+            ObsConfig::default(),
+            ObsConfig {
+                decision_sample_rate: 0.25,
+                ring_capacity: 1024,
+            },
+            ObsConfig {
+                decision_sample_rate: 0.0,
+                ring_capacity: 1,
+            },
+        ];
+        for config in configs {
+            let spec = config.to_string();
+            let back: ObsConfig = spec.parse().expect("round trip");
+            assert_eq!(back, config, "spec: {spec}");
+        }
+        assert_eq!("".parse::<ObsConfig>().unwrap(), ObsConfig::default());
+        assert_eq!(
+            "ring=64".parse::<ObsConfig>().unwrap().decision_sample_rate,
+            1.0
+        );
+        for bad in ["sample", "sample=x", "ring=0", "sample=2.0", "pace=1"] {
+            assert!(bad.parse::<ObsConfig>().is_err(), "spec: {bad}");
+        }
+    }
+
     fn span(kind: SpanKind, ts_us: u64, dur_us: u64) -> ObsEvent {
         ObsEvent::Span {
             kind,
@@ -543,7 +624,7 @@ mod tests {
             kind: FaultEventKind::HostFail,
             sim_time_ms: 0,
             node: 3,
-            vm_uid: 0,
+            vm_uid: None,
         });
         rec.counter_add("placements", 5);
         assert!(!rec.wants_decision(1), "metrics recorder declines sampling");

@@ -64,6 +64,23 @@ impl PolicyKind {
     }
 }
 
+impl std::fmt::Display for PolicyKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl std::str::FromStr for PolicyKind {
+    type Err = String;
+
+    /// Typed spelling of [`PolicyKind::from_name`]; the error message is
+    /// the exact string the CLI prints for `--policy`, so both paths stay
+    /// pinned by one contract.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        PolicyKind::from_name(s).ok_or_else(|| format!("unknown policy `{s}`"))
+    }
+}
+
 fn standard_filters() -> Vec<Box<dyn Filter>> {
     vec![
         Box::new(ComputeStatusFilter),
@@ -301,6 +318,13 @@ mod tests {
         }
         assert_eq!(PolicyKind::from_name("Spread"), None);
         assert_eq!(PolicyKind::from_name(""), None);
+        for kind in PolicyKind::ALL {
+            assert_eq!(kind.to_string().parse::<PolicyKind>(), Ok(kind));
+        }
+        assert_eq!(
+            "nope".parse::<PolicyKind>(),
+            Err("unknown policy `nope`".to_string())
+        );
     }
 
     #[test]

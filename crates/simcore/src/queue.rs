@@ -90,6 +90,35 @@ pub enum QueueBackend {
     BinaryHeap,
 }
 
+impl QueueBackend {
+    /// The stable spelling used by manifests and differential harnesses
+    /// (`wheel` | `heap`).
+    pub const fn as_str(self) -> &'static str {
+        match self {
+            QueueBackend::TimingWheel => "wheel",
+            QueueBackend::BinaryHeap => "heap",
+        }
+    }
+}
+
+impl std::fmt::Display for QueueBackend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl std::str::FromStr for QueueBackend {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "wheel" => Ok(QueueBackend::TimingWheel),
+            "heap" => Ok(QueueBackend::BinaryHeap),
+            other => Err(format!("unknown queue backend `{other}` (use wheel|heap)")),
+        }
+    }
+}
+
 /// The retained heap implementation. `live` holds the seqs still pending,
 /// so cancellation and `len()` never need to consult the heap itself;
 /// `pop`/`peek_time` lazily discard entries whose seq has left the set.

@@ -9,11 +9,13 @@
 
 use crate::summary::RunSummary;
 use crate::SweepError;
+use sapsim_api::SchemaId;
 use serde::{Deserialize, Serialize};
 use std::fmt::Write as _;
 
-/// Schema identifier embedded in every serialized [`SweepReport`].
-pub const SWEEP_REPORT_SCHEMA: &str = "sapsim.sweep-report/v1";
+/// Schema identifier embedded in every serialized [`SweepReport`] —
+/// spelled by the `sapsim-api` schema registry ([`SchemaId::SweepReportV1`]).
+pub const SWEEP_REPORT_SCHEMA: &str = SchemaId::SweepReportV1.as_str();
 
 /// One scenario's contribution to a sweep report.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -51,16 +53,20 @@ impl SweepReport {
         }
     }
 
-    /// Single-line JSON form — the sweep's canonical output bytes.
+    /// Single-line JSON form — the sweep's canonical output bytes,
+    /// routed through the registry's envelope check.
     pub fn to_json(&self) -> String {
-        serde_json::to_string(self).expect("SweepReport serializes")
+        sapsim_api::envelope::checked_line(
+            SchemaId::SweepReportV1,
+            serde_json::to_string(self).expect("SweepReport serializes"),
+        )
     }
 
     /// Parse a serialized report, rejecting unknown schema versions.
     pub fn from_json_str(text: &str) -> Result<SweepReport, SweepError> {
         let report: SweepReport = serde_json::from_str(text)
             .map_err(|e| SweepError::Manifest(format!("bad sweep report: {e}")))?;
-        if report.schema != SWEEP_REPORT_SCHEMA {
+        if sapsim_api::envelope::expect_schema(&report.schema, SchemaId::SweepReportV1).is_err() {
             return Err(SweepError::Manifest(format!(
                 "unsupported sweep-report schema `{}` (expected `{SWEEP_REPORT_SCHEMA}`)",
                 report.schema

@@ -10,15 +10,17 @@
 use sapsim_analysis::cdf::{utilization_cdf, VmResource};
 use sapsim_analysis::classify::{table1_by_vcpu, table2_by_ram};
 use sapsim_analysis::contention::contention_aggregate;
+use sapsim_api::SchemaId;
 use sapsim_core::scenario::fnv1a_64;
 use sapsim_core::{DriverStats, RunResult, SimConfig};
 use serde::{Deserialize, Serialize};
 
 use crate::SweepError;
 
-/// Schema identifier embedded in every serialized [`RunSummary`]. Bump
-/// the `/v1` suffix on any breaking change to the JSON shape.
-pub const RUN_SUMMARY_SCHEMA: &str = "sapsim.run-summary/v1";
+/// Schema identifier embedded in every serialized [`RunSummary`] —
+/// spelled by the `sapsim-api` schema registry ([`SchemaId::RunSummaryV1`]).
+/// Bump the `/v1` suffix on any breaking change to the JSON shape.
+pub const RUN_SUMMARY_SCHEMA: &str = SchemaId::RunSummaryV1.as_str();
 
 /// Average-alive VM count of one size class (a Table 1 or Table 2 row).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -137,15 +139,21 @@ impl RunSummary {
     }
 
     /// Single-line JSON form — what `sapsim simulate --json` prints.
+    /// The line is routed through the registry's envelope check, so a
+    /// serializer drifting away from [`SchemaId::RunSummaryV1`] panics
+    /// here instead of shipping misversioned bytes.
     pub fn to_json(&self) -> String {
-        serde_json::to_string(self).expect("RunSummary serializes")
+        sapsim_api::envelope::checked_line(
+            SchemaId::RunSummaryV1,
+            serde_json::to_string(self).expect("RunSummary serializes"),
+        )
     }
 
     /// Parse a serialized summary, rejecting unknown schema versions.
     pub fn from_json_str(text: &str) -> Result<RunSummary, SweepError> {
         let summary: RunSummary = serde_json::from_str(text)
             .map_err(|e| SweepError::Manifest(format!("bad run summary: {e}")))?;
-        if summary.schema != RUN_SUMMARY_SCHEMA {
+        if sapsim_api::envelope::expect_schema(&summary.schema, SchemaId::RunSummaryV1).is_err() {
             return Err(SweepError::Manifest(format!(
                 "unsupported run-summary schema `{}` (expected `{RUN_SUMMARY_SCHEMA}`)",
                 summary.schema

@@ -1,0 +1,82 @@
+#!/usr/bin/env bash
+# Placement-service smoke: boot `sapsim serve` against the paper estate,
+# drive a scripted place/dry-run/commit/resize/evacuate session through
+# the HTTP front end, and diff the transcript byte-for-byte against the
+# offline applier running the same script (plus: the final state hashes
+# must agree, and /metrics must expose the serve families).
+#
+# The session script is assembled in two phases because the commit token
+# and the vm/node names are deterministic but estate-derived: a probe
+# run of the static prefix (scripts/serve_smoke.jsonl) reveals them, and
+# the full session replays that prefix with the dynamic suffix appended.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BIN=${SAPSIM_BIN:-target/release/sapsim}
+if [ ! -x "$BIN" ]; then
+  cargo build --release -p sapsim-cli
+fi
+
+WORK=$(mktemp -d)
+trap 'rm -rf "$WORK"; [ -n "${SERVER_PID:-}" ] && kill "$SERVER_PID" 2>/dev/null || true' EXIT
+
+field() { # file line-number python-expression-over-r
+  python3 - "$1" "$2" <<'EOF' "$3"
+import json, sys
+path, line, expr = sys.argv[1], int(sys.argv[2]), sys.argv[3]
+with open(path) as f:
+    r = json.loads(f.readlines()[line - 1])
+print(eval(expr))
+EOF
+}
+
+# ---- phase 1: probe the deterministic ids -------------------------------
+"$BIN" serve --script scripts/serve_smoke.jsonl > "$WORK/probe.out"
+VM=$(field "$WORK/probe.out" 1 'r["placed"][0]["vm"]')
+NODE=$(field "$WORK/probe.out" 1 'r["placed"][0]["node"]')
+TOKEN=$(field "$WORK/probe.out" 2 'r["txn"]')
+echo "serve_smoke: probe placed vm $VM on $NODE, plan token $TOKEN"
+
+# ---- phase 2: the full session, offline ---------------------------------
+cp scripts/serve_smoke.jsonl "$WORK/session.jsonl"
+cat >> "$WORK/session.jsonl" <<EOF
+{"schema":"sapsim.api/v1","op":"commit","txn":"$TOKEN"}
+{"schema":"sapsim.api/v1","op":"resize","vm":$VM,"vcpus":8,"memory_mib":32768}
+{"schema":"sapsim.api/v1","op":"evacuate","node":"$NODE"}
+{"schema":"sapsim.api/v1","op":"state"}
+EOF
+"$BIN" serve --script "$WORK/session.jsonl" > "$WORK/offline.out"
+
+# ---- phase 3: the same session against a live server --------------------
+"$BIN" serve --listen 127.0.0.1:0 > "$WORK/server.out" &
+SERVER_PID=$!
+ADDR=""
+for _ in $(seq 1 200); do
+  ADDR=$(sed -n 's/.*http on \([0-9.:]*\).*/\1/p' "$WORK/server.out" | head -1)
+  [ -n "$ADDR" ] && break
+  sleep 0.05
+done
+[ -n "$ADDR" ] || { echo "serve_smoke: server never booted" >&2; exit 1; }
+curl -sf "http://$ADDR/healthz" > /dev/null
+
+"$BIN" serve --connect "$ADDR" --script "$WORK/session.jsonl" > "$WORK/online.out"
+
+curl -sf "http://$ADDR/metrics" > "$WORK/metrics.prom"
+grep -q 'sapsim_serve_requests_total' "$WORK/metrics.prom"
+grep -q 'sapsim_serve_placements_total' "$WORK/metrics.prom"
+grep -q 'sapsim_serve_request_us_bucket' "$WORK/metrics.prom"
+
+echo '{"schema":"sapsim.api/v1","op":"shutdown"}' > "$WORK/shutdown.jsonl"
+"$BIN" serve --connect "$ADDR" --script "$WORK/shutdown.jsonl" > /dev/null
+wait "$SERVER_PID"
+SERVER_PID=""
+
+# ---- phase 4: the differential checks -----------------------------------
+cmp "$WORK/offline.out" "$WORK/online.out"
+OFFLINE_HASH=$(field "$WORK/offline.out" 6 'r["hash"]')
+SERVER_HASH=$(sed -n 's/.*(state \([0-9a-f]*\)).*/\1/p' "$WORK/server.out" | head -1)
+if [ "$OFFLINE_HASH" != "$SERVER_HASH" ]; then
+  echo "serve_smoke: state hash mismatch: offline $OFFLINE_HASH vs server $SERVER_HASH" >&2
+  exit 1
+fi
+echo "serve_smoke: transcripts byte-identical, state hash $OFFLINE_HASH on both paths"
